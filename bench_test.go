@@ -1,0 +1,170 @@
+package dircache_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6). Each bench regenerates its experiment through the harness in
+// internal/bench and reports the experiment's headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+// cmd/dcbench prints the same experiments as full paper-style tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"dircache"
+	"dircache/internal/bench"
+)
+
+// runExperiment executes one experiment per benchmark run and publishes
+// selected report values as metrics.
+func runExperiment(b *testing.B, id string, metrics func(*bench.Report, *testing.B)) {
+	b.Helper()
+	exp, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := bench.SmallScale()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			metrics(r, b)
+		}
+	}
+}
+
+func BenchmarkFig1PathSyscallFraction(b *testing.B) {
+	runExperiment(b, "fig1", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("pathfrac/find -name")*100, "find-path-%")
+		b.ReportMetric(r.Get("pathfrac/make")*100, "make-path-%")
+	})
+}
+
+func BenchmarkFig2KernelEras(b *testing.B) {
+	runExperiment(b, "fig2", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("stat/v2.6.36"), "biglock-ns")
+		b.ReportMetric(r.Get("stat/v3.14"), "rcu-ns")
+		b.ReportMetric(r.Get("stat/v3.14-opt"), "opt-ns")
+	})
+}
+
+func BenchmarkFig3LookupBreakdown(b *testing.B) {
+	runExperiment(b, "fig3", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("8-comp/unmod/total"), "unmod-8comp-ns")
+		b.ReportMetric(r.Get("8-comp/opt/total"), "opt-8comp-ns")
+	})
+}
+
+func BenchmarkFig6PathPatterns(b *testing.B) {
+	runExperiment(b, "fig6", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("stat/8-comp/unmod"), "unmod-ns")
+		b.ReportMetric(r.Get("stat/8-comp/opt"), "opt-ns")
+		b.ReportMetric(r.Get("stat/8-comp/opt-miss+slow"), "miss+slow-ns")
+	})
+}
+
+func BenchmarkFig7InvalidateScaling(b *testing.B) {
+	runExperiment(b, "fig7", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("chmod/100/unmod")/1e3, "unmod-chmod-us")
+		b.ReportMetric(r.Get("chmod/100/opt")/1e3, "opt-chmod-us")
+	})
+}
+
+func BenchmarkFig8Scalability(b *testing.B) {
+	runExperiment(b, "fig8", func(r *bench.Report, b *testing.B) {
+		threads := bench.SmallScale().Threads
+		last := threads[len(threads)-1]
+		b.ReportMetric(r.Get(fmt.Sprintf("stat/%d/unmod", last)), "unmod-ns")
+		b.ReportMetric(r.Get(fmt.Sprintf("stat/%d/opt", last)), "opt-ns")
+	})
+}
+
+func BenchmarkFig9ReaddirMkstemp(b *testing.B) {
+	runExperiment(b, "fig9", func(r *bench.Report, b *testing.B) {
+		sizes := bench.SmallScale().DirSizes
+		last := sizes[len(sizes)-1]
+		b.ReportMetric(r.Get(fmt.Sprintf("readdir/%d/unmod", last))/1e3, "unmod-readdir-us")
+		b.ReportMetric(r.Get(fmt.Sprintf("readdir/%d/opt", last))/1e3, "opt-readdir-us")
+	})
+}
+
+func BenchmarkFig10Dovecot(b *testing.B) {
+	runExperiment(b, "fig10", func(r *bench.Report, b *testing.B) {
+		sizes := bench.SmallScale().MailboxSizes
+		last := sizes[len(sizes)-1]
+		b.ReportMetric(r.Get(fmt.Sprintf("unmod/%d", last)), "unmod-ops/s")
+		b.ReportMetric(r.Get(fmt.Sprintf("opt/%d", last)), "opt-ops/s")
+	})
+}
+
+func BenchmarkTable1WarmApps(b *testing.B) {
+	runExperiment(b, "table1", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("unmod/find -name")/1e6, "unmod-find-ms")
+		b.ReportMetric(r.Get("opt/find -name")/1e6, "opt-find-ms")
+		b.ReportMetric(r.Get("hit/find -name"), "find-hit-%")
+	})
+}
+
+func BenchmarkTable2ColdApps(b *testing.B) {
+	runExperiment(b, "table2", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("unmod/find -name")/1e6, "unmod-find-ms")
+		b.ReportMetric(r.Get("opt/find -name")/1e6, "opt-find-ms")
+	})
+}
+
+func BenchmarkTable3Apache(b *testing.B) {
+	runExperiment(b, "table3", func(r *bench.Report, b *testing.B) {
+		sizes := bench.SmallScale().DirSizes
+		last := sizes[len(sizes)-1]
+		b.ReportMetric(r.Get(fmt.Sprintf("unmod/%d", last)), "unmod-req/s")
+		b.ReportMetric(r.Get(fmt.Sprintf("opt/%d", last)), "opt-req/s")
+	})
+}
+
+func BenchmarkTable4LoC(b *testing.B) {
+	runExperiment(b, "table4", func(r *bench.Report, b *testing.B) {
+		b.ReportMetric(r.Get("loc/total"), "total-loc")
+		b.ReportMetric(r.Get("loc/internal/core"), "core-loc")
+	})
+}
+
+// Raw hot-path benchmarks, for profiling the implementations directly.
+
+func benchStat(b *testing.B, cfg dircache.Config, path string) {
+	sys := dircache.New(cfg)
+	p := sys.Start(dircache.RootCreds())
+	if err := p.MkdirAll("/a/b/c/d/e/f/g", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.WriteFile("/a/b/c/d/e/f/g/file", nil, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Stat(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Stat(path)
+	}
+}
+
+func BenchmarkStatDeepBaseline(b *testing.B) {
+	benchStat(b, dircache.Baseline(), "/a/b/c/d/e/f/g/file")
+}
+
+func BenchmarkStatDeepOptimized(b *testing.B) {
+	cfg := dircache.Optimized()
+	cfg.SignatureSeed = 1
+	benchStat(b, cfg, "/a/b/c/d/e/f/g/file")
+}
+
+func BenchmarkStatShallowBaseline(b *testing.B) {
+	benchStat(b, dircache.Baseline(), "/a/b")
+}
+
+func BenchmarkStatShallowOptimized(b *testing.B) {
+	cfg := dircache.Optimized()
+	cfg.SignatureSeed = 1
+	benchStat(b, cfg, "/a/b")
+}

@@ -1,0 +1,82 @@
+// Command dcbench regenerates the tables and figures of "How to Get More
+// Value From Your File System Directory Cache" (SOSP 2015) against this
+// repository's baseline and optimized directory caches.
+//
+// Usage:
+//
+//	dcbench [-scale small|paper] [-list] [experiment ...]
+//
+// With no experiment arguments, every experiment runs in paper order.
+// Experiment IDs: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2
+// table3 table4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dircache/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "experiment scale: small or paper")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "experiments:\n")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "small":
+		sc = bench.SmallScale()
+	case "paper":
+		sc = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "dcbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var todo []bench.Experiment
+	if flag.NArg() == 0 {
+		todo = bench.Experiments()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range todo {
+		t0 := time.Now()
+		rep, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

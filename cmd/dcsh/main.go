@@ -1,0 +1,300 @@
+// Command dcsh is an interactive shell over a simulated kernel: a small
+// REPL with Unix-ish file commands plus cache-inspection commands that show
+// the directory cache at work (hit counters, fastpath statistics, bucket
+// utilization, dropping caches).
+//
+// Usage:
+//
+//	dcsh [-baseline]
+//
+// Try:
+//
+//	mkdir /home && cd /home && touch a b c && ls
+//	stat a           (first: slow walk; again: fastpath hit)
+//	stats            (watch FastHits grow)
+//	dropcaches && stat a
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dircache"
+)
+
+func main() {
+	baseline := flag.Bool("baseline", false, "run the unmodified baseline cache")
+	flag.Parse()
+
+	cfg := dircache.Optimized()
+	if *baseline {
+		cfg = dircache.Baseline()
+	}
+	sys := dircache.New(cfg)
+	p := sys.Start(dircache.RootCreds())
+
+	mode := "optimized"
+	if *baseline {
+		mode = "baseline"
+	}
+	fmt.Printf("dcsh: simulated kernel with %s directory cache. Type 'help'.\n", mode)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s $ ", p.Getcwd())
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if args[0] == "exit" || args[0] == "quit" {
+			return
+		}
+		if err := runCommand(sys, p, args); err != nil {
+			fmt.Printf("dcsh: %s: %v\n", args[0], err)
+		}
+	}
+}
+
+func runCommand(sys *dircache.System, p *dircache.Process, args []string) error {
+	need := func(n int) error {
+		if len(args) < n+1 {
+			return fmt.Errorf("expected %d argument(s)", n)
+		}
+		return nil
+	}
+	switch args[0] {
+	case "help":
+		fmt.Print(`files:  ls [dir]  stat PATH  cat PATH  echo TEXT > PATH
+	touch PATH  mkdir PATH  rm PATH  rmdir PATH  mv OLD NEW
+	ln [-s] TARGET LINK  chmod MODE PATH  cd DIR  pwd  find [DIR] SUBSTR
+mounts: mount mem|proc|disk|nfs DIR   bind SRC DST   umount DIR
+	unshare (private mount namespace)  chroot DIR
+ident:  su UID   id
+cache:  stats  buckets  dentries  dropcaches
+other:  help  exit
+`)
+	case "ls":
+		dir := "."
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		ents, err := p.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			fmt.Printf("%-9s %6d %s\n", e.Type, e.Inode, e.Name)
+		}
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, err := p.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s mode %04o uid %d gid %d size %d nlink %d ino %d\n",
+			args[1], fi.Type, fi.Perm, fi.UID, fi.GID, fi.Size, fi.Nlink, fi.Inode)
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := p.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			fmt.Println()
+		}
+	case "echo":
+		// echo TEXT > PATH
+		gt := -1
+		for i, a := range args {
+			if a == ">" {
+				gt = i
+			}
+		}
+		if gt < 0 || gt == len(args)-1 {
+			return fmt.Errorf("usage: echo TEXT > PATH")
+		}
+		text := strings.Join(args[1:gt], " ") + "\n"
+		return p.WriteFile(args[gt+1], []byte(text), 0o644)
+	case "touch":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := p.Open(args[1], dircache.O_CREAT|dircache.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		return f.Close()
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.Mkdir(args[1], 0o755)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.Unlink(args[1])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.Rmdir(args[1])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return p.Rename(args[1], args[2])
+	case "ln":
+		if len(args) == 4 && args[1] == "-s" {
+			return p.Symlink(args[2], args[3])
+		}
+		if len(args) == 3 {
+			return p.Link(args[1], args[2])
+		}
+		return fmt.Errorf("usage: ln [-s] TARGET LINK")
+	case "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		var mode uint32
+		if _, err := fmt.Sscanf(args[1], "%o", &mode); err != nil {
+			return fmt.Errorf("bad mode %q", args[1])
+		}
+		return p.Chmod(args[2], mode)
+	case "cd":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.Chdir(args[1])
+	case "pwd":
+		fmt.Println(p.Getcwd())
+	case "stats":
+		st := sys.Stats()
+		fmt.Printf("lookups       %d\n", st.Lookups)
+		fmt.Printf("fastpath hits %d (%d negative)\n", st.FastHits, st.FastNeg)
+		fmt.Printf("slow walks    %d (%d components)\n", st.SlowWalks, st.Components)
+		fmt.Printf("fs lookups    %d (hit rate %.1f%%)\n", st.FSLookups, st.HitRate()*100)
+		fmt.Printf("negative hits %d, completeness shortcuts %d\n", st.NegativeHits, st.CompleteShort)
+		fmt.Printf("readdir       %d cached / %d from FS\n", st.ReaddirCached, st.ReaddirFS)
+		fmt.Printf("invalidations %d, populations %d\n", st.Invalidations, st.Populations)
+	case "buckets":
+		empty, one, two, more := sys.BucketStats()
+		total := empty + one + two + more
+		fmt.Printf("hash buckets: %d total; %d empty, %d with 1, %d with 2, %d with 3+\n",
+			total, empty, one, two, more)
+	case "dentries":
+		fmt.Printf("%d dentries cached\n", sys.DentryCount())
+	case "dropcaches":
+		n := sys.DropCaches()
+		fmt.Printf("evicted %d dentries\n", n)
+	case "find":
+		dir, substr := ".", ""
+		switch len(args) {
+		case 2:
+			substr = args[1]
+		case 3:
+			dir, substr = args[1], args[2]
+		default:
+			return fmt.Errorf("usage: find [DIR] SUBSTR")
+		}
+		matches := 0
+		var visit func(d string) error
+		visit = func(d string) error {
+			ents, err := p.ReadDir(d)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				path := d + "/" + e.Name
+				if d == "/" {
+					path = "/" + e.Name
+				}
+				if strings.Contains(e.Name, substr) {
+					fmt.Println(path)
+					matches++
+				}
+				if e.Type == dircache.TypeDirectory {
+					if err := visit(path); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := visit(dir); err != nil {
+			return err
+		}
+		fmt.Printf("(%d matches)\n", matches)
+	case "mount":
+		if err := need(2); err != nil {
+			return err
+		}
+		var be *dircache.Backend
+		switch args[1] {
+		case "mem":
+			be = dircache.NewMemBackend(dircache.MemOptions{})
+		case "proc":
+			be = dircache.NewProcBackend(64)
+		case "nfs":
+			be = dircache.NewRemoteBackend(dircache.RemoteOptions{})
+		case "disk":
+			var err error
+			be, err = dircache.NewDiskBackend(dircache.DiskOptions{Blocks: 1 << 14})
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mount kinds: mem, proc, disk, nfs")
+		}
+		return p.Mount(be, args[2], 0)
+	case "bind":
+		if err := need(2); err != nil {
+			return err
+		}
+		return p.BindMount(args[1], args[2], 0)
+	case "umount":
+		if err := need(1); err != nil {
+			return err
+		}
+		return p.Unmount(args[1])
+	case "unshare":
+		p.UnshareNamespace()
+		fmt.Println("now in a private mount namespace")
+	case "chroot":
+		if err := need(1); err != nil {
+			return err
+		}
+		if err := p.Chroot(args[1]); err != nil {
+			return err
+		}
+		return p.Chdir("/")
+	case "su":
+		if err := need(1); err != nil {
+			return err
+		}
+		var uid uint32
+		if _, err := fmt.Sscanf(args[1], "%d", &uid); err != nil {
+			return fmt.Errorf("bad uid %q", args[1])
+		}
+		p.SetCreds(dircache.UserCreds(uid))
+		fmt.Printf("uid now %d (fresh prefix check cache unless unchanged)\n", uid)
+	case "id":
+		fmt.Println("use 'su UID' to switch; permissions are enforced per credential")
+	default:
+		return fmt.Errorf("unknown command (try 'help')")
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package dircache
+
+import "dircache/internal/fsapi"
+
+// Sentinel errors, comparable with errors.Is against anything the library
+// returns. They carry POSIX errno identities.
+var (
+	ErrPermission   error = fsapi.EACCES
+	ErrNotPermitted error = fsapi.EPERM
+	ErrNotExist     error = fsapi.ENOENT
+	ErrExist        error = fsapi.EEXIST
+	ErrNotDir       error = fsapi.ENOTDIR
+	ErrIsDir        error = fsapi.EISDIR
+	ErrNotEmpty     error = fsapi.ENOTEMPTY
+	ErrTooManyLinks error = fsapi.ELOOP
+	ErrNameTooLong  error = fsapi.ENAMETOOLONG
+	ErrReadOnly     error = fsapi.EROFS
+	ErrCrossDevice  error = fsapi.EXDEV
+	ErrBusy         error = fsapi.EBUSY
+	ErrNoSpace      error = fsapi.ENOSPC
+	ErrStale        error = fsapi.ESTALE
+	ErrBadHandle    error = fsapi.EBADF
+	ErrInvalid      error = fsapi.EINVAL
+)
+
+// Errno returns the POSIX errno number for an error produced by this
+// library (0 for nil, 5/EIO for foreign errors).
+func Errno(err error) int { return int(fsapi.ToErrno(err)) }

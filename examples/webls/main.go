@@ -1,0 +1,56 @@
+// Webls: the Apache directory-listing workload of Table 3. Each request
+// generates an HTML index of a directory: one readdir plus a stat of every
+// entry. With directory completeness caching (§5.1), the listing never
+// touches the low-level file system once the directory is known complete,
+// and every per-entry stat is a fastpath hit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dircache"
+	"dircache/internal/workload"
+)
+
+func serve(label string, cfg dircache.Config, files, requests int) float64 {
+	sys := dircache.New(cfg)
+	p := sys.Start(dircache.RootCreds())
+	w := workload.NewProc(p)
+
+	if err := p.Mkdir("/www", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		if err := p.WriteFile(fmt.Sprintf("/www/article-%04d.html", i),
+			[]byte("<html><body>content</body></html>"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Warm up, then serve.
+	if _, err := workload.RunApacheBench(w, "/www", 16); err != nil {
+		log.Fatal(err)
+	}
+	rps, err := workload.RunApacheBench(w, "/www", requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("  %-9s  %9.0f req/s  (hit rate %.1f%%, readdir %d cached / %d FS)\n",
+		label, rps, st.HitRate()*100, st.ReaddirCached, st.ReaddirFS)
+	return rps
+}
+
+func main() {
+	for _, files := range []int{10, 100, 1000} {
+		requests := 2000
+		if files >= 1000 {
+			requests = 200
+		}
+		fmt.Printf("directory with %d files, %d requests:\n", files, requests)
+		base := serve("baseline", dircache.Baseline(), files, requests)
+		opt := serve("optimized", dircache.Optimized(), files, requests)
+		fmt.Printf("  change: %+.1f%%\n\n", (opt-base)/base*100)
+	}
+}

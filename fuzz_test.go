@@ -1,0 +1,73 @@
+package dircache_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dircache"
+)
+
+// FuzzPathEquivalence feeds arbitrary path strings to a baseline and an
+// optimized system holding identical trees; both must return identical
+// results for Stat, Lstat, and Open. Runs its seed corpus as a regular
+// test; `go test -fuzz=FuzzPathEquivalence` explores further.
+func FuzzPathEquivalence(f *testing.F) {
+	seeds := []string{
+		"/", "", ".", "..", "/a", "/a/b/c.txt", "a/b/c.txt",
+		"/a//b///c.txt", "/a/./b/../b/c.txt", "/lnk/c.txt", "/lnk",
+		"/a/b/c.txt/", "/a/b/c.txt/x", "/ghost", "/a/ghost/deep/path",
+		"/../../a/b/c.txt", "/a/b/../../a/b/c.txt", "/dang",
+		"/loopA", "/loopA/x", "//", "/a/", "/a/.", "/a/..",
+		"/\x00bad", "/verylongname" + string(make([]byte, 300)),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	build := func(cfg dircache.Config) *dircache.Process {
+		sys := dircache.New(cfg)
+		p := sys.Start(dircache.RootCreds())
+		p.MkdirAll("/a/b", 0o755)
+		p.WriteFile("/a/b/c.txt", []byte("x"), 0o644)
+		p.Symlink("/a", "/lnk")
+		p.Symlink("/nowhere", "/dang")
+		p.Symlink("/loopB", "/loopA")
+		p.Symlink("/loopA", "/loopB")
+		p.Chdir("/a")
+		return p
+	}
+	optCfg := dircache.Optimized()
+	optCfg.SignatureSeed = 0xf022
+	base := build(dircache.Baseline())
+	opt := build(optCfg)
+
+	render := func(p *dircache.Process, path string) string {
+		si, serr := p.Stat(path)
+		li, lerr := p.Lstat(path)
+		out := fmt.Sprintf("stat=%d/%v/%o lstat=%d/%v/%o",
+			dircache.Errno(serr), si.Type, si.Perm,
+			dircache.Errno(lerr), li.Type, li.Perm)
+		fh, oerr := p.Open(path, dircache.O_RDONLY, 0)
+		out += fmt.Sprintf(" open=%d", dircache.Errno(oerr))
+		if oerr == nil {
+			fh.Close()
+		}
+		return out
+	}
+
+	f.Fuzz(func(t *testing.T, path string) {
+		if len(path) > 4200 {
+			path = path[:4200]
+		}
+		// Twice each, so the second round exercises fastpath hits and
+		// cached negatives on the optimized side.
+		for round := 0; round < 2; round++ {
+			b := render(base, path)
+			o := render(opt, path)
+			if b != o {
+				t.Fatalf("path %q round %d diverged:\n baseline:  %s\n optimized: %s",
+					path, round, b, o)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module dircache
+
+go 1.23

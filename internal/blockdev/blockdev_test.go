@@ -1,0 +1,122 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+
+	"dircache/internal/vclock"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, err := New(512, 64, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]byte, 512)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	if err := d.WriteBlock(7, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 512)
+	if err := d.ReadBlock(7, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Fatal("read back different data")
+	}
+	if err := d.ReadBlock(3, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r {
+		if b != 0 {
+			t.Fatal("unwritten block not zeroed")
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _ := New(512, 4, CostModel{})
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(4, buf); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := d.WriteBlock(-1, buf); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := d.ReadBlock(0, buf[:100]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := New(500, 4, CostModel{}); err == nil {
+		t.Fatal("non-power-of-two block size accepted")
+	}
+	if _, err := New(512, 0, CostModel{}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestCostModelCharging(t *testing.T) {
+	cost := CostModel{SeekNS: 1000, SequentialNS: 10, PerByteNS: 1}
+	d, _ := New(512, 64, cost)
+	var run vclock.Run
+	d.SetClock(&run)
+	buf := make([]byte, 512)
+
+	// First access: seek.
+	if err := d.ReadBlock(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := cost.SeekNS + 512*cost.PerByteNS
+	if run.Nanos() != want {
+		t.Fatalf("first access charged %d, want %d", run.Nanos(), want)
+	}
+	// Next block: sequential.
+	run.Reset()
+	if err := d.ReadBlock(11, buf); err != nil {
+		t.Fatal(err)
+	}
+	want = cost.SequentialNS + 512*cost.PerByteNS
+	if run.Nanos() != want {
+		t.Fatalf("sequential access charged %d, want %d", run.Nanos(), want)
+	}
+	// Jump: seek again.
+	run.Reset()
+	if err := d.ReadBlock(40, buf); err != nil {
+		t.Fatal(err)
+	}
+	want = cost.SeekNS + 512*cost.PerByteNS
+	if run.Nanos() != want {
+		t.Fatalf("random access charged %d, want %d", run.Nanos(), want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := New(512, 8, CostModel{SeekNS: 5})
+	buf := make([]byte, 512)
+	_ = d.WriteBlock(0, buf)
+	_ = d.ReadBlock(0, buf)
+	_ = d.ReadBlock(5, buf)
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.BytesRead != 1024 || s.BytesWritten != 512 {
+		t.Fatalf("byte counters %+v", s)
+	}
+	if s.Seeks == 0 || s.SimulatedNanos == 0 {
+		t.Fatalf("latency counters not advancing: %+v", s)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("reset did not zero stats")
+	}
+}
+
+func TestDetachedClock(t *testing.T) {
+	d, _ := New(512, 8, HDD7200)
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(0, buf); err != nil {
+		t.Fatal(err) // must not panic with no clock attached
+	}
+}

@@ -1,0 +1,155 @@
+package buffercache
+
+import (
+	"testing"
+
+	"dircache/internal/blockdev"
+)
+
+func newCache(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	dev, err := blockdev.New(512, 256, blockdev.CostModel{SeekNS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(dev, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWriteReadThroughCache(t *testing.T) {
+	c := newCache(t, 16)
+	w := make([]byte, 512)
+	w[0], w[511] = 0xAB, 0xCD
+	if err := c.Write(3, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 512)
+	if err := c.Read(3, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0xAB || r[511] != 0xCD {
+		t.Fatal("cache returned wrong data")
+	}
+	// Device must not have seen the write yet (write-back).
+	if c.Device().Stats().Writes != 0 {
+		t.Fatal("write-through observed; expected write-back")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Device().Stats().Writes != 1 {
+		t.Fatal("flush did not write back dirty block")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	c := newCache(t, 2)
+	buf := make([]byte, 512)
+	for i := int64(0); i < 4; i++ {
+		buf[0] = byte(i)
+		if err := c.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d blocks, capacity 2", c.Len())
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.WriteBacks != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Evicted block 0 must be readable with its data intact.
+	r := make([]byte, 512)
+	if err := c.Read(0, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0 {
+		t.Fatalf("block 0 corrupted: %d", r[0])
+	}
+	r = make([]byte, 512)
+	if err := c.Read(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 {
+		t.Fatalf("block 1 corrupted: %d", r[0])
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := newCache(t, 8)
+	buf := make([]byte, 512)
+	_ = c.Read(0, buf) // miss
+	_ = c.Read(0, buf) // hit
+	_ = c.Read(1, buf) // miss
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
+	}
+}
+
+func TestUpdateAndView(t *testing.T) {
+	c := newCache(t, 8)
+	if err := c.Update(5, func(d []byte) { d[9] = 42 }); err != nil {
+		t.Fatal(err)
+	}
+	var got byte
+	if err := c.View(5, func(d []byte) { got = d[9] }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("update not visible: %d", got)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 512)
+	if err := c.Device().ReadBlock(5, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[9] != 42 {
+		t.Fatal("update not flushed to device")
+	}
+}
+
+func TestInvalidateDropsEverything(t *testing.T) {
+	c := newCache(t, 8)
+	buf := make([]byte, 512)
+	buf[0] = 7
+	_ = c.Write(2, buf)
+	_ = c.Read(3, buf)
+	if err := c.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("invalidate left blocks cached")
+	}
+	// Dirty data must have been written back before dropping.
+	r := make([]byte, 512)
+	if err := c.Device().ReadBlock(2, r); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 7 {
+		t.Fatal("invalidate lost dirty data")
+	}
+}
+
+func TestWholeBlockWriteSkipsRead(t *testing.T) {
+	c := newCache(t, 8)
+	buf := make([]byte, 512)
+	if err := c.Write(9, buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Device().Stats().Reads != 0 {
+		t.Fatal("whole-block write read the old contents")
+	}
+}
+
+func TestShortWriteRejected(t *testing.T) {
+	c := newCache(t, 8)
+	if err := c.Write(0, make([]byte, 10)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dircache/internal/cred"
+	"dircache/internal/sig"
+	"dircache/internal/vfs"
+)
+
+// Config selects the fastpath behaviour.
+type Config struct {
+	// Seed keys the signature hash function; 0 draws a per-Core unique
+	// seed (the "random key at boot" of §3.3). Fix it only in tests.
+	Seed uint64
+	// PCCBytes sizes each per-credential prefix check cache (default
+	// 64 KiB, the paper's evaluated size).
+	PCCBytes int
+	// PCCMaxBytes caps dynamic PCC growth (the production resize policy
+	// the paper leaves as future work). 0 = 32x PCCBytes; set equal to
+	// PCCBytes to pin the size.
+	PCCMaxBytes int
+	// DeepNegatives enables §5.2's deep negative dentries (negative
+	// children under negative dentries and ENOTDIR dentries under files).
+	DeepNegatives bool
+	// SymlinkAliases enables §4.2's symlink alias dentries.
+	SymlinkAliases bool
+	// LexicalDotDot selects Plan 9 lexical ".." semantics instead of
+	// Linux's extra per-dot-dot permission lookup (§4.2).
+	LexicalDotDot bool
+	// ForcePCCMiss makes every final PCC probe miss, exercising the full
+	// fastpath cost followed by the slow walk — the "fastpath miss +
+	// slowpath" worst case of Figure 6. Benchmarks only.
+	ForcePCCMiss bool
+}
+
+// Stats are fastpath counters.
+type Stats struct {
+	TryFast        int64 // fastpath attempts
+	Hits           int64 // full fastpath hits (DLHT + PCC)
+	NegHits        int64 // hits that answered ENOENT/ENOTDIR
+	DLHTMiss       int64 // fell back: signature not in DLHT
+	PCCMiss        int64 // fell back: prefix check not memoized/stale
+	DotDotChecks   int64 // extra per-".." fastpath permission lookups
+	Populations    int64 // DLHT+PCC population events
+	Invalidation   int64 // subtree invalidation walks
+	StaleTokens    int64 // populations skipped due to concurrent mutation
+	AliasCreated   int64
+	DeepNegCreated int64
+}
+
+type statsCell struct {
+	tryFast, hits, negHits, dlhtMiss, pccMiss, dotDotChecks,
+	populations, invalidations, staleTokens, aliasCreated,
+	deepNegCreated atomic.Int64
+}
+
+// fastDentry is the per-dentry fastpath state — the paper's struct
+// fast_dentry (Figure 5): the resumable signature state of the dentry's
+// canonical path, the signature and DLHT index, a version counter (seq)
+// that invalidates PCC entries, the mount pointer, and — for symlinks —
+// the cached resolution target.
+type fastDentry struct {
+	seq atomic.Uint64
+
+	mu       sync.Mutex
+	hasState bool
+	state    sig.State
+	idx      uint16
+	sg       sig.Signature
+	inTable  *DLHT // the one DLHT currently holding this dentry
+
+	// statePtr is a lock-free snapshot of state for the TryFast hot path
+	// (nil when no valid state); writers keep it in sync under mu.
+	statePtr atomic.Pointer[sig.State]
+
+	// mntP records the mount the signature was computed under, so a
+	// fastpath hit can report mount options without a tree walk (§4.3).
+	mntP atomic.Pointer[vfs.Mount]
+
+	// target caches a followed symlink's (or alias's) resolution (§4.2
+	// stores the target-path signature; a dentry pointer pinned to the
+	// target's version counter is equivalent: any structural or
+	// permission change to the target bumps its seq and stales this).
+	target    atomic.Pointer[vfs.Dentry]
+	targetSeq atomic.Uint64
+}
+
+// Core implements vfs.Hooks.
+type Core struct {
+	cfg Config
+	k   *vfs.Kernel
+	key *sig.Key
+
+	// epoch is the global invalidation counter (§3.2): odd while a
+	// structural/permission mutation is in flight; slowpath results are
+	// only cached if it is even and unchanged across the walk.
+	epoch atomic.Uint64
+
+	// pccs registers every live PCC so that a per-dentry version counter
+	// wrapping its truncated width can invalidate all of them — the
+	// paper's §3.1 wraparound rule ("our design currently handles
+	// wrap-around by invalidating all active PCCs").
+	pccsMu sync.Mutex
+	pccs   []*PCC
+
+	stats statsCell
+}
+
+var seedCounter atomic.Uint64
+
+// Install wires a Core into k and returns it. Call once, before tasks run.
+func Install(k *vfs.Kernel, cfg Config) *Core {
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5ca1ab1e0ddba11 ^ (seedCounter.Add(1) * 0x9e3779b97f4a7c15)
+	}
+	c := &Core{cfg: cfg, k: k, key: sig.NewKey(cfg.Seed)}
+	k.SetHooks(c)
+	return c
+}
+
+// Stats snapshots the fastpath counters. Hit counts live in the kernel's
+// counters (the hot path records them once there); TryFast approximates
+// attempts as hits + recorded miss reasons.
+func (c *Core) Stats() Stats {
+	ks := c.k.Stats()
+	return Stats{
+		TryFast:        ks.FastHits + c.stats.dlhtMiss.Load() + c.stats.pccMiss.Load(),
+		Hits:           ks.FastHits,
+		NegHits:        ks.FastNegHits,
+		DLHTMiss:       c.stats.dlhtMiss.Load(),
+		PCCMiss:        c.stats.pccMiss.Load(),
+		DotDotChecks:   c.stats.dotDotChecks.Load(),
+		Populations:    c.stats.populations.Load(),
+		Invalidation:   c.stats.invalidations.Load(),
+		StaleTokens:    c.stats.staleTokens.Load(),
+		AliasCreated:   c.stats.aliasCreated.Load(),
+		DeepNegCreated: c.stats.deepNegCreated.Load(),
+	}
+}
+
+// fast extracts the fastDentry attached at allocation.
+func fast(d *vfs.Dentry) *fastDentry {
+	fd, _ := d.Fast().(*fastDentry)
+	return fd
+}
+
+// NewDentry implements vfs.Hooks.
+func (c *Core) NewDentry(d *vfs.Dentry) any { return &fastDentry{} }
+
+// dlhtFor returns the namespace's private DLHT, creating it on first use
+// (§4.3: per-namespace direct lookup hash tables).
+func (c *Core) dlhtFor(ns *vfs.Namespace) *DLHT {
+	if v := ns.FastLoad(); v != nil {
+		return v.(*DLHT)
+	}
+	return ns.FastStoreIfAbsent(newDLHT()).(*DLHT)
+}
+
+// pccFor returns the credential's PCC, creating it on first use (§4.1:
+// PCCs attach to immutable, shared cred structures).
+func (c *Core) pccFor(cr *cred.Cred) *PCC {
+	if v := cr.CacheLoad(); v != nil {
+		return v.(*PCC)
+	}
+	p := cr.CacheStoreIfAbsent(newPCC(c.cfg.PCCBytes, c.cfg.PCCMaxBytes)).(*PCC)
+	c.pccsMu.Lock()
+	c.pccs = append(c.pccs, p)
+	c.pccsMu.Unlock()
+	return p
+}
+
+// invalidateAllPCCs wipes every registered prefix check cache (version
+// counter wraparound, §3.1).
+func (c *Core) invalidateAllPCCs() {
+	c.pccsMu.Lock()
+	pccs := append([]*PCC(nil), c.pccs...)
+	c.pccsMu.Unlock()
+	for _, p := range pccs {
+		p.Invalidate()
+	}
+}
+
+// BeginSlow implements vfs.Hooks: capture the invalidation epoch.
+func (c *Core) BeginSlow() uint64 { return c.epoch.Load() }
+
+// tokenValid reports whether a slowpath result captured at token may be
+// cached: the epoch must be even (no mutation in flight) and unchanged.
+func (c *Core) tokenValid(token uint64) bool {
+	cur := c.epoch.Load()
+	return cur == token && cur&1 == 0
+}
+
+// BeginMutation implements vfs.Hooks (§3.2): bump the invalidation epoch,
+// shoot down the subtree's fastpath state, and return the closure that
+// re-bumps the epoch when the mutation completes.
+func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
+	c.epoch.Add(1)
+	c.stats.invalidations.Add(1)
+	c.invalidateSubtree(d)
+	return func() { c.epoch.Add(1) }
+}
+
+// invalidateSubtree recursively bumps every cached descendant's version
+// counter (killing its PCC entries without touching any PCC) and evicts it
+// from whatever DLHT currently holds it — the paper's pre-mutation
+// shootdown.
+func (c *Core) invalidateSubtree(d *vfs.Dentry) {
+	fd := fast(d)
+	if fd != nil {
+		if fd.seq.Add(1)&pccSeqMask == 0 {
+			// The truncated seq stored in PCC entries wrapped: stale
+			// entries from 2^31 bumps ago would match again. Wipe all
+			// PCCs, as the paper does for its 32-bit counters.
+			c.invalidateAllPCCs()
+		}
+		fd.mu.Lock()
+		if fd.inTable != nil {
+			fd.inTable.Remove(fd.idx, fd.sg, d)
+			fd.inTable = nil
+		}
+		// The path (or its permission context) is changing: recompute
+		// signature state lazily on next population.
+		fd.hasState = false
+		fd.statePtr.Store(nil)
+		fd.target.Store(nil)
+		fd.mu.Unlock()
+	}
+	d.EachChild(c.invalidateSubtree)
+}
+
+// OnEvict implements vfs.Hooks. The dentry is dead, and DLHT lookups skip
+// dead dentries, so its table node is reclaimed lazily by the next insert
+// into the bucket — eviction itself stays O(1).
+func (c *Core) OnEvict(d *vfs.Dentry) {
+	fd := fast(d)
+	if fd == nil {
+		return
+	}
+	fd.seq.Add(1)
+}
+
+// ensureState returns ref.D's canonical-path signature state, computing it
+// bottom-up (and caching it in each ancestor's fastDentry) if needed. The
+// mount chain supplies the namespace-level canonical path: a mount root's
+// path is its mountpoint's path (§4.3).
+func (c *Core) ensureState(ref vfs.PathRef) (sig.State, bool) {
+	fd := fast(ref.D)
+	if fd == nil || ref.Mnt == nil || ref.D.IsDead() {
+		return sig.State{}, false
+	}
+	if sp := fd.statePtr.Load(); sp != nil {
+		return *sp, true
+	}
+	fd.mu.Lock()
+	if fd.hasState {
+		st := fd.state
+		fd.mu.Unlock()
+		return st, true
+	}
+	fd.mu.Unlock()
+
+	var st sig.State
+	if ref.D == ref.Mnt.Root() {
+		if ref.Mnt.ParentMount() == nil {
+			st = c.key.NewState() // namespace root: empty path prefix
+		} else {
+			parent := vfs.PathRef{Mnt: ref.Mnt.ParentMount(), D: ref.Mnt.Mountpoint()}
+			pst, ok := c.ensureState(parent)
+			if !ok {
+				return sig.State{}, false
+			}
+			st = pst
+		}
+	} else {
+		p := ref.D.Parent()
+		if p == nil {
+			// Detached from the tree (racing eviction).
+			return sig.State{}, false
+		}
+		pst, ok := c.ensureState(vfs.PathRef{Mnt: ref.Mnt, D: p})
+		if !ok {
+			return sig.State{}, false
+		}
+		name := ref.D.Name()
+		if !pst.Fits(len(name) + 1) {
+			return sig.State{}, false
+		}
+		st = pst.AppendString("/").AppendString(name)
+	}
+
+	fd.mu.Lock()
+	if !fd.hasState {
+		fd.state = st
+		fd.hasState = true
+		fd.idx, fd.sg = st.Sum()
+		fd.mntP.Store(ref.Mnt)
+		snap := st
+		fd.statePtr.Store(&snap)
+	}
+	st = fd.state
+	fd.mu.Unlock()
+	return st, true
+}
+
+// publish installs d in the namespace's DLHT under state st, handling the
+// mount-alias re-signing rule of §4.3: if the dentry is already in a DLHT
+// under a different signature, the old entry is removed, the version
+// counter bumped (aliased paths may have different prefix check results),
+// and the new signature takes over.
+func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State) {
+	fd := fast(ref.D)
+	if fd == nil || ref.D.IsDead() {
+		return
+	}
+	if ref.D.Super().Caps().Revalidate {
+		// §4.3: stateless network file systems must revalidate every
+		// component at the server; a whole-path hit would skip that.
+		return
+	}
+	idx, sg := st.Sum()
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.inTable != nil {
+		if fd.inTable == dl && fd.sg == sg {
+			fd.mntP.Store(ref.Mnt)
+			fd.state = st
+			fd.hasState = true
+			snap := st
+			fd.statePtr.Store(&snap)
+			return // already published under this signature
+		}
+		// Aliased path or namespace switch: most recent wins.
+		fd.inTable.Remove(fd.idx, fd.sg, ref.D)
+		fd.inTable = nil
+		fd.seq.Add(1)
+	}
+	fd.state = st
+	fd.hasState = true
+	fd.idx, fd.sg = idx, sg
+	fd.mntP.Store(ref.Mnt)
+	snap := st
+	fd.statePtr.Store(&snap)
+	dl.Insert(idx, sg, ref.D)
+	fd.inTable = dl
+	c.stats.populations.Add(1)
+}
+
+// Seq returns d's current fastpath version (for PCC entries).
+func dentrySeq(d *vfs.Dentry) uint64 {
+	if fd := fast(d); fd != nil {
+		return fd.seq.Load()
+	}
+	return 0
+}

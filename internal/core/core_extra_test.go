@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/memfs"
+	"dircache/internal/vfs"
+)
+
+func TestUnlinkKeepsPrefixChecks(t *testing.T) {
+	// Unlink must not shoot down the dentry's fastpath state: the path's
+	// prefix is unchanged, so post-unlink ENOENT and post-recreate hits
+	// should both come from the fastpath without new slow walks.
+	k, _, root := optimized(t)
+	p := "/etc/reused"
+	if err := root.Create(p, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root.Stat(p)
+	root.Stat(p) // warm fastpath
+	if err := root.Unlink(p); err != nil {
+		t.Fatal(err)
+	}
+	slow := k.Stats().SlowWalks
+	if _, err := root.Stat(p); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks != slow {
+		t.Fatal("post-unlink ENOENT took the slow path")
+	}
+	if err := root.Create(p, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks != slow {
+		t.Fatal("post-recreate stat took the slow path (lock-file churn case)")
+	}
+}
+
+func TestUnlinkWithDeepChildrenInvalidates(t *testing.T) {
+	// A file with cached ENOTDIR children must shoot them down on unlink.
+	k, _, root := optimized(t)
+	if _, err := root.Stat("/etc/passwd/sub/x"); !errors.Is(err, fsapi.ENOTDIR) {
+		t.Fatal("expected ENOTDIR")
+	}
+	if err := root.Unlink("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+	// The path is now ENOENT (passwd gone), not a stale ENOTDIR.
+	if _, err := root.Stat("/etc/passwd/sub/x"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("stale ENOTDIR after unlink: %v", err)
+	}
+	_ = k
+}
+
+func TestChrootPlusBindMountFastpath(t *testing.T) {
+	k, _, root := optimized(t)
+	if err := root.Mkdir("/jail", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Walk("/jail", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.NewTask(cred.Root()).BindMount("/usr", "/jail", 0); err != nil {
+		t.Fatal(err)
+	}
+	jail := k.NewTask(cred.Root())
+	if err := jail.Chroot("/jail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jail.Chdir("/"); err != nil {
+		t.Fatal(err)
+	}
+	// /include/sys/types.h inside the jail = /usr/include/sys/types.h.
+	if _, err := jail.Stat("/include/sys/types.h"); err != nil {
+		t.Fatalf("jail resolve: %v", err)
+	}
+	slow := k.Stats().SlowWalks
+	if _, err := jail.Stat("/include/sys/types.h"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks != slow {
+		t.Fatal("warm jailed stat took the slow path")
+	}
+	// The host path still resolves correctly too (mount-alias resigning).
+	if _, err := root.Stat("/usr/include/sys/types.h"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmountInvalidatesMountedTree(t *testing.T) {
+	k, _, root := optimized(t)
+	data := memfs.New(memfs.Options{})
+	if err := root.Mkdir("/mnt", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Mount(data, "/mnt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Create("/mnt/inside", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root.Stat("/mnt/inside")
+	root.Stat("/mnt/inside") // warm
+	if err := root.Unmount("/mnt"); err != nil {
+		t.Fatal(err)
+	}
+	// The uncovered (empty) directory shows through; the old fastpath
+	// entry must not resolve /mnt/inside anymore.
+	for i := 0; i < 3; i++ {
+		if _, err := root.Stat("/mnt/inside"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatalf("stale mounted-tree entry after unmount: %v", err)
+		}
+	}
+	// Remount: resolution through the fresh mount works again.
+	if _, err := root.Mount(data, "/mnt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("/mnt/inside"); err != nil {
+		t.Fatal(err)
+	}
+	_ = k
+}
+
+func TestPCCResizeUnderRealWorkload(t *testing.T) {
+	// A directory working set much larger than a tiny initial PCC must
+	// trigger resizes and converge to fastpath hits.
+	kcfg := vfs.Config{DirCompleteness: true, AggressiveNegatives: true}
+	k := vfs.NewKernel(kcfg, memfs.New(memfs.Options{}))
+	c := Install(k, Config{Seed: 5, PCCBytes: 1 << 10, DeepNegatives: true, SymlinkAliases: true})
+	root := k.NewTask(cred.Root())
+	if err := root.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := root.Create(fmt.Sprintf("/d/f%05d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < n; i++ {
+			if _, err := root.Stat(fmt.Sprintf("/d/f%05d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pcc := c.pccFor(root.Cred())
+	if pcc.Resizes() == 0 {
+		t.Fatal("PCC never resized under a large working set")
+	}
+	// Steady state: a full pass should be nearly all fastpath hits.
+	slow0 := k.Stats().SlowWalks
+	for i := 0; i < n; i++ {
+		root.Stat(fmt.Sprintf("/d/f%05d", i))
+	}
+	slowDelta := k.Stats().SlowWalks - slow0
+	if slowDelta > n/10 {
+		t.Fatalf("post-resize pass still slow-walked %d/%d lookups", slowDelta, n)
+	}
+}
+
+func TestStartTrustedRecoversAfterEviction(t *testing.T) {
+	// After the cwd's memoized prefix check is evicted (PCC invalidated to
+	// simulate capacity loss), relative lookups must re-verify the prefix
+	// live and resume populating rather than starving.
+	k, c, root := optimized(t)
+	alice := k.NewTask(cred.New(1000, 1000, nil, ""))
+	if err := root.Chmod("/home/alice", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Chdir("/home/alice/projects"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Stat("code.go"); err != nil {
+		t.Fatal(err)
+	}
+	// Nuke alice's PCC.
+	c.pccFor(alice.Cred()).Invalidate()
+	// Relative lookup: slow (PCC empty), but population must recover via
+	// live prefix verification...
+	if _, err := alice.Stat("code.go"); err != nil {
+		t.Fatal(err)
+	}
+	// ...so the next one fast-hits again.
+	slow := k.Stats().SlowWalks
+	if _, err := alice.Stat("code.go"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks != slow {
+		t.Fatal("population starved after PCC eviction")
+	}
+	// And the directory-reference rule still holds: revoke the ancestor,
+	// relative keeps working (slow path), absolute is denied.
+	if err := root.Chmod("/home", 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Stat("code.go"); err != nil {
+		t.Fatalf("relative after revoke: %v", err)
+	}
+	if _, err := alice.Stat("/home/alice/projects/code.go"); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("absolute after revoke: %v", err)
+	}
+	// The relative success must NOT have re-enabled the absolute fastpath.
+	if _, err := alice.Stat("/home/alice/projects/code.go"); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("absolute after relative repopulation: %v", err)
+	}
+}
+
+func TestRenameStillInvalidates(t *testing.T) {
+	// The unlink optimization must not have weakened rename coherence.
+	k, _, root := optimized(t)
+	root.Stat("/usr/include/sys/types.h")
+	root.Stat("/usr/include/sys/types.h")
+	if err := root.Rename("/usr/include", "/usr/inc2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("/usr/include/sys/types.h"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("old path after rename: %v", err)
+	}
+	if _, err := root.Stat("/usr/inc2/sys/types.h"); err != nil {
+		t.Fatal(err)
+	}
+	_ = k
+}
+
+func TestCoreStatsSurface(t *testing.T) {
+	k, c, root := optimized(t)
+	root.Stat("/etc/passwd")
+	root.Stat("/etc/passwd")
+	root.Stat("/etc/nothing")
+	root.Stat("/etc/nothing")
+	st := c.Stats()
+	if st.Hits == 0 || st.NegHits == 0 {
+		t.Fatalf("core stats: %+v", st)
+	}
+	if st.TryFast < st.Hits {
+		t.Fatalf("TryFast %d < Hits %d", st.TryFast, st.Hits)
+	}
+	if st.Populations == 0 {
+		t.Fatal("no populations recorded")
+	}
+	_ = k
+}
+
+func TestSeqWraparoundInvalidatesAllPCCs(t *testing.T) {
+	k, c, root := optimized(t)
+	// Warm a PCC entry for a stable path.
+	root.Stat("/etc/passwd")
+	root.Stat("/etc/passwd")
+	// Push another dentry's seq to the wrap boundary and trigger the
+	// final bump through an invalidation.
+	ref, err := root.Walk("/tmp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := fast(ref.D)
+	fd.seq.Store(pccSeqMask - 1) // next two Add(1)s cross zero (mod 2^31)
+	end := c.BeginMutation(ref.D, vfs.InvalPerm)
+	end()
+	end = c.BeginMutation(ref.D, vfs.InvalPerm)
+	end()
+	// All PCCs were wiped: the previously warm path must slow-walk once.
+	slow := k.Stats().SlowWalks
+	if _, err := root.Stat("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks == slow {
+		t.Fatal("PCCs survived a seq wraparound")
+	}
+	// And repopulate cleanly.
+	slow = k.Stats().SlowWalks
+	if _, err := root.Stat("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().SlowWalks != slow {
+		t.Fatal("fastpath did not recover after wraparound wipe")
+	}
+}

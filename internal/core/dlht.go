@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dircache/internal/sig"
+	"dircache/internal/vfs"
+)
+
+// dnode is one immutable chain node of the direct lookup hash table.
+// Chains are prepend-on-insert and copy-on-remove, so lock-free readers
+// always see a consistent snapshot.
+type dnode struct {
+	sg   sig.Signature
+	d    *vfs.Dentry
+	next atomic.Pointer[dnode]
+}
+
+// DLHT is the direct lookup hash table (§3.1): a system-wide (per mount
+// namespace, §4.3) table mapping 240-bit full-path signatures to dentries.
+// The 16-bit index peeled from the hash selects the bucket; the stored
+// signature is compared with four word compares instead of a string
+// compare.
+type DLHT struct {
+	buckets []atomic.Pointer[dnode]
+	locks   []sync.Mutex // writer locks, sharded
+
+	entries atomic.Int64
+}
+
+const dlhtLockShards = 256
+
+func newDLHT() *DLHT {
+	return &DLHT{
+		buckets: make([]atomic.Pointer[dnode], 1<<sig.IndexBits),
+		locks:   make([]sync.Mutex, dlhtLockShards),
+	}
+}
+
+func (h *DLHT) lockFor(idx uint16) *sync.Mutex {
+	return &h.locks[idx%dlhtLockShards]
+}
+
+// Lookup returns the live dentry stored under (idx, sg), or nil. Lock-free.
+func (h *DLHT) Lookup(idx uint16, sg sig.Signature) *vfs.Dentry {
+	for n := h.buckets[idx].Load(); n != nil; n = n.next.Load() {
+		if n.sg == sg {
+			if n.d.IsDead() {
+				return nil
+			}
+			return n.d
+		}
+	}
+	return nil
+}
+
+// Insert adds (idx, sg) → d. The caller serializes per-dentry insertion
+// (each dentry is in at most one DLHT at a time, guarded by its fastDentry
+// lock), but distinct dentries may insert concurrently. Insertion sweeps
+// the bucket's dead-dentry nodes (evictions leave them behind lazily;
+// lookups already skip dead dentries).
+func (h *DLHT) Insert(idx uint16, sg sig.Signature, d *vfs.Dentry) {
+	mu := h.lockFor(idx)
+	mu.Lock()
+	head := h.buckets[idx].Load()
+	// Sweep: rebuild the chain without dead nodes (copy-on-write so
+	// concurrent readers keep a consistent snapshot).
+	swept := 0
+	var newHead, last *dnode
+	for n := head; n != nil; n = n.next.Load() {
+		if n.d.IsDead() {
+			swept++
+			continue
+		}
+		cp := &dnode{sg: n.sg, d: n.d}
+		if last == nil {
+			newHead = cp
+		} else {
+			last.next.Store(cp)
+		}
+		last = cp
+	}
+	n := &dnode{sg: sg, d: d}
+	n.next.Store(newHead)
+	h.buckets[idx].Store(n)
+	mu.Unlock()
+	h.entries.Add(int64(1 - swept))
+}
+
+// Remove deletes the entry for (idx, sg, d), rebuilding the chain prefix
+// copy-on-write.
+func (h *DLHT) Remove(idx uint16, sg sig.Signature, d *vfs.Dentry) {
+	mu := h.lockFor(idx)
+	mu.Lock()
+	defer mu.Unlock()
+	head := h.buckets[idx].Load()
+	var target *dnode
+	for n := head; n != nil; n = n.next.Load() {
+		if n.sg == sg && n.d == d {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		return
+	}
+	tail := target.next.Load()
+	newHead := tail
+	var last *dnode
+	for n := head; n != target; n = n.next.Load() {
+		cp := &dnode{sg: n.sg, d: n.d}
+		if last == nil {
+			newHead = cp
+		} else {
+			last.next.Store(cp)
+		}
+		last = cp
+	}
+	if last != nil {
+		last.next.Store(tail)
+	}
+	h.buckets[idx].Store(newHead)
+	h.entries.Add(-1)
+}
+
+// Len returns the number of live entries (approximate under concurrency).
+func (h *DLHT) Len() int { return int(h.entries.Load()) }

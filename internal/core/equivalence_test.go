@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/memfs"
+	"dircache/internal/vfs"
+)
+
+// The equivalence suite drives identical random operation sequences
+// against a baseline kernel and a fully optimized kernel and requires
+// bit-identical outcomes — the core correctness property of the paper
+// ("transparently to applications"): the fastpath must never change what
+// any operation returns.
+
+type rig struct {
+	name string
+	k    *vfs.Kernel
+	root *vfs.Task
+	// per-uid tasks, lazily created, so credential caching is exercised
+	tasks map[uint32]*vfs.Task
+}
+
+func newRig(t *testing.T, name string, optimizedCfg *Config) *rig {
+	t.Helper()
+	k := vfs.NewKernel(vfs.Config{
+		DirCompleteness:     optimizedCfg != nil,
+		AggressiveNegatives: optimizedCfg != nil,
+	}, memfs.New(memfs.Options{}))
+	if optimizedCfg != nil {
+		Install(k, *optimizedCfg)
+	}
+	return &rig{
+		name:  name,
+		k:     k,
+		root:  k.NewTask(cred.Root()),
+		tasks: map[uint32]*vfs.Task{},
+	}
+}
+
+func (r *rig) task(uid uint32) *vfs.Task {
+	if uid == 0 {
+		return r.root
+	}
+	t, ok := r.tasks[uid]
+	if !ok {
+		t = r.k.NewTask(cred.New(uid, uid, nil, ""))
+		r.tasks[uid] = t
+	}
+	return t
+}
+
+// op is one scripted operation. Its apply method returns a canonical
+// result string that must match across rigs.
+type op struct {
+	kind string
+	uid  uint32
+	p1   string
+	p2   string
+	mode fsapi.Mode
+}
+
+func (o op) apply(r *rig) string {
+	t := r.task(o.uid)
+	fmtErr := func(err error) string {
+		return fmt.Sprintf("%s:%v", o.kind, fsapi.ToErrno(err))
+	}
+	switch o.kind {
+	case "stat":
+		ni, err := t.Stat(o.p1)
+		if err != nil {
+			return fmtErr(err)
+		}
+		return fmt.Sprintf("stat:%v:%o:%d:%d", ni.Mode.Type(), ni.Mode.Perm(), ni.UID, ni.Size)
+	case "lstat":
+		ni, err := t.Lstat(o.p1)
+		if err != nil {
+			return fmtErr(err)
+		}
+		return fmt.Sprintf("lstat:%v:%o", ni.Mode.Type(), ni.Mode.Perm())
+	case "create":
+		return fmtErr(t.Create(o.p1, o.mode))
+	case "mkdir":
+		return fmtErr(t.Mkdir(o.p1, o.mode))
+	case "unlink":
+		return fmtErr(t.Unlink(o.p1))
+	case "rmdir":
+		return fmtErr(t.Rmdir(o.p1))
+	case "rename":
+		return fmtErr(t.Rename(o.p1, o.p2))
+	case "chmod":
+		return fmtErr(t.Chmod(o.p1, o.mode))
+	case "symlink":
+		return fmtErr(t.Symlink(o.p1, o.p2))
+	case "link":
+		return fmtErr(t.Link(o.p1, o.p2))
+	case "readdir":
+		f, err := t.Open(o.p1, vfs.O_RDONLY|vfs.O_DIRECTORY, 0)
+		if err != nil {
+			return fmtErr(err)
+		}
+		defer f.Close()
+		ents, err := f.ReadDirAll()
+		if err != nil {
+			return fmtErr(err)
+		}
+		names := make(map[string]fsapi.FileType, len(ents))
+		for _, e := range ents {
+			names[e.Name] = e.Type
+		}
+		return fmt.Sprintf("readdir:%d:%v", len(ents), sortedList(names))
+	case "open":
+		f, err := t.Open(o.p1, vfs.O_RDONLY, 0)
+		if err != nil {
+			return fmtErr(err)
+		}
+		f.Close()
+		return "open:ok"
+	case "access":
+		return fmtErr(t.Access(o.p1, 4)) // MayRead
+	case "readlink":
+		s, err := t.Readlink(o.p1)
+		if err != nil {
+			return fmtErr(err)
+		}
+		return "readlink:" + s
+	}
+	return "?"
+}
+
+func sortedList(m map[string]fsapi.FileType) string {
+	// deterministic rendering without importing sort for a map walk
+	out := ""
+	for {
+		best := ""
+		for k := range m {
+			if best == "" || k < best {
+				best = k
+			}
+		}
+		if best == "" {
+			return out
+		}
+		out += fmt.Sprintf("%s=%v,", best, m[best])
+		delete(m, best)
+	}
+}
+
+// genOps produces a deterministic random script over a small namespace of
+// paths so that collisions (EEXIST, ENOENT, EACCES...) happen frequently.
+func genOps(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	dirs := []string{"/a", "/b", "/a/x", "/a/y", "/b/z", "/a/x/deep"}
+	leaves := []string{"f1", "f2", "f3", "link", "ghost"}
+	uids := []uint32{0, 1000, 1001}
+	randPath := func() string {
+		d := dirs[rng.Intn(len(dirs))]
+		if rng.Intn(3) == 0 {
+			return d
+		}
+		p := d + "/" + leaves[rng.Intn(len(leaves))]
+		switch rng.Intn(8) {
+		case 0:
+			p += "/under" // descend through files: ENOTDIR paths
+		case 1:
+			p = d + "/../" + p[1:] // dot-dot shapes
+		case 2:
+			p = d + "/./" + leaves[rng.Intn(len(leaves))]
+		}
+		return p
+	}
+	kinds := []string{"stat", "stat", "stat", "lstat", "open", "access",
+		"readdir", "create", "mkdir", "unlink", "rmdir", "rename",
+		"chmod", "symlink", "link", "readlink"}
+	ops := make([]op, 0, n+len(dirs))
+	for _, d := range dirs {
+		ops = append(ops, op{kind: "mkdir", uid: 0, p1: d, mode: 0o755})
+	}
+	for i := 0; i < n; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		o := op{
+			kind: k,
+			uid:  uids[rng.Intn(len(uids))],
+			p1:   randPath(),
+			p2:   randPath(),
+			mode: fsapi.Mode([]int{0o755, 0o700, 0o644, 0o600, 0o000}[rng.Intn(5)]),
+		}
+		if k == "symlink" {
+			// p1 is the target (arbitrary string), p2 the link path.
+			o.p1 = dirs[rng.Intn(len(dirs))]
+		}
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func TestEquivalenceRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			base := newRig(t, "baseline", nil)
+			opt := newRig(t, "optimized", &Config{
+				Seed: 42, DeepNegatives: true, SymlinkAliases: true,
+			})
+			ops := genOps(seed, 900)
+			for i, o := range ops {
+				rb := o.apply(base)
+				ro := o.apply(opt)
+				if rb != ro {
+					t.Fatalf("op %d %+v diverged:\n baseline:  %s\n optimized: %s",
+						i, o, rb, ro)
+				}
+			}
+		})
+	}
+}
+
+func TestEquivalenceAcrossSyncEras(t *testing.T) {
+	// The three baseline synchronization eras must also agree.
+	mkRig := func(mode vfs.SyncMode) *rig {
+		k := vfs.NewKernel(vfs.Config{SyncMode: mode}, memfs.New(memfs.Options{}))
+		return &rig{k: k, root: k.NewTask(cred.Root()), tasks: map[uint32]*vfs.Task{}}
+	}
+	rigs := []*rig{mkRig(vfs.SyncRCU), mkRig(vfs.SyncBucketLock), mkRig(vfs.SyncBigLock)}
+	ops := genOps(99, 600)
+	for i, o := range ops {
+		want := o.apply(rigs[0])
+		for _, r := range rigs[1:] {
+			if got := o.apply(r); got != want {
+				t.Fatalf("op %d %+v diverged across eras: %s vs %s", i, o, want, got)
+			}
+		}
+	}
+}
+
+func TestEquivalenceWithEvictionPressure(t *testing.T) {
+	// A tiny optimized cache (constant eviction churn) must still agree
+	// with an unbounded baseline.
+	base := newRig(t, "baseline", nil)
+	k := vfs.NewKernel(vfs.Config{
+		CacheCapacity:       48,
+		DirCompleteness:     true,
+		AggressiveNegatives: true,
+	}, memfs.New(memfs.Options{}))
+	Install(k, Config{Seed: 7, DeepNegatives: true, SymlinkAliases: true})
+	opt := &rig{k: k, root: k.NewTask(cred.Root()), tasks: map[uint32]*vfs.Task{}}
+
+	ops := genOps(1234, 900)
+	for i, o := range ops {
+		rb := o.apply(base)
+		ro := o.apply(opt)
+		if rb != ro {
+			t.Fatalf("op %d %+v diverged under eviction:\n baseline:  %s\n optimized: %s",
+				i, o, rb, ro)
+		}
+	}
+}
+
+func TestEquivalenceFeatureMatrix(t *testing.T) {
+	// Each optimization individually enabled must preserve behaviour.
+	cfgs := []struct {
+		name string
+		vcfg vfs.Config
+		ccfg *Config
+	}{
+		{"dlht-only", vfs.Config{}, &Config{Seed: 1}},
+		{"deepneg", vfs.Config{}, &Config{Seed: 2, DeepNegatives: true}},
+		{"aliases", vfs.Config{}, &Config{Seed: 3, SymlinkAliases: true}},
+		{"complete", vfs.Config{DirCompleteness: true}, &Config{Seed: 4}},
+		{"aggrneg", vfs.Config{AggressiveNegatives: true}, &Config{Seed: 5}},
+		{"lexical-dotdot", vfs.Config{}, &Config{Seed: 6, LexicalDotDot: true}},
+	}
+	for _, tc := range cfgs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := newRig(t, "baseline", nil)
+			k := vfs.NewKernel(tc.vcfg, memfs.New(memfs.Options{}))
+			Install(k, *tc.ccfg)
+			opt := &rig{k: k, root: k.NewTask(cred.Root()), tasks: map[uint32]*vfs.Task{}}
+			ops := genOps(777, 700)
+			for i, o := range ops {
+				if tc.name == "lexical-dotdot" && hasDotDotThroughLink(o) {
+					continue // lexical mode intentionally differs here
+				}
+				rb := o.apply(base)
+				ro := o.apply(opt)
+				if rb != ro {
+					t.Fatalf("op %d %+v diverged:\n baseline:  %s\n optimized: %s",
+						i, o, rb, ro)
+				}
+			}
+		})
+	}
+}
+
+// hasDotDotThroughLink conservatively skips ops whose paths mix ".." with
+// symlink-prone names; Plan 9 lexical semantics legitimately differ there.
+func hasDotDotThroughLink(o op) bool {
+	return contains(o.p1, "..") || contains(o.p2, "..")
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEquivalenceErrnoDetail(t *testing.T) {
+	// Targeted error-surface agreements the random generator may miss.
+	base := newRig(t, "baseline", nil)
+	opt := newRig(t, "optimized", &Config{Seed: 11, DeepNegatives: true, SymlinkAliases: true})
+	script := []op{
+		{kind: "mkdir", p1: "/d", mode: 0o755},
+		{kind: "create", p1: "/d/f", mode: 0o644},
+		{kind: "stat", p1: "/d/f/"},  // trailing slash on file
+		{kind: "stat", p1: "/d/"},    // trailing slash on dir
+		{kind: "stat", p1: "/d/f/x"}, // ENOTDIR
+		{kind: "stat", p1: "/d/f/x"}, // (cached) ENOTDIR
+		{kind: "unlink", p1: "/d"},   // EISDIR
+		{kind: "rmdir", p1: "/d/f"},  // ENOTDIR
+		{kind: "rmdir", p1: "/d"},    // ENOTEMPTY
+		{kind: "symlink", p1: "/loopB", p2: "/loopA"},
+		{kind: "symlink", p1: "/loopA", p2: "/loopB"},
+		{kind: "stat", p1: "/loopA"}, // ELOOP
+		{kind: "stat", p1: "/loopA"}, // ELOOP again (after caching)
+		{kind: "symlink", p1: "/d", p2: "/dl"},
+		{kind: "stat", p1: "/dl/f"}, // through link
+		{kind: "stat", p1: "/dl/f"}, // cached through link
+		{kind: "lstat", p1: "/dl"},  // the link itself
+		{kind: "rename", p1: "/d/f", p2: "/d/g"},
+		{kind: "stat", p1: "/dl/f"},               // ENOENT through link after rename
+		{kind: "stat", p1: "/dl/g"},               // new name through link
+		{kind: "stat", p1: "/d/../d/g"},           // dotdot
+		{kind: "create", p1: "/d/g", mode: 0o644}, // EEXIST via O_EXCL
+		{kind: "unlink", p1: "/d/g"},
+		{kind: "stat", p1: "/d/g"},                // ENOENT after unlink
+		{kind: "create", p1: "/d/g", mode: 0o600}, // recreate over negative
+		{kind: "stat", p1: "/d/g"},
+	}
+	for i, o := range script {
+		rb := o.apply(base)
+		ro := o.apply(opt)
+		if rb != ro {
+			t.Fatalf("script op %d %+v diverged:\n baseline:  %s\n optimized: %s", i, o, rb, ro)
+		}
+	}
+}
+
+var _ = errors.Is // keep errors import if unused paths change

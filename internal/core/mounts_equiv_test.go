@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/memfs"
+	"dircache/internal/vfs"
+)
+
+// TestEquivalenceWithMounts drives a scripted mount/bind/namespace
+// scenario against baseline and optimized kernels, asserting identical
+// results at each step — extending the random-op equivalence to the §4.3
+// machinery the random generator does not cover.
+func TestEquivalenceWithMounts(t *testing.T) {
+	type rigM struct {
+		k     *vfs.Kernel
+		root  *vfs.Task
+		other *vfs.Task // private namespace task, created mid-script
+		data  fsapi.FileSystem
+	}
+	mk := func(optimized bool) *rigM {
+		k := vfs.NewKernel(vfs.Config{
+			DirCompleteness:     optimized,
+			AggressiveNegatives: optimized,
+		}, memfs.New(memfs.Options{}))
+		if optimized {
+			Install(k, Config{Seed: 77, DeepNegatives: true, SymlinkAliases: true})
+		}
+		return &rigM{k: k, root: k.NewTask(cred.Root()), data: memfs.New(memfs.Options{})}
+	}
+	rigs := []*rigM{mk(false), mk(true)}
+
+	// Each step runs on both rigs and returns a comparable string.
+	steps := []struct {
+		name string
+		f    func(r *rigM) string
+	}{
+		{"setup", func(r *rigM) string {
+			r.root.Mkdir("/mnt", 0o755)
+			r.root.Mkdir("/view", 0o755)
+			r.root.Mkdir("/srv", 0o755)
+			return "ok"
+		}},
+		{"mount", func(r *rigM) string {
+			_, err := r.root.Mount(r.data, "/mnt", 0)
+			return fmt.Sprint(fsapi.ToErrno(err))
+		}},
+		{"populate", func(r *rigM) string {
+			r.root.Mkdir("/mnt/a", 0o755)
+			err := r.root.Create("/mnt/a/f", 0o644)
+			return fmt.Sprint(fsapi.ToErrno(err))
+		}},
+		{"stat-through-mount", func(r *rigM) string {
+			ni, err := r.root.Stat("/mnt/a/f")
+			return fmt.Sprintf("%v/%v", fsapi.ToErrno(err), ni.Mode.Type())
+		}},
+		{"stat-through-mount-again", func(r *rigM) string {
+			ni, err := r.root.Stat("/mnt/a/f")
+			return fmt.Sprintf("%v/%v", fsapi.ToErrno(err), ni.Mode.Type())
+		}},
+		{"bind", func(r *rigM) string {
+			_, err := r.root.BindMount("/mnt/a", "/view", 0)
+			return fmt.Sprint(fsapi.ToErrno(err))
+		}},
+		{"stat-alias-both", func(r *rigM) string {
+			n1, e1 := r.root.Stat("/mnt/a/f")
+			n2, e2 := r.root.Stat("/view/f")
+			return fmt.Sprintf("%v/%v/same=%v", fsapi.ToErrno(e1), fsapi.ToErrno(e2), n1.ID == n2.ID)
+		}},
+		{"alias-alternate", func(r *rigM) string {
+			out := ""
+			for i := 0; i < 4; i++ {
+				p := "/mnt/a/f"
+				if i%2 == 1 {
+					p = "/view/f"
+				}
+				_, err := r.root.Stat(p)
+				out += fmt.Sprint(fsapi.ToErrno(err))
+			}
+			return out
+		}},
+		{"unshare", func(r *rigM) string {
+			r.other = r.k.NewTask(cred.Root())
+			r.other.UnshareNamespace()
+			_, err := r.other.Mount(memfs.New(memfs.Options{}), "/srv", 0)
+			if err != nil {
+				return fmt.Sprint(fsapi.ToErrno(err))
+			}
+			return fmt.Sprint(fsapi.ToErrno(r.other.Create("/srv/private", 0o600)))
+		}},
+		{"ns-privacy", func(r *rigM) string {
+			_, eRoot := r.root.Stat("/srv/private")
+			_, eOther := r.other.Stat("/srv/private")
+			return fmt.Sprintf("root=%v other=%v", fsapi.ToErrno(eRoot), fsapi.ToErrno(eOther))
+		}},
+		{"ns-privacy-warm", func(r *rigM) string {
+			_, eRoot := r.root.Stat("/srv/private")
+			_, eOther := r.other.Stat("/srv/private")
+			return fmt.Sprintf("root=%v other=%v", fsapi.ToErrno(eRoot), fsapi.ToErrno(eOther))
+		}},
+		{"rename-across-alias", func(r *rigM) string {
+			err := r.root.Rename("/view/f", "/view/g")
+			_, e1 := r.root.Stat("/mnt/a/f")
+			_, e2 := r.root.Stat("/mnt/a/g")
+			return fmt.Sprintf("%v/%v/%v", fsapi.ToErrno(err), fsapi.ToErrno(e1), fsapi.ToErrno(e2))
+		}},
+		{"umount-bind", func(r *rigM) string {
+			err := r.root.Unmount("/view")
+			_, e2 := r.root.Stat("/view/g")
+			return fmt.Sprintf("%v/%v", fsapi.ToErrno(err), fsapi.ToErrno(e2))
+		}},
+		{"umount-main", func(r *rigM) string {
+			err := r.root.Unmount("/mnt")
+			_, e2 := r.root.Stat("/mnt/a")
+			return fmt.Sprintf("%v/%v", fsapi.ToErrno(err), fsapi.ToErrno(e2))
+		}},
+		{"remount", func(r *rigM) string {
+			_, err := r.root.Mount(r.data, "/mnt", 0)
+			_, e2 := r.root.Stat("/mnt/a/g")
+			return fmt.Sprintf("%v/%v", fsapi.ToErrno(err), fsapi.ToErrno(e2))
+		}},
+	}
+
+	for _, step := range steps {
+		base := step.f(rigs[0])
+		opt := step.f(rigs[1])
+		if base != opt {
+			t.Fatalf("step %q diverged:\n baseline:  %s\n optimized: %s", step.name, base, opt)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"dircache/internal/fsapi"
+	"dircache/internal/sig"
+	"dircache/internal/vfs"
+)
+
+// EndSlowLookup implements vfs.Hooks: after a successful slow walk, hash
+// the requested path's canonical lexical form and populate the DLHT with
+// the lexical dentry and the PCC with the result's passed prefix check
+// (§3.1: the DLHT and PCC are lazily populated by slowpath lookups).
+func (c *Core) EndSlowLookup(token uint64, t *vfs.Task, start vfs.PathRef, path string, lexical, res vfs.PathRef) {
+	if !c.tokenValid(token) {
+		c.stats.staleTokens.Add(1)
+		return
+	}
+	if lexical.D == nil || res.D == nil || lexical.D.IsDead() || res.D.IsDead() {
+		return
+	}
+	ns := t.Namespace()
+	dl := c.dlhtFor(ns)
+	pcc := c.pccFor(t.Cred())
+	if !c.startTrusted(t, start, pcc) {
+		return
+	}
+
+	// For a path with no "." or ".." components the canonical lexical
+	// hash equals the dentry's own canonical-path state (the start's
+	// state is canonical, and mount crossings fold identically), so the
+	// signature comes from the cached parent chain in O(1) instead of
+	// re-scanning the path. The shortcut is only sound while no path
+	// aliases exist (bind mounts / cloned namespaces give dentries
+	// multiple canonical paths; the §4.3 most-recent-wins re-signing
+	// then requires hashing the request's own view).
+	var st sig.State
+	var ok bool
+	if hasDotComponents(path) || c.k.AliasingEpoch() != 0 {
+		st, ok = c.lexicalHash(t, ns, dl, pcc, start, path)
+	} else {
+		st, ok = c.ensureState(lexical)
+	}
+	if !ok {
+		return
+	}
+
+	c.publish(dl, lexical, st)
+	pcc.Insert(lexical.D.ID(), dentrySeq(lexical.D))
+
+	if res.D != lexical.D {
+		// A symlink (or alias chain) was followed: cache the redirect,
+		// pinned to the target's version, and memoize the target's
+		// prefix check too (§4.2: "The PCC is separately checked for the
+		// target dentry").
+		if fd := fast(lexical.D); fd != nil && lexical.D.IsSymlink() {
+			fd.targetSeq.Store(dentrySeq(res.D))
+			fd.target.Store(res.D)
+		}
+		// Make sure the result's own canonical state exists so its
+		// children can be hashed (e.g. a later lookup under a resolved
+		// directory symlink target).
+		c.ensureState(res)
+		pcc.Insert(res.D.ID(), dentrySeq(res.D))
+	}
+}
+
+// hasDotComponents reports whether path contains a "." or ".." component.
+func hasDotComponents(path string) bool {
+	for i := 0; i < len(path); i++ {
+		if path[i] != '.' {
+			continue
+		}
+		// A dot starts a component iff at the path start or after '/'.
+		if i != 0 && path[i-1] != '/' {
+			continue
+		}
+		j := i + 1
+		if j < len(path) && path[j] == '.' {
+			j++
+		}
+		if j == len(path) || path[j] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// lexicalHash canonicalizes path lexically from start's state, returning
+// the final signature state. Along the way it opportunistically publishes
+// the directories ".." pops out of (they were just verified by the slow
+// walk, and the Linux-mode fastpath will need them, §4.2).
+func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, start vfs.PathRef, path string) (sig.State, bool) {
+	st, ok := c.ensureState(start)
+	if !ok {
+		return sig.State{}, false
+	}
+	// Fixed-size stacks keep population allocation-free for ordinary
+	// paths; deeper ones fall back to heap growth.
+	var stackArr [24]sig.State
+	var dstackArr [24]vfs.PathRef
+	stack := stackArr[:0]
+	dstack := dstackArr[:0]
+	base := start
+	cursor := start // best-effort dentry cursor tracking the lexical path
+
+	for rem := path; ; {
+		var comp string
+		comp, rem = nextComp(rem)
+		if comp == "" {
+			break
+		}
+		if len(comp) > 255 {
+			return sig.State{}, false
+		}
+		switch comp {
+		case ".":
+			continue
+		case "..":
+			// Publish the directory being exited so the fastpath's
+			// per-dot-dot check can hit (cursor permitting).
+			if cursor.D != nil && !cursor.D.IsDead() && cursor.D.Inode() != nil &&
+				cursor.D.IsDir() && len(stack) > 0 {
+				c.publish(dl, cursor, st)
+				pcc.Insert(cursor.D.ID(), dentrySeq(cursor.D))
+			}
+			if len(stack) > 0 {
+				st = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				cursor = dstack[len(dstack)-1]
+				dstack = dstack[:len(dstack)-1]
+			} else {
+				base = parentRef(t, base)
+				var ok2 bool
+				st, ok2 = c.ensureState(base)
+				if !ok2 {
+					return sig.State{}, false
+				}
+				cursor = base
+			}
+		default:
+			if !st.Fits(len(comp) + 1) {
+				return sig.State{}, false
+			}
+			stack = append(stack, st)
+			dstack = append(dstack, cursor)
+			st = st.AppendString("/").AppendString(comp)
+			cursor = c.advanceCursor(ns, cursor, comp)
+		}
+	}
+	return st, true
+}
+
+// advanceCursor moves the best-effort lexical dentry cursor one component,
+// crossing mounts like the walk does. A nil-dentry cursor stays nil.
+func (c *Core) advanceCursor(ns *vfs.Namespace, cur vfs.PathRef, comp string) vfs.PathRef {
+	if cur.D == nil {
+		return vfs.PathRef{}
+	}
+	d := cur.D.Child(comp)
+	if d == nil || d.IsDead() {
+		return vfs.PathRef{}
+	}
+	ref := vfs.PathRef{Mnt: cur.Mnt, D: d}
+	for ref.D.Flags()&vfs.DMounted != 0 && ref.Mnt != nil {
+		m := ns.MountAt(ref.Mnt, ref.D)
+		if m == nil {
+			break
+		}
+		ref = vfs.PathRef{Mnt: m, D: m.Root()}
+	}
+	return ref
+}
+
+// EndSlowNegative implements vfs.Hooks: publish the negative dentry that
+// anchored an ENOENT, and — with DeepNegatives — grow a chain of deep
+// negative dentries for the missing components (§5.2).
+func (c *Core) EndSlowNegative(token uint64, t *vfs.Task, start vfs.PathRef, path string, f *vfs.WalkFailure) {
+	if !c.tokenValid(token) {
+		c.stats.staleTokens.Add(1)
+		return
+	}
+	if f.Anchor.D == nil || f.Anchor.D.IsDead() {
+		return
+	}
+	ns := t.Namespace()
+	dl := c.dlhtFor(ns)
+	pcc := c.pccFor(t.Cred())
+	if !c.startTrusted(t, start, pcc) {
+		return
+	}
+
+	anchorSt, ok := c.ensureState(f.Anchor)
+	if !ok {
+		return
+	}
+	if f.Anchor.D.IsNegative() {
+		c.publish(dl, f.Anchor, anchorSt)
+		pcc.Insert(f.Anchor.D.ID(), dentrySeq(f.Anchor.D))
+	}
+	if !c.cfg.DeepNegatives || len(f.Missing) == 0 {
+		return
+	}
+	notDir := f.Errno == fsapi.ENOTDIR
+	cur := f.Anchor.D
+	st := anchorSt
+	for _, name := range f.Missing {
+		if !st.Fits(len(name)+1) || len(name) > 255 {
+			return
+		}
+		child := c.k.AddSpecialNegative(cur, name, notDir)
+		if child == nil {
+			return
+		}
+		st = st.AppendString("/").AppendString(name)
+		c.publish(dl, vfs.PathRef{Mnt: f.Anchor.Mnt, D: child}, st)
+		pcc.Insert(child.ID(), dentrySeq(child))
+		c.stats.deepNegCreated.Add(1)
+		cur = child
+	}
+}
+
+// AliasStep implements vfs.Hooks: create (or refresh) the §4.2 alias
+// dentry for one post-symlink component and publish it in the DLHT so the
+// whole-path fastpath can hit paths that traverse symlinks.
+func (c *Core) AliasStep(t *vfs.Task, aliasParent vfs.PathRef, name string, real vfs.PathRef) *vfs.Dentry {
+	if !c.cfg.SymlinkAliases {
+		return nil
+	}
+	if aliasParent.D == nil || real.D == nil || real.D.IsDead() {
+		return nil
+	}
+	pst, ok := c.ensureState(aliasParent)
+	if !ok {
+		return nil
+	}
+	if !pst.Fits(len(name)+1) || len(name) > 255 {
+		return nil
+	}
+	alias := c.k.AddAlias(aliasParent.D, name, real.D)
+	if alias == nil {
+		return nil
+	}
+	if alias.Flags()&vfs.DAlias == 0 {
+		// A real dentry already occupies the name under this parent
+		// (possible for odd shapes); don't alias.
+		return nil
+	}
+	if fd := fast(alias); fd != nil {
+		fd.targetSeq.Store(dentrySeq(real.D))
+	}
+	st := pst.AppendString("/").AppendString(name)
+	c.publish(c.dlhtFor(t.Namespace()), vfs.PathRef{Mnt: aliasParent.Mnt, D: alias}, st)
+	// Deliberately no PCC insert here: the alias's fastpath hit checks
+	// the target's PCC entry, which EndSlowLookup inserts under the
+	// directory-reference guard (§3.2) — inserting mid-walk could launder
+	// a cwd-relative authorization into an absolute one.
+	c.stats.aliasCreated.Add(1)
+	return alias
+}
+
+// startTrusted implements §3.2's directory-reference rule for population:
+// results of a walk started at a directory reference (cwd, dirfd) may only
+// be cached if that directory is itself still reachable by an absolute
+// prefix check — otherwise the walk's success rests on the held reference
+// and must not leak into the credential-wide caches. The task root is
+// always trusted. When the memoized check has been evicted, the prefix is
+// re-verified live (an O(depth) chain of search-permission checks — a
+// prefix check by definition) and re-memoized, so population never starves
+// under PCC capacity pressure.
+func (c *Core) startTrusted(t *vfs.Task, start vfs.PathRef, pcc *PCC) bool {
+	root := t.Root()
+	if start.D == root.D && start.Mnt == root.Mnt {
+		return true
+	}
+	if pcc.Lookup(start.D.ID(), dentrySeq(start.D)) {
+		return true
+	}
+	if !c.verifyPrefix(t, start) {
+		return false
+	}
+	pcc.Insert(start.D.ID(), dentrySeq(start.D))
+	return true
+}
+
+// verifyPrefix checks search permission on every ancestor of ref up to the
+// task root (climbing mounts), i.e. performs an absolute prefix check
+// against current metadata.
+func (c *Core) verifyPrefix(t *vfs.Task, ref vfs.PathRef) bool {
+	cred := t.Cred()
+	root := t.Root()
+	for depth := 0; depth < 512; depth++ {
+		if ref.D == root.D && ref.Mnt == root.Mnt {
+			return true
+		}
+		up := parentRef(t, ref)
+		if up == ref {
+			return true // reached a detached or namespace root
+		}
+		ino := up.D.Inode()
+		if ino == nil || up.D.IsDead() {
+			return false
+		}
+		if c.k.CheckExec(cred, up.Mnt, ino) != nil {
+			return false
+		}
+		ref = up
+	}
+	return false
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"time"
+
+	"dircache/internal/fsapi"
+	"dircache/internal/sig"
+	"dircache/internal/vfs"
+)
+
+// nextComp splits the leading path component from s, skipping slashes.
+func nextComp(s string) (comp, rest string) {
+	i := 0
+	for i < len(s) && s[i] == '/' {
+		i++
+	}
+	j := i
+	for j < len(s) && s[j] != '/' {
+		j++
+	}
+	return s[i:j], s[j:]
+}
+
+// parentRef steps one directory up from ref with mount climbing and the
+// task-root (chroot) barrier, mirroring the slow walk's dot-dot rule.
+func parentRef(t *vfs.Task, ref vfs.PathRef) vfs.PathRef {
+	root := t.Root()
+	for {
+		if ref.D == root.D && ref.Mnt == root.Mnt {
+			return ref
+		}
+		if ref.D != ref.Mnt.Root() {
+			if p := ref.D.Parent(); p != nil {
+				return vfs.PathRef{Mnt: ref.Mnt, D: p}
+			}
+			return ref
+		}
+		if ref.Mnt.ParentMount() == nil {
+			return ref
+		}
+		ref = vfs.PathRef{Mnt: ref.Mnt.ParentMount(), D: ref.Mnt.Mountpoint()}
+	}
+}
+
+// TryFast implements vfs.Hooks: the §3.1 fastpath. It canonicalizes and
+// hashes the whole path in one pass (resuming from the start dentry's
+// stored state), performs a single DLHT probe, and authorizes the result
+// with one PCC probe — constant hash-table work regardless of path depth.
+// Any uncertainty returns handled=false, falling back to the slow walk.
+func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkFlags) (vfs.PathRef, error, bool) {
+	k := c.k
+
+	tracing := k.PhaseTraceOn()
+	var ph vfs.PhaseTimes
+	var t0 time.Time
+	if tracing {
+		t0 = time.Now()
+	}
+
+	ns := t.Namespace()
+	dl := c.dlhtFor(ns)
+	pcc := c.pccFor(t.Cred())
+
+	st, ok := c.ensureState(start)
+	if !ok {
+		return vfs.PathRef{}, nil, false
+	}
+	if tracing {
+		ph.Init = time.Since(t0)
+		t0 = time.Now()
+	}
+
+	// Lexical scan: maintain a state stack for ".." pops and a base
+	// cursor for pops that climb above the walk's own components. The
+	// stack lives in a fixed array so the hot path never allocates.
+	var stackArr [24]sig.State
+	stack := stackArr[:0]
+	base := start
+	atBase := true // st currently equals base's state
+	mustDir := fl&vfs.WalkDirectory != 0
+	rem := path
+	sawTrailingSlash := false
+
+	for {
+		var comp string
+		comp, rem = nextComp(rem)
+		if comp == "" {
+			break
+		}
+		if len(comp) > 255 {
+			return vfs.PathRef{}, nil, false
+		}
+		sawTrailingSlash = len(rem) > 0
+		switch comp {
+		case ".":
+			// Linux evaluates search permission on the directory for a
+			// "." component too; a lexical skip must preserve that (it
+			// is observable when "." is the path's last effective step).
+			if !c.checkPrefixDir(t, dl, pcc, base, atBase, st) {
+				return vfs.PathRef{}, nil, false
+			}
+			continue
+		case "..":
+			if !c.cfg.LexicalDotDot {
+				// Linux semantics (§4.2): verify search permission on
+				// the directory being exited with an extra fastpath
+				// lookup.
+				c.stats.dotDotChecks.Add(1)
+				if !c.checkPrefixDir(t, dl, pcc, base, atBase, st) {
+					return vfs.PathRef{}, nil, false
+				}
+			}
+			if len(stack) > 0 {
+				st = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				atBase = len(stack) == 0
+			} else {
+				base = parentRef(t, base)
+				var ok2 bool
+				st, ok2 = c.ensureState(base)
+				if !ok2 {
+					return vfs.PathRef{}, nil, false
+				}
+				atBase = true
+			}
+		default:
+			if !st.Fits(len(comp)+1) || len(stack) == cap(stack) {
+				return vfs.PathRef{}, nil, false
+			}
+			stack = append(stack, st)
+			st = st.AppendByte('/').AppendString(comp)
+			atBase = false
+		}
+	}
+	if sawTrailingSlash {
+		mustDir = true
+	}
+	if tracing {
+		ph.ScanHash = time.Since(t0)
+		t0 = time.Now()
+	}
+
+	if atBase && len(stack) == 0 {
+		// The path resolved to the start directory itself ("." etc.):
+		// the task already holds a reference to it.
+		if base.D.IsDead() || base.D.Inode() == nil {
+			return vfs.PathRef{}, nil, false
+		}
+		if mustDir && !base.D.IsDir() {
+			return vfs.PathRef{}, fsapi.ENOTDIR, true
+		}
+		k.AddFastHit(false)
+		return base, nil, true
+	}
+
+	idx, sg := st.Sum()
+	d := dl.Lookup(idx, sg)
+	if tracing {
+		ph.HashLookup = time.Since(t0)
+		t0 = time.Now()
+	}
+	if d == nil {
+		c.stats.dlhtMiss.Add(1)
+		return vfs.PathRef{}, nil, false
+	}
+
+	// Alias dentries redirect to the real dentry; the redirect is pinned
+	// to the target's version (a structural change to the target bumps
+	// its seq and stales the alias). The alias's own prefix check covers
+	// the requested path's parents; the target is checked separately
+	// below (§4.2).
+	if d.Flags()&vfs.DAlias != 0 {
+		fd := fast(d)
+		real := d.Target()
+		if fd == nil || real == nil || real.IsDead() ||
+			fd.targetSeq.Load() != dentrySeq(real) {
+			return vfs.PathRef{}, nil, false
+		}
+		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
+			c.stats.pccMiss.Add(1)
+			return vfs.PathRef{}, nil, false
+		}
+		d = real
+	}
+
+	// Negative dentries answer ENOENT/ENOTDIR — but only for credentials
+	// whose prefix check to them is memoized (nonexistence is information
+	// too).
+	if d.IsNegative() {
+		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
+			c.stats.pccMiss.Add(1)
+			return vfs.PathRef{}, nil, false
+		}
+		errno := fsapi.ENOENT
+		if d.Flags()&vfs.DNotDir != 0 {
+			errno = fsapi.ENOTDIR
+		}
+		k.AddFastHit(true)
+		return vfs.PathRef{}, errno, true
+	}
+
+	// Unhydrated dentries (readdir stubs) need an FS call; that belongs
+	// to the slow path.
+	if d.Flags()&vfs.DUnhydrated != 0 {
+		return vfs.PathRef{}, nil, false
+	}
+
+	// Final symlink: follow through the cached resolution (§4.2), unless
+	// the caller asked for the link itself.
+	if d.IsSymlink() && (fl&vfs.WalkNoFollow == 0 || mustDir) {
+		for depth := 0; ; depth++ {
+			if depth > 8 {
+				return vfs.PathRef{}, nil, false
+			}
+			fd := fast(d)
+			if fd == nil {
+				return vfs.PathRef{}, nil, false
+			}
+			// The link's own prefix check (covering the requested
+			// path's parents) must be memoized; the target is checked
+			// separately after the loop (§4.2).
+			if !pcc.Lookup(d.ID(), fd.seq.Load()) {
+				c.stats.pccMiss.Add(1)
+				return vfs.PathRef{}, nil, false
+			}
+			tgt := fd.target.Load()
+			if tgt == nil || tgt.IsDead() || fd.targetSeq.Load() != dentrySeq(tgt) {
+				return vfs.PathRef{}, nil, false
+			}
+			d = tgt
+			if !d.IsSymlink() {
+				break
+			}
+		}
+		if d.IsNegative() || d.Flags()&vfs.DUnhydrated != 0 {
+			return vfs.PathRef{}, nil, false
+		}
+	}
+
+	fd := fast(d)
+	if fd == nil {
+		return vfs.PathRef{}, nil, false
+	}
+	seq := fd.seq.Load()
+	hit := pcc.Lookup(d.ID(), seq)
+	if tracing {
+		ph.PermCheck = time.Since(t0)
+		t0 = time.Now()
+	}
+	if !hit || c.cfg.ForcePCCMiss {
+		c.stats.pccMiss.Add(1)
+		return vfs.PathRef{}, nil, false
+	}
+	mnt := fd.mntP.Load()
+	if mnt == nil || d.IsDead() || d.Super().Caps().Revalidate {
+		return vfs.PathRef{}, nil, false
+	}
+	if mustDir && !d.IsDir() {
+		k.AddFastHit(false)
+		return vfs.PathRef{}, fsapi.ENOTDIR, true
+	}
+	k.AddFastHit(false)
+	if tracing {
+		ph.Finalize = time.Since(t0)
+		k.RecordPhases(ph)
+	}
+	return vfs.PathRef{Mnt: mnt, D: d}, nil, true
+}
+
+// checkPrefixDir resolves the current lexical prefix (the base directory
+// when atBase, otherwise via DLHT+PCC) and verifies search permission on
+// it — the extra per-dot fastpath lookup of §4.2. Returns false to force
+// the slow walk (which produces the authoritative result).
+func (c *Core) checkPrefixDir(t *vfs.Task, dl *DLHT, pcc *PCC, base vfs.PathRef, atBase bool, st sig.State) bool {
+	var d *vfs.Dentry
+	if atBase {
+		d = base.D // cwd/root chain: referenced directories
+	} else {
+		idx, sg := st.Sum()
+		d = dl.Lookup(idx, sg)
+		if d == nil {
+			c.stats.dlhtMiss.Add(1)
+			return false
+		}
+		if d.Flags()&vfs.DAlias != 0 {
+			real := d.Target()
+			if real == nil || real.IsDead() {
+				return false
+			}
+			d = real
+		}
+		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
+			c.stats.pccMiss.Add(1)
+			return false
+		}
+	}
+	ino := d.Inode()
+	if ino == nil {
+		return false
+	}
+	return c.k.CheckExec(t.Cred(), mntOf(d, base.Mnt), ino) == nil
+}
+
+// mntOf returns the dentry's recorded mount, falling back to hint.
+func mntOf(d *vfs.Dentry, hint *vfs.Mount) *vfs.Mount {
+	if fd := fast(d); fd != nil {
+		if m := fd.mntP.Load(); m != nil {
+			return m
+		}
+	}
+	return hint
+}

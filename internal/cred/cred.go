@@ -1,0 +1,170 @@
+// Package cred implements process credentials with the copy-on-write
+// discipline of Linux's struct cred (§4.1 of the paper). Credentials are
+// immutable once committed; modifying code prepares a copy, mutates it, and
+// commits it. Commit deduplicates: if the prepared copy turns out equal to
+// the original, the original (and its attached prefix-check cache) is
+// reused — the paper's fix for Linux "liberally allocating new creds" in
+// exec even when nothing changed.
+package cred
+
+import (
+	"sync/atomic"
+)
+
+var nextID atomic.Uint64
+
+// Cred is an immutable credential set. The zero value is not valid; use New
+// or Prepare. The Security field is an opaque label consumed by LSM
+// modules (the analogue of the cred's security blob).
+type Cred struct {
+	id uint64
+
+	UID    uint32
+	GID    uint32
+	Groups []uint32 // supplementary groups, sorted
+	// Security is the LSM label of the subject (e.g. an SELinux-ish
+	// domain or an AppArmor-ish profile name). Empty means unconfined.
+	Security string
+
+	committed bool
+
+	// cache holds the per-credential prefix check cache, attached lazily
+	// by the optimized directory cache. Stored as any to keep this
+	// package free of cache dependencies.
+	cache atomic.Value
+}
+
+// New returns a committed credential.
+func New(uid, gid uint32, groups []uint32, security string) *Cred {
+	c := &Cred{
+		UID:      uid,
+		GID:      gid,
+		Groups:   normalizeGroups(groups),
+		Security: security,
+	}
+	c.commit()
+	return c
+}
+
+// Root returns a committed uid 0 credential.
+func Root() *Cred { return New(0, 0, nil, "") }
+
+func (c *Cred) commit() {
+	c.id = nextID.Add(1)
+	c.committed = true
+}
+
+// ID returns the unique identity of this committed credential.
+func (c *Cred) ID() uint64 { return c.id }
+
+// Committed reports whether the credential has been committed (is live on
+// some task) versus still being prepared.
+func (c *Cred) Committed() bool { return c.committed }
+
+// Prepare returns a mutable copy of c, mirroring prepare_creds(). The copy
+// has no identity and no attached cache until committed.
+func (c *Cred) Prepare() *Cred {
+	n := &Cred{
+		UID:      c.UID,
+		GID:      c.GID,
+		Groups:   append([]uint32(nil), c.Groups...),
+		Security: c.Security,
+	}
+	return n
+}
+
+// Commit finalizes prepared as the successor of old, mirroring
+// commit_creds() with the paper's dedup: if nothing changed, old is
+// returned (sharing its PCC); otherwise prepared becomes a fresh committed
+// credential with an empty cache.
+func Commit(old, prepared *Cred) *Cred {
+	if prepared.committed {
+		return prepared // already live (e.g. explicit reuse)
+	}
+	if old != nil && old.EqualValues(prepared) {
+		return old
+	}
+	prepared.Groups = normalizeGroups(prepared.Groups)
+	prepared.commit()
+	return prepared
+}
+
+// EqualValues reports whether two credentials have identical contents
+// (ignoring identity and cache).
+func (c *Cred) EqualValues(o *Cred) bool {
+	if c.UID != o.UID || c.GID != o.GID || c.Security != o.Security {
+		return false
+	}
+	a, b := normalizeGroups(c.Groups), normalizeGroups(o.Groups)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InGroup reports whether gid is the credential's primary or a
+// supplementary group.
+func (c *Cred) InGroup(gid uint32) bool {
+	if c.GID == gid {
+		return true
+	}
+	// Groups is sorted; binary search.
+	lo, hi := 0, len(c.Groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.Groups[mid] == gid:
+			return true
+		case c.Groups[mid] < gid:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// IsRoot reports uid 0.
+func (c *Cred) IsRoot() bool { return c.UID == 0 }
+
+// CacheLoad returns the attached prefix-check cache, if any.
+func (c *Cred) CacheLoad() any { return c.cache.Load() }
+
+// CacheStoreIfAbsent attaches v as the credential's cache if none is
+// attached yet, returning the cache that is attached after the call.
+func (c *Cred) CacheStoreIfAbsent(v any) any {
+	if cur := c.cache.Load(); cur != nil {
+		return cur
+	}
+	// A benign race: two concurrent attachments; CompareAndSwap keeps one.
+	if c.cache.CompareAndSwap(nil, v) {
+		return v
+	}
+	return c.cache.Load()
+}
+
+func normalizeGroups(g []uint32) []uint32 {
+	if len(g) == 0 {
+		return nil
+	}
+	out := append([]uint32(nil), g...)
+	// insertion sort + dedup; group lists are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,92 @@
+package cred
+
+import "testing"
+
+func TestCommitDedup(t *testing.T) {
+	old := New(1000, 1000, []uint32{4, 24}, "")
+	p := old.Prepare()
+	// No changes: commit must return the original, preserving its cache.
+	old.CacheStoreIfAbsent("the-pcc")
+	got := Commit(old, p)
+	if got != old {
+		t.Fatal("unchanged prepare/commit allocated a new credential")
+	}
+	if got.CacheLoad() != "the-pcc" {
+		t.Fatal("cache lost across no-op commit")
+	}
+}
+
+func TestCommitChange(t *testing.T) {
+	old := New(1000, 1000, nil, "")
+	p := old.Prepare()
+	p.UID = 0 // setuid
+	got := Commit(old, p)
+	if got == old {
+		t.Fatal("changed credential deduped to the original")
+	}
+	if !got.Committed() || got.ID() == old.ID() {
+		t.Fatalf("bad commit: committed=%v id=%d oldid=%d", got.Committed(), got.ID(), old.ID())
+	}
+	if got.CacheLoad() != nil {
+		t.Fatal("new credential inherited a cache")
+	}
+}
+
+func TestGroupsNormalization(t *testing.T) {
+	c := New(1, 1, []uint32{9, 3, 9, 1}, "")
+	want := []uint32{1, 3, 9}
+	if len(c.Groups) != len(want) {
+		t.Fatalf("groups %v", c.Groups)
+	}
+	for i, g := range want {
+		if c.Groups[i] != g {
+			t.Fatalf("groups %v, want %v", c.Groups, want)
+		}
+	}
+}
+
+func TestInGroup(t *testing.T) {
+	c := New(1, 100, []uint32{5, 10, 200}, "")
+	for _, g := range []uint32{100, 5, 10, 200} {
+		if !c.InGroup(g) {
+			t.Fatalf("InGroup(%d) = false", g)
+		}
+	}
+	for _, g := range []uint32{0, 6, 199, 201} {
+		if c.InGroup(g) {
+			t.Fatalf("InGroup(%d) = true", g)
+		}
+	}
+}
+
+func TestEqualValuesIgnoresOrder(t *testing.T) {
+	a := New(1, 2, []uint32{7, 3}, "label")
+	b := a.Prepare()
+	b.Groups = []uint32{3, 7}
+	if !a.EqualValues(b) {
+		t.Fatal("group order broke equality")
+	}
+	b.Security = "other"
+	if a.EqualValues(b) {
+		t.Fatal("security label ignored in equality")
+	}
+}
+
+func TestCacheAttachRace(t *testing.T) {
+	c := New(1, 1, nil, "")
+	got1 := c.CacheStoreIfAbsent("first")
+	got2 := c.CacheStoreIfAbsent("second")
+	if got1 != "first" || got2 != "first" {
+		t.Fatalf("attach semantics broken: %v %v", got1, got2)
+	}
+}
+
+func TestIdentityUnique(t *testing.T) {
+	a, b := Root(), Root()
+	if a.ID() == b.ID() {
+		t.Fatal("two credentials share an ID")
+	}
+	if !a.IsRoot() {
+		t.Fatal("root is not root")
+	}
+}

@@ -1,0 +1,262 @@
+package diskfs
+
+import (
+	"dircache/internal/fsapi"
+)
+
+// bitmap operations work directly on cached bitmap blocks. Callers hold
+// fs.mu for writing.
+
+// allocBit scans the bitmap spanning [start, start+nblocks) blocks for a
+// clear bit below limit, sets it, and returns its index. Returns ENOSPC
+// when full. hint is a rotating start position to avoid quadratic scans.
+func (fs *FS) allocBit(start, nblocks, limit uint64, hint *uint64) (uint64, error) {
+	bs := uint64(fs.sb.BlockSize)
+	bitsPerBlock := bs * 8
+	total := nblocks * bitsPerBlock
+	if total > limit {
+		total = limit
+	}
+	for scanned := uint64(0); scanned < total; {
+		idx := (*hint + scanned) % total
+		blk := idx / bitsPerBlock
+		found := ^uint64(0)
+		err := fs.bc.Update(int64(start+blk), func(data []byte) {
+			// Scan this block from idx's byte onward.
+			first := (idx % bitsPerBlock) / 8
+			for i := uint64(0); i < bs; i++ {
+				byteIdx := (first + i) % bs
+				b := data[byteIdx]
+				if b == 0xff {
+					continue
+				}
+				for bit := uint64(0); bit < 8; bit++ {
+					if b&(1<<bit) == 0 {
+						cand := blk*bitsPerBlock + byteIdx*8 + bit
+						if cand >= total {
+							continue
+						}
+						data[byteIdx] = b | (1 << bit)
+						found = cand
+						return
+					}
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		if found != ^uint64(0) {
+			*hint = found + 1
+			return found, nil
+		}
+		// Advance to the next bitmap block boundary.
+		scanned += bitsPerBlock - (idx % bitsPerBlock)
+	}
+	return 0, fsapi.ENOSPC
+}
+
+// freeBit clears bit idx in the bitmap starting at block start.
+func (fs *FS) freeBit(start, idx uint64) error {
+	bs := uint64(fs.sb.BlockSize)
+	bitsPerBlock := bs * 8
+	blk := idx / bitsPerBlock
+	off := idx % bitsPerBlock
+	return fs.bc.Update(int64(start+blk), func(data []byte) {
+		data[off/8] &^= 1 << (off % 8)
+	})
+}
+
+// allocBlock allocates a data block, zeroes it, and returns its absolute
+// block number.
+func (fs *FS) allocBlock() (uint64, error) {
+	if fs.sb.FreeBlocks == 0 {
+		return 0, fsapi.ENOSPC
+	}
+	dataBlocks := fs.sb.Blocks - fs.sb.DataStart
+	idx, err := fs.allocBit(fs.sb.BlockBitmapStart, fs.sb.BlockBitmapBlocks, dataBlocks, &fs.blockHint)
+	if err != nil {
+		return 0, err
+	}
+	abs := fs.sb.DataStart + idx
+	zero := make([]byte, fs.sb.BlockSize)
+	if err := fs.bc.Write(int64(abs), zero); err != nil {
+		return 0, err
+	}
+	fs.sb.FreeBlocks--
+	fs.sbDirty = true
+	return abs, nil
+}
+
+// freeBlock releases an absolute data block number.
+func (fs *FS) freeBlock(abs uint64) error {
+	if abs < fs.sb.DataStart || abs >= fs.sb.Blocks {
+		return fsapi.EIO
+	}
+	if err := fs.freeBit(fs.sb.BlockBitmapStart, abs-fs.sb.DataStart); err != nil {
+		return err
+	}
+	fs.sb.FreeBlocks++
+	fs.sbDirty = true
+	return nil
+}
+
+// allocInode allocates an inode number (1-based; bit 0 is reserved so that
+// ino 0 can mean "free dirent").
+func (fs *FS) allocInode() (uint64, error) {
+	if fs.sb.FreeInodes == 0 {
+		return 0, fsapi.ENOSPC
+	}
+	idx, err := fs.allocBit(fs.sb.InodeBitmapStart, fs.sb.InodeBitmapBlocks, fs.sb.Inodes, &fs.inodeHint)
+	if err != nil {
+		return 0, err
+	}
+	fs.sb.FreeInodes--
+	fs.sbDirty = true
+	return idx, nil // bit 0 pre-marked at mkfs, so idx >= 1
+}
+
+// freeInode releases an inode number.
+func (fs *FS) freeInode(ino uint64) error {
+	if ino == 0 || ino >= fs.sb.Inodes {
+		return fsapi.EIO
+	}
+	if err := fs.freeBit(fs.sb.InodeBitmapStart, ino); err != nil {
+		return err
+	}
+	fs.sb.FreeInodes++
+	fs.sbDirty = true
+	return nil
+}
+
+// inodeLoc returns the block and byte offset holding inode ino.
+func (fs *FS) inodeLoc(ino uint64) (int64, int) {
+	perBlock := uint64(fs.sb.BlockSize) / InodeSize
+	return int64(fs.sb.InodeTableStart + ino/perBlock), int(ino % perBlock * InodeSize)
+}
+
+// readInode loads inode ino from the inode table.
+func (fs *FS) readInode(ino uint64) (dinode, error) {
+	if ino == 0 || ino >= fs.sb.Inodes {
+		return dinode{}, fsapi.ESTALE
+	}
+	blk, off := fs.inodeLoc(ino)
+	var di dinode
+	err := fs.bc.View(blk, func(data []byte) {
+		di.decode(data[off : off+InodeSize])
+	})
+	return di, err
+}
+
+// writeInode stores inode ino into the inode table.
+func (fs *FS) writeInode(ino uint64, di *dinode) error {
+	blk, off := fs.inodeLoc(ino)
+	return fs.bc.Update(blk, func(data []byte) {
+		di.encode(data[off : off+InodeSize])
+	})
+}
+
+// blockOfFile returns the absolute block number holding logical block n of
+// the file described by di, or 0 if it is a hole. If alloc is true, holes
+// are filled (di is updated; caller must write it back).
+func (fs *FS) blockOfFile(di *dinode, n uint64, alloc bool) (uint64, error) {
+	if n < NDirect {
+		if di.Direct[n] == 0 && alloc {
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			di.Direct[n] = b
+		}
+		return di.Direct[n], nil
+	}
+	n -= NDirect
+	ptrsPerBlock := uint64(fs.sb.BlockSize) / 8
+	if n >= ptrsPerBlock {
+		return 0, fsapi.EFBIG
+	}
+	if di.Indirect == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		di.Indirect = b
+	}
+	var ptr uint64
+	err := fs.bc.View(int64(di.Indirect), func(data []byte) {
+		ptr = le64(data[n*8:])
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ptr == 0 && alloc {
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		ptr = b
+		if err := fs.bc.Update(int64(di.Indirect), func(data []byte) {
+			putLE64(data[n*8:], b)
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return ptr, nil
+}
+
+// truncateInode frees all data blocks of di (used on final unlink and for
+// shrinking truncates down to zero).
+func (fs *FS) truncateInode(di *dinode) error {
+	for i := 0; i < NDirect; i++ {
+		if di.Direct[i] != 0 {
+			if err := fs.freeBlock(di.Direct[i]); err != nil {
+				return err
+			}
+			di.Direct[i] = 0
+		}
+	}
+	if di.Indirect != 0 {
+		ptrsPerBlock := uint64(fs.sb.BlockSize) / 8
+		var ptrs []uint64
+		err := fs.bc.View(int64(di.Indirect), func(data []byte) {
+			for i := uint64(0); i < ptrsPerBlock; i++ {
+				if p := le64(data[i*8:]); p != 0 {
+					ptrs = append(ptrs, p)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range ptrs {
+			if err := fs.freeBlock(p); err != nil {
+				return err
+			}
+		}
+		if err := fs.freeBlock(di.Indirect); err != nil {
+			return err
+		}
+		di.Indirect = 0
+	}
+	di.Size = 0
+	return nil
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

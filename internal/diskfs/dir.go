@@ -1,0 +1,198 @@
+package diskfs
+
+import (
+	"dircache/internal/fsapi"
+)
+
+// Directory blocks hold a packed chain of dirents whose reclens always sum
+// to the block size, ext2-style: a free region is a dirent with ino 0, and
+// deleting an entry merges its space into the predecessor's reclen (or
+// marks it free if it heads the block).
+
+// dirBlocks returns the number of allocated directory blocks (size is kept
+// equal to blocks * blockSize for directories).
+func (fs *FS) dirBlocks(di *dinode) uint64 {
+	return di.Size / uint64(fs.sb.BlockSize)
+}
+
+// dirScan iterates over all live dirents of dir, calling fn for each with
+// the logical block index and intra-block offset; fn returns true to stop.
+func (fs *FS) dirScan(di *dinode, fn func(blk uint64, off int, ino uint64, typ fsapi.FileType, name string) bool) error {
+	bs := int(fs.sb.BlockSize)
+	nblocks := fs.dirBlocks(di)
+	for b := uint64(0); b < nblocks; b++ {
+		abs, err := fs.blockOfFile(di, b, false)
+		if err != nil {
+			return err
+		}
+		if abs == 0 {
+			continue
+		}
+		stop := false
+		err = fs.bc.View(int64(abs), func(data []byte) {
+			for off := 0; off < bs; {
+				ino, reclen, typ, name := readDirent(data[off:])
+				if reclen < direntHeaderSize || off+reclen > bs {
+					return // corrupt chain; treat rest of block as empty
+				}
+				if ino != 0 {
+					if fn(b, off, ino, typ, name) {
+						stop = true
+						return
+					}
+				}
+				off += reclen
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// dirLookup finds name in the directory; returns its inode number and type.
+func (fs *FS) dirLookup(di *dinode, name string) (uint64, fsapi.FileType, error) {
+	var foundIno uint64
+	var foundType fsapi.FileType
+	err := fs.dirScan(di, func(_ uint64, _ int, ino uint64, typ fsapi.FileType, n string) bool {
+		if n == name {
+			foundIno, foundType = ino, typ
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if foundIno == 0 {
+		return 0, 0, fsapi.ENOENT
+	}
+	return foundIno, foundType, nil
+}
+
+// dirInsert adds name→ino to the directory, growing it by one block if no
+// existing slot has room. Caller has verified name does not exist. di may
+// be modified (block pointers, size) and must be written back by the
+// caller.
+func (fs *FS) dirInsert(dirIno uint64, di *dinode, name string, ino uint64, typ fsapi.FileType) error {
+	bs := int(fs.sb.BlockSize)
+	need := direntRecLen(len(name))
+	nblocks := fs.dirBlocks(di)
+
+	for b := uint64(0); b < nblocks; b++ {
+		abs, err := fs.blockOfFile(di, b, false)
+		if err != nil {
+			return err
+		}
+		if abs == 0 {
+			continue
+		}
+		inserted := false
+		err = fs.bc.Update(int64(abs), func(data []byte) {
+			for off := 0; off < bs; {
+				entIno, reclen, entType, entName := readDirent(data[off:])
+				if reclen < direntHeaderSize || off+reclen > bs {
+					return
+				}
+				if entIno == 0 && reclen >= need {
+					// Free slot big enough: take it whole.
+					writeDirent(data[off:], ino, reclen, typ, name)
+					inserted = true
+					return
+				}
+				if entIno != 0 {
+					used := direntRecLen(len(entName))
+					if reclen-used >= need {
+						// Split the slack off the live entry.
+						writeDirent(data[off:], entIno, used, entType, entName)
+						writeDirent(data[off+used:], ino, reclen-used, typ, name)
+						inserted = true
+						return
+					}
+				}
+				off += reclen
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if inserted {
+			return nil
+		}
+	}
+
+	// Grow the directory by one block.
+	abs, err := fs.blockOfFile(di, nblocks, true)
+	if err != nil {
+		return err
+	}
+	err = fs.bc.Update(int64(abs), func(data []byte) {
+		writeDirent(data, ino, bs, typ, name)
+	})
+	if err != nil {
+		return err
+	}
+	di.Size += uint64(bs)
+	return nil
+}
+
+// dirRemove deletes name from the directory, merging its record into the
+// preceding entry ext2-style.
+func (fs *FS) dirRemove(di *dinode, name string) error {
+	bs := int(fs.sb.BlockSize)
+	nblocks := fs.dirBlocks(di)
+	for b := uint64(0); b < nblocks; b++ {
+		abs, err := fs.blockOfFile(di, b, false)
+		if err != nil {
+			return err
+		}
+		if abs == 0 {
+			continue
+		}
+		removed := false
+		err = fs.bc.Update(int64(abs), func(data []byte) {
+			prevOff := -1
+			for off := 0; off < bs; {
+				entIno, reclen, _, entName := readDirent(data[off:])
+				if reclen < direntHeaderSize || off+reclen > bs {
+					return
+				}
+				if entIno != 0 && entName == name {
+					if prevOff >= 0 {
+						// Merge into predecessor.
+						pIno, pLen, pType, pName := readDirent(data[prevOff:])
+						writeDirent(data[prevOff:], pIno, pLen+reclen, pType, pName)
+					} else {
+						// Head of block: mark free, keep reclen.
+						writeDirent(data[off:], 0, reclen, 0, "")
+					}
+					removed = true
+					return
+				}
+				prevOff = off
+				off += reclen
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if removed {
+			return nil
+		}
+	}
+	return fsapi.ENOENT
+}
+
+// dirEmpty reports whether the directory holds no live entries.
+func (fs *FS) dirEmpty(di *dinode) (bool, error) {
+	empty := true
+	err := fs.dirScan(di, func(_ uint64, _ int, _ uint64, _ fsapi.FileType, _ string) bool {
+		empty = false
+		return true
+	})
+	return empty, err
+}

@@ -1,0 +1,302 @@
+package diskfs
+
+import (
+	"fmt"
+	"testing"
+
+	"dircache/internal/blockdev"
+	"dircache/internal/buffercache"
+	"dircache/internal/fsapi"
+	"dircache/internal/fstest"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	dev, err := blockdev.New(4096, 4096, blockdev.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := buffercache.New(dev, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(bc, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) fsapi.FileSystem {
+		return newFS(t)
+	})
+}
+
+func TestMountAfterSync(t *testing.T) {
+	dev, _ := blockdev.New(4096, 2048, blockdev.CostModel{})
+	bc, _ := buffercache.New(dev, 256)
+	fs, err := Mkfs(bc, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root().ID
+	d, err := fs.Mkdir(root, "persist", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Create(d.ID, "data.bin", fsapi.MkMode(fsapi.TypeRegular, 0o640), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("persistent payload across mounts")
+	if _, err := fs.WriteAt(fi.ID, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop every cached block, then remount from the raw device.
+	if err := bc.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	bc2, _ := buffercache.New(dev, 256)
+	fs2, err := Mount(bc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fs2.Lookup(fs2.Root().ID, "persist")
+	if err != nil || d2.UID != 5 {
+		t.Fatalf("remounted dir: %+v %v", d2, err)
+	}
+	f2, err := fs2.Lookup(d2.ID, "data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := fs2.ReadAt(f2.ID, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatalf("payload corrupted across remount: %q", buf)
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	dev, _ := blockdev.New(4096, 64, blockdev.CostModel{})
+	bc, _ := buffercache.New(dev, 16)
+	if _, err := Mount(bc); err == nil {
+		t.Fatal("mounted an unformatted device")
+	}
+}
+
+func TestLargeDirectoryGrowsBlocks(t *testing.T) {
+	fs := newFS(t)
+	root := fs.Root().ID
+	const n = 500
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("entry-with-a-longish-name-%04d", i)
+		if _, err := fs.Create(root, name, fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	ni, _ := fs.GetNode(root)
+	if ni.Size < 4096*2 {
+		t.Fatalf("directory did not grow past one block: size=%d", ni.Size)
+	}
+	// All entries visible and findable.
+	ents, _, eof, err := fs.ReadDir(root, 0, -1)
+	if err != nil || !eof {
+		t.Fatal(err)
+	}
+	if len(ents) != n {
+		t.Fatalf("readdir: %d entries, want %d", len(ents), n)
+	}
+	for i := 0; i < n; i += 37 {
+		name := fmt.Sprintf("entry-with-a-longish-name-%04d", i)
+		if _, err := fs.Lookup(root, name); err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+	}
+}
+
+func TestDirentSlotReuse(t *testing.T) {
+	fs := newFS(t)
+	root := fs.Root().ID
+	for i := 0; i < 50; i++ {
+		if _, err := fs.Create(root, fmt.Sprintf("f%02d", i), fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore, _ := fs.GetNode(root)
+	for i := 0; i < 50; i++ {
+		if err := fs.Unlink(root, fmt.Sprintf("f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recreate: freed slots must be reused, not grow the directory.
+	for i := 0; i < 50; i++ {
+		if _, err := fs.Create(root, fmt.Sprintf("g%02d", i), fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeAfter, _ := fs.GetNode(root)
+	if sizeAfter.Size > sizeBefore.Size {
+		t.Fatalf("directory grew (%d -> %d) despite free slots", sizeBefore.Size, sizeAfter.Size)
+	}
+}
+
+func TestBlockAccountingAcrossDelete(t *testing.T) {
+	fs := newFS(t)
+	root := fs.Root().ID
+	// Force the root directory's first block to exist so it doesn't count
+	// against the file's accounting below.
+	fs.Create(root, "placeholder", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	free0 := fs.StatFS().FreeBlocks
+	fi, _ := fs.Create(root, "big", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	data := make([]byte, 4096*20) // spans direct + indirect
+	if _, err := fs.WriteAt(fi.ID, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.StatFS().FreeBlocks >= free0 {
+		t.Fatal("write did not consume blocks")
+	}
+	if err := fs.Unlink(root, "big"); err != nil {
+		t.Fatal(err)
+	}
+	// All data blocks and the indirect block must return (the dirent slot
+	// stays allocated to the root dir block).
+	if got := fs.StatFS().FreeBlocks; got != free0 {
+		t.Fatalf("leak: free blocks %d, want %d", got, free0)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	dev, _ := blockdev.New(4096, 1024, blockdev.CostModel{})
+	bc, _ := buffercache.New(dev, 128)
+	fs, err := Mkfs(bc, 8) // tiny inode table: 0 reserved, 1 root, 6 usable
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root().ID
+	var firstErr error
+	created := 0
+	for i := 0; i < 10; i++ {
+		_, err := fs.Create(root, fmt.Sprintf("f%d", i), fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		created++
+	}
+	if created != 6 {
+		t.Fatalf("created %d files before exhaustion, want 6", created)
+	}
+	if fsapi.ToErrno(firstErr) != fsapi.ENOSPC {
+		t.Fatalf("exhaustion error %v, want ENOSPC", firstErr)
+	}
+	// Inode reuse after unlink.
+	if err := fs.Unlink(root, "f0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(root, "again", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err != nil {
+		t.Fatalf("create after free: %v", err)
+	}
+}
+
+func TestIndirectBlockFile(t *testing.T) {
+	fs := newFS(t)
+	fi, _ := fs.Create(fs.Root().ID, "big", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	// Write a pattern spanning direct (10 blocks) into indirect range.
+	const size = 4096*NDirect + 4096*5 + 123
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := fs.WriteAt(fi.ID, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	n, err := fs.ReadAt(fi.ID, got, 0)
+	if err != nil || n != size {
+		t.Fatalf("read: n=%d %v", n, err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestTruncateShrinkFreesAndZeroes(t *testing.T) {
+	fs := newFS(t)
+	fi, _ := fs.Create(fs.Root().ID, "t", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	data := make([]byte, 4096*4)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	if _, err := fs.WriteAt(fi.ID, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := fs.StatFS().FreeBlocks
+	sz := int64(100)
+	if _, err := fs.SetAttr(fi.ID, fsapi.SetAttr{Size: &sz}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.StatFS().FreeBlocks <= freeBefore {
+		t.Fatal("shrink freed no blocks")
+	}
+	// Re-extend and verify the tail reads back as zeros, not old data.
+	sz = 4096
+	if _, err := fs.SetAttr(fi.ID, fsapi.SetAttr{Size: &sz}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := fs.ReadAt(fi.ID, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 4096; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte at %d after truncate: %#x", i, buf[i])
+		}
+	}
+}
+
+func TestMaxFileSize(t *testing.T) {
+	fs := newFS(t)
+	fi, _ := fs.Create(fs.Root().ID, "huge", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	// Max = (NDirect + 4096/8) blocks. One byte past must fail EFBIG.
+	maxBlocks := int64(NDirect + 4096/8)
+	off := maxBlocks * 4096
+	if _, err := fs.WriteAt(fi.ID, []byte{1}, off); fsapi.ToErrno(err) != fsapi.EFBIG {
+		t.Fatalf("write past max size: %v, want EFBIG", err)
+	}
+	// Last valid byte works.
+	if _, err := fs.WriteAt(fi.ID, []byte{1}, off-1); err != nil {
+		t.Fatalf("write at max-1: %v", err)
+	}
+}
+
+func TestColdReadChargesDevice(t *testing.T) {
+	dev, _ := blockdev.New(4096, 2048, blockdev.HDD7200)
+	bc, _ := buffercache.New(dev, 256)
+	fs, _ := Mkfs(bc, 512)
+	root := fs.Root().ID
+	fs.Create(root, "f", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+	fs.Sync()
+	bc.Invalidate()
+	dev.ResetStats()
+	if _, err := fs.Lookup(root, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Reads == 0 {
+		t.Fatal("cold lookup hit no device blocks")
+	}
+	dev.ResetStats()
+	if _, err := fs.Lookup(root, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().Reads != 0 {
+		t.Fatal("warm lookup went to the device")
+	}
+}

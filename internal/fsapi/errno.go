@@ -1,0 +1,117 @@
+// Package fsapi defines the contract between the VFS layer and low-level
+// file systems, mirroring the role of Linux's include/linux/fs.h: node
+// metadata, directory entries, error numbers, and the FileSystem interface
+// that each concrete file system (diskfs, memfs, pseudofs) implements.
+package fsapi
+
+import "errors"
+
+// Errno is a POSIX-style error number. The VFS maps every failure onto one
+// of these so applications (and the paper's workload emulators) observe the
+// same error surface as the kernel syscall API.
+type Errno int
+
+// Error numbers used by the VFS. Values follow Linux/x86-64 so traces read
+// naturally; only identity matters to this library.
+const (
+	EOK          Errno = 0
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	EIO          Errno = 5
+	EBADF        Errno = 9
+	EACCES       Errno = 13
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	EXDEV        Errno = 18
+	ENODEV       Errno = 19
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	ENFILE       Errno = 23
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	EROFS        Errno = 30
+	EMLINK       Errno = 31
+	ERANGE       Errno = 34
+	ENAMETOOLONG Errno = 36
+	ENOSYS       Errno = 38
+	ENOTEMPTY    Errno = 39
+	ELOOP        Errno = 40
+	ESTALE       Errno = 116
+)
+
+var errnoNames = map[Errno]string{
+	EOK:          "success",
+	EPERM:        "operation not permitted",
+	ENOENT:       "no such file or directory",
+	EIO:          "input/output error",
+	EBADF:        "bad file descriptor",
+	EACCES:       "permission denied",
+	EBUSY:        "device or resource busy",
+	EEXIST:       "file exists",
+	EXDEV:        "invalid cross-device link",
+	ENODEV:       "no such device",
+	ENOTDIR:      "not a directory",
+	EISDIR:       "is a directory",
+	EINVAL:       "invalid argument",
+	ENFILE:       "too many open files in system",
+	EFBIG:        "file too large",
+	ENOSPC:       "no space left on device",
+	EROFS:        "read-only file system",
+	EMLINK:       "too many links",
+	ERANGE:       "result too large",
+	ENAMETOOLONG: "file name too long",
+	ENOSYS:       "function not implemented",
+	ENOTEMPTY:    "directory not empty",
+	ELOOP:        "too many levels of symbolic links",
+	ESTALE:       "stale file handle",
+}
+
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return "errno " + itoa(int(e))
+}
+
+// Is makes Errno work with errors.Is against another Errno.
+func (e Errno) Is(target error) bool {
+	t, ok := target.(Errno)
+	return ok && t == e
+}
+
+// ToErrno extracts the Errno from err, or EIO if err is non-nil but not an
+// Errno, or EOK for nil.
+func ToErrno(err error) Errno {
+	if err == nil {
+		return EOK
+	}
+	var e Errno
+	if errors.As(err, &e) {
+		return e
+	}
+	return EIO
+}
+
+// itoa avoids importing strconv for the one cold path above.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

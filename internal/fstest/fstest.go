@@ -1,0 +1,397 @@
+// Package fstest provides a reusable conformance suite for
+// fsapi.FileSystem implementations. memfs, diskfs, and pseudofs all run it,
+// guaranteeing the VFS sees identical semantics regardless of substrate —
+// the property that lets the paper's cache changes stay encapsulated in the
+// VFS.
+package fstest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dircache/internal/fsapi"
+)
+
+// Factory builds a fresh, empty file system for one subtest.
+type Factory func(t *testing.T) fsapi.FileSystem
+
+// RunConformance exercises the full fsapi.FileSystem contract against fs
+// instances produced by mk.
+func RunConformance(t *testing.T, mk Factory) {
+	t.Run("RootIsDirectory", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root()
+		if !root.Mode.IsDir() {
+			t.Fatalf("root mode %v is not a directory", root.Mode)
+		}
+		if root.ID == fsapi.InvalidNode {
+			t.Fatal("root has invalid node ID")
+		}
+	})
+
+	t.Run("CreateLookup", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		ni, err := fs.Create(root, "hello.txt", fsapi.MkMode(fsapi.TypeRegular, 0o644), 10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ni.Mode.IsRegular() || ni.Mode.Perm() != 0o644 || ni.UID != 10 || ni.GID != 20 {
+			t.Fatalf("created node has wrong metadata: %+v", ni)
+		}
+		got, err := fs.Lookup(root, "hello.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != ni.ID {
+			t.Fatalf("lookup returned %d, created %d", got.ID, ni.ID)
+		}
+		if _, err := fs.Lookup(root, "absent"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatalf("lookup of absent name: %v, want ENOENT", err)
+		}
+		if _, err := fs.Create(root, "hello.txt", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); !errors.Is(err, fsapi.EEXIST) {
+			t.Fatalf("duplicate create: %v, want EEXIST", err)
+		}
+	})
+
+	t.Run("BadNames", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		for _, bad := range []string{"", ".", "..", "a/b", "nul\x00name"} {
+			if _, err := fs.Create(root, bad, fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err == nil {
+				t.Fatalf("create accepted bad name %q", bad)
+			}
+		}
+	})
+
+	t.Run("MkdirHierarchy", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		a, err := fs.Mkdir(root, "a", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fs.Mkdir(a.ID, "b", fsapi.MkMode(fsapi.TypeDirectory, 0o700), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Create(b.ID, "f", fsapi.MkMode(fsapi.TypeRegular, 0o600), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Lookup(a.ID, "b")
+		if err != nil || got.ID != b.ID {
+			t.Fatalf("lookup a/b: %v %+v", err, got)
+		}
+		// Lookup through a file must fail ENOTDIR.
+		f, _ := fs.Lookup(b.ID, "f")
+		if _, err := fs.Lookup(f.ID, "x"); !errors.Is(err, fsapi.ENOTDIR) {
+			t.Fatalf("lookup under file: %v, want ENOTDIR", err)
+		}
+	})
+
+	t.Run("UnlinkSemantics", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		fi, _ := fs.Create(root, "f", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		di, _ := fs.Mkdir(root, "d", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		if err := fs.Unlink(root, "d"); !errors.Is(err, fsapi.EISDIR) {
+			t.Fatalf("unlink dir: %v, want EISDIR", err)
+		}
+		if err := fs.Rmdir(root, "f"); !errors.Is(err, fsapi.ENOTDIR) {
+			t.Fatalf("rmdir file: %v, want ENOTDIR", err)
+		}
+		if err := fs.Unlink(root, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Lookup(root, "f"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatal("unlinked file still found")
+		}
+		if _, err := fs.GetNode(fi.ID); !errors.Is(err, fsapi.ESTALE) {
+			t.Fatalf("GetNode on freed inode: %v, want ESTALE", err)
+		}
+		// Non-empty rmdir refused.
+		fs.Create(di.ID, "child", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err := fs.Rmdir(root, "d"); !errors.Is(err, fsapi.ENOTEMPTY) {
+			t.Fatalf("rmdir non-empty: %v, want ENOTEMPTY", err)
+		}
+		fs.Unlink(di.ID, "child")
+		if err := fs.Rmdir(root, "d"); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("HardLinks", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		fi, _ := fs.Create(root, "orig", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		li, err := fs.Link(root, "alias", fi.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if li.ID != fi.ID {
+			t.Fatal("hard link created a different inode")
+		}
+		if li.Nlink != 2 {
+			t.Fatalf("nlink %d after link, want 2", li.Nlink)
+		}
+		di, _ := fs.Mkdir(root, "d", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		if _, err := fs.Link(root, "dlink", di.ID); !errors.Is(err, fsapi.EPERM) {
+			t.Fatalf("hard link to directory: %v, want EPERM", err)
+		}
+		// Data visible through both names; inode survives one unlink.
+		if _, err := fs.WriteAt(fi.ID, []byte("shared"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(root, "orig"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.GetNode(fi.ID)
+		if err != nil || got.Nlink != 1 {
+			t.Fatalf("after one unlink: %v nlink=%d", err, got.Nlink)
+		}
+		buf := make([]byte, 6)
+		if n, err := fs.ReadAt(fi.ID, buf, 0); err != nil || string(buf[:n]) != "shared" {
+			t.Fatalf("data lost through link: %q %v", buf[:n], err)
+		}
+	})
+
+	t.Run("Symlinks", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		li, err := fs.Symlink(root, "lnk", "/target/path", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !li.Mode.IsSymlink() {
+			t.Fatalf("mode %v not a symlink", li.Mode)
+		}
+		target, err := fs.ReadLink(li.ID)
+		if err != nil || target != "/target/path" {
+			t.Fatalf("readlink: %q %v", target, err)
+		}
+		fi, _ := fs.Create(root, "plain", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if _, err := fs.ReadLink(fi.ID); !errors.Is(err, fsapi.EINVAL) {
+			t.Fatalf("readlink on file: %v, want EINVAL", err)
+		}
+	})
+
+	t.Run("RenameBasic", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		fi, _ := fs.Create(root, "old", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		d, _ := fs.Mkdir(root, "dir", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		if err := fs.Rename(root, "old", d.ID, "new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Lookup(root, "old"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatal("old name survives rename")
+		}
+		got, err := fs.Lookup(d.ID, "new")
+		if err != nil || got.ID != fi.ID {
+			t.Fatalf("new name wrong: %v %+v", err, got)
+		}
+		if err := fs.Rename(root, "ghost", d.ID, "x"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatalf("rename of absent: %v, want ENOENT", err)
+		}
+	})
+
+	t.Run("RenameReplace", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		src, _ := fs.Create(root, "src", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		fs.Create(root, "dst", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err := fs.Rename(root, "src", root, "dst"); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := fs.Lookup(root, "dst")
+		if got.ID != src.ID {
+			t.Fatal("replace did not install source inode")
+		}
+		// dir-over-file and file-over-dir rules.
+		fs.Mkdir(root, "d1", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		fs.Create(root, "f1", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err := fs.Rename(root, "f1", root, "d1"); !errors.Is(err, fsapi.EISDIR) {
+			t.Fatalf("file over dir: %v, want EISDIR", err)
+		}
+		if err := fs.Rename(root, "d1", root, "f1"); !errors.Is(err, fsapi.ENOTDIR) {
+			t.Fatalf("dir over file: %v, want ENOTDIR", err)
+		}
+		// dir over empty dir allowed; over non-empty refused.
+		fs.Mkdir(root, "d2", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		if err := fs.Rename(root, "d1", root, "d2"); err != nil {
+			t.Fatalf("dir over empty dir: %v", err)
+		}
+		fs.Mkdir(root, "d3", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		d3, _ := fs.Lookup(root, "d3")
+		fs.Create(d3.ID, "occupant", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err := fs.Rename(root, "d2", root, "d3"); !errors.Is(err, fsapi.ENOTEMPTY) {
+			t.Fatalf("dir over non-empty dir: %v, want ENOTEMPTY", err)
+		}
+	})
+
+	t.Run("ReadDirPagination", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		const n = 25
+		want := make(map[string]bool, n)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("f%02d", i)
+			want[name] = true
+			if _, err := fs.Create(root, name, fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := make(map[string]bool)
+		var cookie uint64
+		for {
+			ents, next, eof, err := fs.ReadDir(root, cookie, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if got[e.Name] {
+					t.Fatalf("duplicate entry %q", e.Name)
+				}
+				if e.Type != fsapi.TypeRegular {
+					t.Fatalf("entry %q has type %v", e.Name, e.Type)
+				}
+				got[e.Name] = true
+			}
+			cookie = next
+			if eof {
+				break
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("readdir returned %d entries, want %d", len(got), n)
+		}
+		for name := range want {
+			if !got[name] {
+				t.Fatalf("missing entry %q", name)
+			}
+		}
+	})
+
+	t.Run("ReadDirEmpty", func(t *testing.T) {
+		fs := mk(t)
+		d, _ := fs.Mkdir(fs.Root().ID, "empty", fsapi.MkMode(fsapi.TypeDirectory, 0o755), 0, 0)
+		ents, _, eof, err := fs.ReadDir(d.ID, 0, 10)
+		if err != nil || len(ents) != 0 || !eof {
+			t.Fatalf("empty dir readdir: %v entries=%d eof=%v", err, len(ents), eof)
+		}
+	})
+
+	t.Run("SetAttr", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		fi, _ := fs.Create(root, "f", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		mode := fsapi.Mode(0o600)
+		uid, gid := uint32(1000), uint32(1000)
+		ni, err := fs.SetAttr(fi.ID, fsapi.SetAttr{Mode: &mode, UID: &uid, GID: &gid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ni.Mode.Perm() != 0o600 || ni.UID != 1000 || ni.GID != 1000 {
+			t.Fatalf("setattr result %+v", ni)
+		}
+		if !ni.Mode.IsRegular() {
+			t.Fatal("setattr changed the file type")
+		}
+		sz := int64(100)
+		ni, err = fs.SetAttr(fi.ID, fsapi.SetAttr{Size: &sz})
+		if err != nil || ni.Size != 100 {
+			t.Fatalf("truncate up: %v size=%d", err, ni.Size)
+		}
+	})
+
+	t.Run("FileIO", func(t *testing.T) {
+		fs := mk(t)
+		fi, _ := fs.Create(fs.Root().ID, "f", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		data := []byte("the quick brown fox")
+		if n, err := fs.WriteAt(fi.ID, data, 0); err != nil || n != len(data) {
+			t.Fatalf("write: n=%d %v", n, err)
+		}
+		// Sparse extension via offset write.
+		if _, err := fs.WriteAt(fi.ID, []byte("!"), 100); err != nil {
+			t.Fatal(err)
+		}
+		ni, _ := fs.GetNode(fi.ID)
+		if ni.Size != 101 {
+			t.Fatalf("size %d after sparse write, want 101", ni.Size)
+		}
+		buf := make([]byte, len(data))
+		if n, err := fs.ReadAt(fi.ID, buf, 0); err != nil || string(buf[:n]) != string(data) {
+			t.Fatalf("read back %q %v", buf[:n], err)
+		}
+		hole := make([]byte, 10)
+		if _, err := fs.ReadAt(fi.ID, hole, 50); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range hole {
+			if b != 0 {
+				t.Fatal("hole not zero-filled")
+			}
+		}
+		if n, _ := fs.ReadAt(fi.ID, buf, 200); n != 0 {
+			t.Fatal("read past EOF returned data")
+		}
+	})
+
+	t.Run("MtimeAdvances", func(t *testing.T) {
+		fs := mk(t)
+		root := fs.Root().ID
+		fi, _ := fs.Create(root, "f", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		before := fi.Mtime
+		if _, err := fs.WriteAt(fi.ID, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+		after, _ := fs.GetNode(fi.ID)
+		if after.Mtime <= before {
+			t.Fatalf("mtime did not advance: %d -> %d", before, after.Mtime)
+		}
+	})
+
+	t.Run("OpenUnlinkedRetention", func(t *testing.T) {
+		fs := mk(t)
+		r, ok := fs.(fsapi.NodeRetainer)
+		if !ok {
+			t.Skip("FS does not implement NodeRetainer")
+		}
+		root := fs.Root().ID
+		fi, err := fs.Create(root, "held", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(fi.ID, []byte("still here"), 0); err != nil {
+			t.Fatal(err)
+		}
+		r.RetainNode(fi.ID)
+		if err := fs.Unlink(root, "held"); err != nil {
+			t.Fatal(err)
+		}
+		// The name is gone but the node survives while retained.
+		if _, err := fs.Lookup(root, "held"); !errors.Is(err, fsapi.ENOENT) {
+			t.Fatal("unlinked name still visible")
+		}
+		buf := make([]byte, 10)
+		if n, err := fs.ReadAt(fi.ID, buf, 0); err != nil || string(buf[:n]) != "still here" {
+			t.Fatalf("retained node unreadable: %q %v", buf[:n], err)
+		}
+		r.ReleaseNode(fi.ID)
+		if _, err := fs.GetNode(fi.ID); !errors.Is(err, fsapi.ESTALE) {
+			t.Fatalf("node survived final release: %v", err)
+		}
+	})
+
+	t.Run("StatFS", func(t *testing.T) {
+		fs := mk(t)
+		st := fs.StatFS()
+		if st.Caps.Name == "" {
+			t.Fatal("StatFS has empty FS name")
+		}
+		if st.MaxNameLen <= 0 {
+			t.Fatal("StatFS reports non-positive MaxNameLen")
+		}
+	})
+}

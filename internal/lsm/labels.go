@@ -1,0 +1,85 @@
+package lsm
+
+import (
+	"sync"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+)
+
+// LabelPolicy is a type-enforcement-style module in the spirit of SELinux:
+// subjects (credential security labels) are granted masks on object labels
+// through an explicit allow matrix. Unlabeled objects are governed by the
+// DefaultMask. An unconfined subject (empty security label) is allowed
+// everything, like SELinux's permissive domains.
+type LabelPolicy struct {
+	mu sync.RWMutex
+	// allow[subject][object] = permitted mask
+	allow map[string]map[string]Mask
+	// DefaultMask applies when the object has no label.
+	DefaultMask Mask
+}
+
+// NewLabelPolicy creates an empty policy that permits access to unlabeled
+// objects.
+func NewLabelPolicy() *LabelPolicy {
+	return &LabelPolicy{
+		allow:       make(map[string]map[string]Mask),
+		DefaultMask: MayRead | MayWrite | MayExec,
+	}
+}
+
+// Allow grants subject label the mask on object label.
+func (p *LabelPolicy) Allow(subject, object string, mask Mask) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.allow[subject]
+	if !ok {
+		m = make(map[string]Mask)
+		p.allow[subject] = m
+	}
+	m[object] |= mask
+}
+
+// Name implements Module.
+func (p *LabelPolicy) Name() string { return "labels" }
+
+// InodePermission implements Module.
+func (p *LabelPolicy) InodePermission(c *cred.Cred, inode InodeView, mask Mask) error {
+	if c.Security == "" {
+		return nil // unconfined subject
+	}
+	if inode.Label == "" {
+		if p.DefaultMask&mask == mask {
+			return nil
+		}
+		return fsapi.EACCES
+	}
+	p.mu.RLock()
+	granted := p.allow[c.Security][inode.Label]
+	p.mu.RUnlock()
+	if granted&mask == mask {
+		return nil
+	}
+	return fsapi.EACCES
+}
+
+// OwnerOnly is a small hardening module in the spirit of restrictive LSMs:
+// confined subjects (non-empty security label) may only write objects they
+// own. It exercises the "LSM sees every component access" property with
+// logic that depends on the credential, not just the inode.
+type OwnerOnly struct{}
+
+// Name implements Module.
+func (OwnerOnly) Name() string { return "owneronly" }
+
+// InodePermission implements Module.
+func (OwnerOnly) InodePermission(c *cred.Cred, inode InodeView, mask Mask) error {
+	if c.Security == "" || mask&MayWrite == 0 {
+		return nil
+	}
+	if c.IsRoot() || inode.UID == c.UID {
+		return nil
+	}
+	return fsapi.EACCES
+}

@@ -1,0 +1,87 @@
+// Package lsm is a Linux Security Modules-style hook framework (§4.1). A
+// module can veto the VFS's default (DAC) decision for any inode access,
+// including the per-component directory search checks that make up a prefix
+// check. The optimized cache's PCC memoizes whatever these modules decide —
+// the paper's point is that memoization at the credential level works for
+// arbitrary LSM logic, not just Unix permission bits.
+package lsm
+
+import (
+	"sync"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+)
+
+// Mask is the access being requested.
+type Mask uint8
+
+// Access mask bits, mirroring MAY_READ/MAY_WRITE/MAY_EXEC.
+const (
+	MayExec Mask = 1 << iota
+	MayWrite
+	MayRead
+)
+
+// InodeView is the subset of inode state exposed to modules.
+type InodeView struct {
+	ID    fsapi.NodeID
+	Mode  fsapi.Mode
+	UID   uint32
+	GID   uint32
+	Label string // object security label (like an xattr-backed context)
+}
+
+// Module is a security module. InodePermission returns nil to allow, or an
+// error (normally fsapi.EACCES) to deny; it runs after DAC, so it can only
+// further restrict.
+type Module interface {
+	Name() string
+	InodePermission(c *cred.Cred, inode InodeView, mask Mask) error
+}
+
+// Stack is an ordered set of modules, evaluated in registration order with
+// deny-wins semantics. The zero value is an empty stack. Safe for
+// concurrent Check against concurrent (rare) Register.
+type Stack struct {
+	mu      sync.RWMutex
+	modules []Module
+}
+
+// Register appends a module.
+func (s *Stack) Register(m Module) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modules = append(s.modules, m)
+}
+
+// Names lists registered module names in order.
+func (s *Stack) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.modules))
+	for i, m := range s.modules {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Empty reports whether no modules are registered (fast path for Check).
+func (s *Stack) Empty() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.modules) == 0
+}
+
+// Check runs every module; the first denial wins.
+func (s *Stack) Check(c *cred.Cred, inode InodeView, mask Mask) error {
+	s.mu.RLock()
+	mods := s.modules
+	s.mu.RUnlock()
+	for _, m := range mods {
+		if err := m.InodePermission(c, inode, mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}

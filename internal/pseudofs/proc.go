@@ -1,0 +1,37 @@
+package pseudofs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BuildProc assembles a procfs-like tree with npids process directories,
+// each holding status, stat, and cmdline files, plus a few well-known
+// top-level files. Used by workloads that probe /proc the way real tools
+// (ps, updatedb's path pruning, shells) do — including lookups of PIDs that
+// do not exist, the case §5.2's pseudo-file-system negative dentries
+// accelerate.
+func BuildProc(npids int) *FS {
+	fs := New(400) // synthesizing proc entries is not free in a real kernel
+	var seq atomic.Int64
+	counter := func(format string) Generator {
+		return func() []byte {
+			return []byte(fmt.Sprintf(format, seq.Add(1)))
+		}
+	}
+	fs.RegisterFile(counter("MemTotal: %d kB\n"), "meminfo")
+	fs.RegisterFile(counter("cpu %d 0 0 0\n"), "stat")
+	fs.RegisterFile(func() []byte { return []byte("4.0.0-dircache\n") }, "version")
+	fs.RegisterFile(counter("%d.00 0.00\n"), "uptime")
+	fs.RegisterDir("sys", "kernel")
+	fs.RegisterFile(func() []byte { return []byte("65536\n") }, "sys", "kernel", "pid_max")
+	fs.RegisterSymlink("1", "self")
+	for pid := 1; pid <= npids; pid++ {
+		p := fmt.Sprintf("%d", pid)
+		fs.RegisterFile(counter("Name: proc-"+p+"\nState: R (%d)\n"), p, "status")
+		fs.RegisterFile(counter(p+" (proc) R %d\n"), p, "stat")
+		fs.RegisterFile(func() []byte { return []byte("/bin/proc-" + p + "\x00") }, p, "cmdline")
+		fs.RegisterDir(p, "fd")
+	}
+	return fs
+}

@@ -1,0 +1,306 @@
+// Package pseudofs implements a proc/sys-style synthetic file system:
+// a read-only tree of directories and generated files, fully materialized
+// in memory, with no backing store. Its significance to the paper is §5.2:
+// the stock kernel does not create negative dentries for such file systems
+// (a miss never costs disk I/O), but the optimized cache does, because even
+// an in-memory miss is far slower than a fastpath hit.
+package pseudofs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dircache/internal/fsapi"
+	"dircache/internal/vclock"
+)
+
+// Generator produces the current contents of a synthetic file.
+type Generator func() []byte
+
+type node struct {
+	info     fsapi.NodeInfo
+	gen      Generator
+	children map[string]fsapi.NodeID
+	order    []string
+	target   string
+}
+
+// FS is a registered synthetic tree. Mutating fsapi methods return EPERM.
+// Safe for concurrent use.
+type FS struct {
+	opCost int64
+	clock  atomic.Pointer[vclock.Run]
+
+	mu     sync.RWMutex
+	nodes  map[fsapi.NodeID]*node
+	nextID uint64
+	root   fsapi.NodeID
+}
+
+var _ fsapi.FileSystem = (*FS)(nil)
+
+// New creates an empty pseudo file system. opCostNS is charged per
+// metadata operation (pseudo file systems still synthesize entries on
+// every call, which the paper notes is slower than a dcache hit).
+func New(opCostNS int64) *FS {
+	fs := &FS{
+		opCost: opCostNS,
+		nodes:  make(map[fsapi.NodeID]*node),
+		nextID: 1,
+	}
+	fs.root = fs.addNode(fsapi.MkMode(fsapi.TypeDirectory, 0o555), nil)
+	return fs
+}
+
+// SetClock directs per-op cost charges to run.
+func (fs *FS) SetClock(run *vclock.Run) { fs.clock.Store(run) }
+
+func (fs *FS) charge() {
+	if fs.opCost != 0 {
+		fs.clock.Load().Charge(fs.opCost)
+	}
+}
+
+func (fs *FS) addNode(mode fsapi.Mode, gen Generator) fsapi.NodeID {
+	id := fsapi.NodeID(fs.nextID)
+	fs.nextID++
+	n := &node{
+		info: fsapi.NodeInfo{ID: id, Mode: mode, Nlink: 1, Mtime: 1},
+		gen:  gen,
+	}
+	if mode.IsDir() {
+		n.children = make(map[string]fsapi.NodeID)
+		n.info.Nlink = 2
+	}
+	fs.nodes[id] = n
+	return id
+}
+
+// ensureDir walks/creates the directory chain for components.
+func (fs *FS) ensureDir(components []string) (fsapi.NodeID, error) {
+	cur := fs.root
+	for _, c := range components {
+		d := fs.nodes[cur]
+		if !d.info.Mode.IsDir() {
+			return 0, fsapi.ENOTDIR
+		}
+		next, ok := d.children[c]
+		if !ok {
+			next = fs.addNode(fsapi.MkMode(fsapi.TypeDirectory, 0o555), nil)
+			d.children[c] = next
+			d.order = append(d.order, c)
+			d.info.Nlink++
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// RegisterDir creates (if needed) the directory at the given components
+// path, e.g. RegisterDir("sys", "kernel").
+func (fs *FS) RegisterDir(components ...string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.ensureDir(components)
+	return err
+}
+
+// RegisterFile installs a generated file at dir components + name.
+func (fs *FS) RegisterFile(gen Generator, components ...string) error {
+	if len(components) == 0 {
+		return fsapi.EINVAL
+	}
+	dirComps, name := components[:len(components)-1], components[len(components)-1]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.ensureDir(dirComps)
+	if err != nil {
+		return err
+	}
+	d := fs.nodes[dir]
+	if _, exists := d.children[name]; exists {
+		return fsapi.EEXIST
+	}
+	id := fs.addNode(fsapi.MkMode(fsapi.TypeRegular, 0o444), gen)
+	d.children[name] = id
+	d.order = append(d.order, name)
+	return nil
+}
+
+// RegisterSymlink installs a symlink at dir components + name.
+func (fs *FS) RegisterSymlink(target string, components ...string) error {
+	if len(components) == 0 || target == "" {
+		return fsapi.EINVAL
+	}
+	dirComps, name := components[:len(components)-1], components[len(components)-1]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.ensureDir(dirComps)
+	if err != nil {
+		return err
+	}
+	d := fs.nodes[dir]
+	if _, exists := d.children[name]; exists {
+		return fsapi.EEXIST
+	}
+	id := fs.addNode(fsapi.MkMode(fsapi.TypeSymlink, 0o777), nil)
+	fs.nodes[id].target = target
+	fs.nodes[id].info.Size = int64(len(target))
+	d.children[name] = id
+	d.order = append(d.order, name)
+	return nil
+}
+
+// Root implements fsapi.FileSystem.
+func (fs *FS) Root() fsapi.NodeInfo {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.nodes[fs.root].info
+}
+
+// GetNode implements fsapi.FileSystem.
+func (fs *FS) GetNode(id fsapi.NodeID) (fsapi.NodeInfo, error) {
+	fs.charge()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, ok := fs.nodes[id]
+	if !ok {
+		return fsapi.NodeInfo{}, fsapi.ESTALE
+	}
+	info := n.info
+	if n.gen != nil {
+		info.Size = int64(len(n.gen()))
+	}
+	return info, nil
+}
+
+// Lookup implements fsapi.FileSystem.
+func (fs *FS) Lookup(dir fsapi.NodeID, name string) (fsapi.NodeInfo, error) {
+	fs.charge()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.nodes[dir]
+	if !ok {
+		return fsapi.NodeInfo{}, fsapi.ESTALE
+	}
+	if !d.info.Mode.IsDir() {
+		return fsapi.NodeInfo{}, fsapi.ENOTDIR
+	}
+	id, ok := d.children[name]
+	if !ok {
+		return fsapi.NodeInfo{}, fsapi.ENOENT
+	}
+	n := fs.nodes[id]
+	info := n.info
+	if n.gen != nil {
+		info.Size = int64(len(n.gen()))
+	}
+	return info, nil
+}
+
+// ReadDir implements fsapi.FileSystem.
+func (fs *FS) ReadDir(dir fsapi.NodeID, cookie uint64, count int) ([]fsapi.DirEntry, uint64, bool, error) {
+	fs.charge()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.nodes[dir]
+	if !ok {
+		return nil, 0, false, fsapi.ESTALE
+	}
+	if !d.info.Mode.IsDir() {
+		return nil, 0, false, fsapi.ENOTDIR
+	}
+	names := append([]string(nil), d.order...)
+	sort.Strings(names)
+	if count <= 0 {
+		count = len(names)
+	}
+	var out []fsapi.DirEntry
+	i := int(cookie)
+	for ; i < len(names) && len(out) < count; i++ {
+		id := d.children[names[i]]
+		out = append(out, fsapi.DirEntry{Name: names[i], ID: id, Type: fs.nodes[id].info.Mode.Type()})
+	}
+	return out, uint64(i), i >= len(names), nil
+}
+
+// ReadLink implements fsapi.FileSystem.
+func (fs *FS) ReadLink(id fsapi.NodeID) (string, error) {
+	fs.charge()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, ok := fs.nodes[id]
+	if !ok {
+		return "", fsapi.ESTALE
+	}
+	if !n.info.Mode.IsSymlink() {
+		return "", fsapi.EINVAL
+	}
+	return n.target, nil
+}
+
+// ReadAt implements fsapi.FileSystem.
+func (fs *FS) ReadAt(id fsapi.NodeID, p []byte, off int64) (int, error) {
+	fs.charge()
+	fs.mu.RLock()
+	n, ok := fs.nodes[id]
+	var gen Generator
+	if ok {
+		gen = n.gen
+	}
+	fs.mu.RUnlock()
+	if !ok {
+		return 0, fsapi.ESTALE
+	}
+	if gen == nil {
+		return 0, fsapi.EINVAL
+	}
+	data := gen()
+	if off < 0 {
+		return 0, fsapi.EINVAL
+	}
+	if off >= int64(len(data)) {
+		return 0, nil
+	}
+	return copy(p, data[off:]), nil
+}
+
+// Mutating operations: the tree is immutable through the VFS.
+
+func (fs *FS) Create(fsapi.NodeID, string, fsapi.Mode, uint32, uint32) (fsapi.NodeInfo, error) {
+	return fsapi.NodeInfo{}, fsapi.EPERM
+}
+func (fs *FS) Mkdir(fsapi.NodeID, string, fsapi.Mode, uint32, uint32) (fsapi.NodeInfo, error) {
+	return fsapi.NodeInfo{}, fsapi.EPERM
+}
+func (fs *FS) Symlink(fsapi.NodeID, string, string, uint32, uint32) (fsapi.NodeInfo, error) {
+	return fsapi.NodeInfo{}, fsapi.EPERM
+}
+func (fs *FS) Link(fsapi.NodeID, string, fsapi.NodeID) (fsapi.NodeInfo, error) {
+	return fsapi.NodeInfo{}, fsapi.EPERM
+}
+func (fs *FS) Unlink(fsapi.NodeID, string) error                       { return fsapi.EPERM }
+func (fs *FS) Rmdir(fsapi.NodeID, string) error                        { return fsapi.EPERM }
+func (fs *FS) Rename(fsapi.NodeID, string, fsapi.NodeID, string) error { return fsapi.EPERM }
+func (fs *FS) SetAttr(fsapi.NodeID, fsapi.SetAttr) (fsapi.NodeInfo, error) {
+	return fsapi.NodeInfo{}, fsapi.EPERM
+}
+func (fs *FS) WriteAt(fsapi.NodeID, []byte, int64) (int, error) { return 0, fsapi.EPERM }
+func (fs *FS) Sync() error                                      { return nil }
+
+// StatFS implements fsapi.FileSystem.
+func (fs *FS) StatFS() fsapi.StatFS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fsapi.StatFS{
+		Inodes:     uint64(len(fs.nodes)),
+		BlockSize:  4096,
+		MaxNameLen: 255,
+		Caps: fsapi.Capabilities{
+			NoNegatives: true,
+			ReadOnly:    true,
+			Name:        "pseudofs",
+		},
+	}
+}

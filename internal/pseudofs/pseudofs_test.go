@@ -1,0 +1,126 @@
+package pseudofs
+
+import (
+	"errors"
+	"testing"
+
+	"dircache/internal/fsapi"
+)
+
+func TestRegistrationAndLookup(t *testing.T) {
+	fs := New(0)
+	if err := fs.RegisterFile(func() []byte { return []byte("hello") }, "sys", "greeting"); err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root().ID
+	sys, err := fs.Lookup(root, "sys")
+	if err != nil || !sys.Mode.IsDir() {
+		t.Fatalf("sys: %+v %v", sys, err)
+	}
+	g, err := fs.Lookup(sys.ID, "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size != 5 {
+		t.Fatalf("generated size %d, want 5", g.Size)
+	}
+	buf := make([]byte, 16)
+	n, err := fs.ReadAt(g.ID, buf, 0)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read %q %v", buf[:n], err)
+	}
+	if _, err := fs.Lookup(sys.ID, "absent"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("absent lookup: %v", err)
+	}
+}
+
+func TestDynamicContent(t *testing.T) {
+	fs := New(0)
+	calls := 0
+	fs.RegisterFile(func() []byte { calls++; return []byte{byte(calls)} }, "counter")
+	c, _ := fs.Lookup(fs.Root().ID, "counter")
+	buf := make([]byte, 1)
+	fs.ReadAt(c.ID, buf, 0)
+	first := buf[0]
+	fs.ReadAt(c.ID, buf, 0)
+	if buf[0] == first {
+		t.Fatal("generator not re-invoked; content is static")
+	}
+}
+
+func TestImmutableThroughVFS(t *testing.T) {
+	fs := New(0)
+	root := fs.Root().ID
+	if _, err := fs.Create(root, "x", fsapi.MkMode(fsapi.TypeRegular, 0o644), 0, 0); !errors.Is(err, fsapi.EPERM) {
+		t.Fatalf("create: %v, want EPERM", err)
+	}
+	if err := fs.Unlink(root, "x"); !errors.Is(err, fsapi.EPERM) {
+		t.Fatalf("unlink: %v, want EPERM", err)
+	}
+	if err := fs.Rename(root, "a", root, "b"); !errors.Is(err, fsapi.EPERM) {
+		t.Fatalf("rename: %v, want EPERM", err)
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	fs := New(0)
+	caps := fs.StatFS().Caps
+	if !caps.NoNegatives || !caps.ReadOnly {
+		t.Fatalf("caps %+v", caps)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New(0)
+	fs.RegisterFile(func() []byte { return nil }, "zz")
+	fs.RegisterFile(func() []byte { return nil }, "aa")
+	fs.RegisterDir("mm")
+	ents, _, eof, err := fs.ReadDir(fs.Root().ID, 0, -1)
+	if err != nil || !eof || len(ents) != 3 {
+		t.Fatalf("%v eof=%v n=%d", err, eof, len(ents))
+	}
+	if ents[0].Name != "aa" || ents[1].Name != "mm" || ents[2].Name != "zz" {
+		t.Fatalf("not sorted: %v", ents)
+	}
+	if ents[1].Type != fsapi.TypeDirectory {
+		t.Fatal("dir type lost")
+	}
+}
+
+func TestBuildProc(t *testing.T) {
+	fs := BuildProc(50)
+	root := fs.Root().ID
+	p17, err := fs.Lookup(root, "17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Lookup(p17.ID, "status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := fs.ReadAt(st.ID, buf, 0)
+	if err != nil || n == 0 {
+		t.Fatalf("read status: %d %v", n, err)
+	}
+	if _, err := fs.Lookup(root, "51"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("pid beyond range: %v", err)
+	}
+	self, err := fs.Lookup(root, "self")
+	if err != nil || !self.Mode.IsSymlink() {
+		t.Fatalf("self: %+v %v", self, err)
+	}
+	if target, _ := fs.ReadLink(self.ID); target != "1" {
+		t.Fatalf("self target %q", target)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	fs := New(0)
+	if err := fs.RegisterFile(func() []byte { return nil }, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RegisterFile(func() []byte { return nil }, "f"); !errors.Is(err, fsapi.EEXIST) {
+		t.Fatalf("duplicate: %v, want EEXIST", err)
+	}
+}

@@ -1,0 +1,103 @@
+package remotefs
+
+import (
+	"errors"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/fstest"
+	"dircache/internal/memfs"
+	"dircache/internal/vclock"
+	"dircache/internal/vfs"
+)
+
+func TestConformance(t *testing.T) {
+	fstest.RunConformance(t, func(t *testing.T) fsapi.FileSystem {
+		return New(memfs.New(memfs.Options{}), Options{RTTNanos: 1})
+	})
+}
+
+func TestRoundTripAccounting(t *testing.T) {
+	fs := New(memfs.New(memfs.Options{}), Options{RTTNanos: 1000})
+	var run vclock.Run
+	fs.SetClock(&run)
+	root := fs.Root().ID // no trip
+	if fs.RoundTrips() != 0 {
+		t.Fatal("Root charged a trip")
+	}
+	fs.Lookup(root, "x")
+	fs.ReadDir(root, 0, 10)
+	if fs.RoundTrips() != 2 {
+		t.Fatalf("trips %d, want 2", fs.RoundTrips())
+	}
+	if run.Nanos() != 2000 {
+		t.Fatalf("charged %d, want 2000", run.Nanos())
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	fs := New(memfs.New(memfs.Options{}), Options{})
+	caps := fs.StatFS().Caps
+	if !caps.Revalidate || caps.Name != "remotefs" {
+		t.Fatalf("caps %+v", caps)
+	}
+}
+
+// The §4.3 behaviours through the VFS: the fastpath never serves remote
+// paths, cached remote entries revalidate at the server on every walk, and
+// local paths on the same kernel are unaffected.
+func TestNoDirectLookupOnRemote(t *testing.T) {
+	k := vfs.NewKernel(vfs.Config{DirCompleteness: true, AggressiveNegatives: true},
+		memfs.New(memfs.Options{}))
+	// The optimized cache is installed via core; import cycle prevents
+	// using it here — the vfs-level revalidation behaviour is observable
+	// regardless (see dircache's public API test for the fastpath side).
+	root := k.NewTask(cred.Root())
+	if err := root.Mkdir("/net", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	remote := New(memfs.New(memfs.Options{}), Options{RTTNanos: 10})
+	if _, err := root.Mount(remote, "/net", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Mkdir("/net/export", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Create("/net/export/file", 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm stats still round-trip to the server each time (revalidation).
+	if _, err := root.Stat("/net/export/file"); err != nil {
+		t.Fatal(err)
+	}
+	trips := remote.RoundTrips()
+	if _, err := root.Stat("/net/export/file"); err != nil {
+		t.Fatal(err)
+	}
+	delta := remote.RoundTrips() - trips
+	if delta < 2 {
+		t.Fatalf("warm remote stat made %d trips; want one per remote component", delta)
+	}
+
+	// Negative entries are not trusted: each miss consults the server.
+	root.Stat("/net/export/ghost")
+	trips = remote.RoundTrips()
+	if _, err := root.Stat("/net/export/ghost"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatal(err)
+	}
+	if remote.RoundTrips() == trips {
+		t.Fatal("negative remote entry served without revalidation")
+	}
+
+	// A server-side deletion is observed on the next walk (ESTALE path).
+	srv := remote.server.(*memfs.FS)
+	exp, _ := srv.Lookup(srv.Root().ID, "export")
+	if err := srv.Unlink(exp.ID, "file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("/net/export/file"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("stale remote dentry served after server-side delete: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sig implements the path-signature scheme of §3.3 of the paper:
+// a keyed 2-universal multilinear hash (Lemire & Kaser, "Strongly universal
+// string hashing is fast") over the bytes of a canonical path, producing a
+// 256-bit output that is split into a 16-bit direct-lookup-hash-table index
+// and a 240-bit signature used as the stored key.
+//
+// Two properties the directory cache depends on are preserved:
+//
+//  1. The hash is keyed with a boot-time random key, so collisions cannot be
+//     precomputed offline, and the same path yields different signatures
+//     across instances.
+//  2. Hashing is resumable from any prefix: State captures the intermediate
+//     accumulator so each dentry can store the state of its own full path
+//     and children can be hashed by appending "/name" (paper: "we store the
+//     intermediate state of the hash function in each dentry so that
+//     hashing can resume from any prefix").
+//
+// In the multilinear construction each output lane j is
+//
+//	acc_j = k_j[0] + Σ_i k_j[i+1] · b_i   (mod 2^64)
+//
+// over path bytes b_i with independent random 64-bit key words k_j. Because
+// addition and multiplication mod 2^64 never propagate information downward,
+// the low 16 bits of a lane are uninfluenced by high bits, which is exactly
+// the property §3.3 uses to split index bits from signature bits safely.
+package sig
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxPathLen bounds the number of bytes that can be hashed into one
+// signature; it matches Linux's PATH_MAX.
+const MaxPathLen = 4096
+
+// lanes is the number of independent 64-bit multilinear accumulators;
+// 4 lanes give the 256-bit output the paper's design calls for.
+const lanes = 4
+
+// IndexBits is the number of low-order bits peeled off for the DLHT bucket
+// index (§3.3: "a 16 bit hash table index and a 240-bit signature").
+const IndexBits = 16
+
+// Signature is the 240-bit path signature. W[0] holds the 48 bits that
+// remain of lane 0 after the index is removed; W[1..3] hold full lanes.
+type Signature struct {
+	W [4]uint64
+}
+
+// Zero reports whether the signature is the all-zero value (used as a
+// sentinel for "not yet signed").
+func (s Signature) Zero() bool {
+	return s.W[0] == 0 && s.W[1] == 0 && s.W[2] == 0 && s.W[3] == 0
+}
+
+// String renders the signature in hex for diagnostics.
+func (s Signature) String() string {
+	return fmt.Sprintf("%012x%016x%016x%016x", s.W[0], s.W[1], s.W[2], s.W[3])
+}
+
+// Key is the boot-time random key schedule: one 64-bit word per lane per
+// byte position (plus the additive constant k[0]). It is immutable after
+// construction and safe for concurrent use.
+type Key struct {
+	k [lanes][]uint64 // length MaxPathLen+1 each
+}
+
+// NewKey derives a key schedule deterministically from seed using a
+// splitmix64 generator. Pass a random seed at boot; pass a fixed seed in
+// tests for reproducibility.
+func NewKey(seed uint64) *Key {
+	key := &Key{}
+	s := seed
+	next := func() uint64 {
+		// splitmix64: well-distributed, cheap, and dependency-free.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for j := 0; j < lanes; j++ {
+		key.k[j] = make([]uint64, MaxPathLen+1)
+		for i := range key.k[j] {
+			key.k[j][i] = next()
+		}
+	}
+	return key
+}
+
+// State is the resumable intermediate hash state: the byte position reached
+// and the accumulator of each lane. The zero State is not valid; obtain one
+// from Key.NewState. State is a small value type; copies are independent.
+type State struct {
+	key *Key
+	pos int
+	acc [lanes]uint64
+}
+
+// NewState returns the state of the empty string (accumulators hold the
+// additive key constant).
+func (k *Key) NewState() State {
+	st := State{key: k}
+	for j := 0; j < lanes; j++ {
+		st.acc[j] = k.k[j][0]
+	}
+	return st
+}
+
+// Valid reports whether the state was produced by a Key.
+func (st State) Valid() bool { return st.key != nil }
+
+// Len returns the number of bytes hashed so far.
+func (st State) Len() int { return st.pos }
+
+// AppendByte returns the state extended by one byte. It panics if the
+// MaxPathLen bound is exceeded — the VFS rejects such paths with
+// ENAMETOOLONG before hashing.
+func (st State) AppendByte(b byte) State {
+	if st.pos >= MaxPathLen {
+		panic("sig: path exceeds MaxPathLen")
+	}
+	i := st.pos + 1
+	k := st.key
+	st.acc[0] += k.k[0][i] * uint64(b)
+	st.acc[1] += k.k[1][i] * uint64(b)
+	st.acc[2] += k.k[2][i] * uint64(b)
+	st.acc[3] += k.k[3][i] * uint64(b)
+	st.pos = i
+	return st
+}
+
+// AppendString returns the state extended by all bytes of s.
+func (st State) AppendString(s string) State {
+	if st.pos+len(s) > MaxPathLen {
+		panic("sig: path exceeds MaxPathLen")
+	}
+	k := st.key
+	pos := st.pos
+	a0, a1, a2, a3 := st.acc[0], st.acc[1], st.acc[2], st.acc[3]
+	for i := 0; i < len(s); i++ {
+		b := uint64(s[i])
+		p := pos + i + 1
+		a0 += k.k[0][p] * b
+		a1 += k.k[1][p] * b
+		a2 += k.k[2][p] * b
+		a3 += k.k[3][p] * b
+	}
+	st.acc[0], st.acc[1], st.acc[2], st.acc[3] = a0, a1, a2, a3
+	st.pos = pos + len(s)
+	return st
+}
+
+// Fits reports whether n more bytes can be appended without exceeding
+// MaxPathLen.
+func (st State) Fits(n int) bool { return st.pos+n <= MaxPathLen }
+
+// Sum finalizes the state into a DLHT bucket index and a 240-bit signature.
+// The index is the low 16 bits of lane 0; the signature is everything else.
+// Finalization folds in the length so that prefixes of a path (which share
+// accumulator structure) cannot collide with the path itself by padding.
+func (st State) Sum() (idx uint16, s Signature) {
+	k := st.key
+	// Fold the length through one more multilinear step using the
+	// position-0 key words, which ordinary bytes never consume at this
+	// offset pattern (ordinary bytes use k[lane][pos] for pos >= 1).
+	l := uint64(st.pos) + 1 // +1 so the empty path is also mixed
+	f0 := st.acc[0] + k.k[0][0]*l
+	f1 := st.acc[1] + k.k[1][0]*l
+	f2 := st.acc[2] + k.k[2][0]*l
+	f3 := st.acc[3] + k.k[3][0]*l
+	idx = uint16(f0)
+	s.W[0] = f0 >> IndexBits
+	s.W[1] = f1
+	s.W[2] = f2
+	s.W[3] = f3
+	return idx, s
+}
+
+// HashString is a convenience: hash an entire string from scratch.
+func (k *Key) HashString(s string) (uint16, Signature) {
+	return k.NewState().AppendString(s).Sum()
+}
+
+// Marshal serializes the state's position and accumulators (not the key)
+// for diagnostics and fuzzing corpora.
+func (st State) Marshal() []byte {
+	buf := make([]byte, 4+8*lanes)
+	binary.LittleEndian.PutUint32(buf, uint32(st.pos))
+	for j := 0; j < lanes; j++ {
+		binary.LittleEndian.PutUint64(buf[4+8*j:], st.acc[j])
+	}
+	return buf
+}
+
+// Unmarshal restores a state serialized by Marshal under the same key.
+func (k *Key) Unmarshal(buf []byte) (State, error) {
+	if len(buf) != 4+8*lanes {
+		return State{}, fmt.Errorf("sig: bad state length %d", len(buf))
+	}
+	st := State{key: k, pos: int(binary.LittleEndian.Uint32(buf))}
+	if st.pos < 0 || st.pos > MaxPathLen {
+		return State{}, fmt.Errorf("sig: bad state position %d", st.pos)
+	}
+	for j := 0; j < lanes; j++ {
+		st.acc[j] = binary.LittleEndian.Uint64(buf[4+8*j:])
+	}
+	return st, nil
+}

@@ -1,0 +1,97 @@
+package sig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPairwiseUniversality estimates the 2-universal property empirically:
+// for random distinct strings x != y and a random key, Pr[h_k(x) = h_k(y)]
+// over a truncated b-bit output should be ~2^-b. We use b small enough to
+// observe collisions and check the rate is within a factor of the ideal.
+func TestPairwiseUniversality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		bits   = 12
+		trials = 60000
+	)
+	mask := uint64(1<<bits - 1)
+	collisions := 0
+	var k *Key
+	for i := 0; i < trials; i++ {
+		if i%500 == 0 {
+			k = NewKey(rng.Uint64()) // fresh random key periodically
+		}
+		// Random pair of distinct short strings.
+		x := randPath(rng)
+		y := randPath(rng)
+		if x == y {
+			continue
+		}
+		_, sx := k.HashString(x)
+		_, sy := k.HashString(y)
+		if sx.W[1]&mask == sy.W[1]&mask {
+			collisions++
+		}
+	}
+	ideal := float64(trials) / math.Pow(2, bits)
+	ratio := float64(collisions) / ideal
+	if ratio > 2.0 || ratio < 0.3 {
+		t.Fatalf("collision rate %d vs ideal %.1f (ratio %.2f): not ~2-universal",
+			collisions, ideal, ratio)
+	}
+}
+
+// TestAvalancheOnSingleByteChange: flipping one byte must change each
+// signature lane with overwhelming probability (a weaker smoke property
+// that catches broken key schedules).
+func TestAvalancheOnSingleByteChange(t *testing.T) {
+	k := NewKey(7)
+	rng := rand.New(rand.NewSource(9))
+	same := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		p := randPath(rng)
+		b := []byte(p)
+		pos := rng.Intn(len(b))
+		orig := b[pos]
+		for b[pos] == orig || b[pos] == '/' {
+			b[pos] = byte(rng.Intn(94) + 33)
+		}
+		_, s1 := k.HashString(p)
+		_, s2 := k.HashString(string(b))
+		if s1.W[1] == s2.W[1] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/%d single-byte changes left lane 1 unchanged", same, trials)
+	}
+}
+
+// TestPositionSensitivity: permuting components must change the signature
+// (position-dependent keys).
+func TestPositionSensitivity(t *testing.T) {
+	k := NewKey(3)
+	_, s1 := k.HashString("/ab/cd")
+	_, s2 := k.HashString("/cd/ab")
+	if s1 == s2 {
+		t.Fatal("component permutation collided")
+	}
+	_, s3 := k.HashString("/a/bcd")
+	_, s4 := k.HashString("/ab/cd")
+	if s3 == s4 {
+		t.Fatal("slash position shift collided")
+	}
+}
+
+func randPath(rng *rand.Rand) string {
+	n := 3 + rng.Intn(20)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	b[0] = '/'
+	return string(b)
+}

@@ -1,0 +1,243 @@
+// Package vfs implements the virtual file system layer: dentries, inodes,
+// mounts and namespaces, permission checking (DAC + LSM), the baseline
+// Linux-style directory cache with a component-at-a-time walk, negative
+// dentries, an LRU shrinker, and the full path-based operation surface.
+//
+// The paper's optimizations plug in through two seams:
+//
+//   - Config feature flags enable the VFS-level hit-rate optimizations
+//     (§5): directory completeness caching and aggressive negative
+//     dentries.
+//   - The Hooks interface lets internal/core install the §3 fastpath
+//     (DLHT + PCC + signatures), coherence callbacks, symlink aliasing and
+//     deep negative dentries without the VFS knowing any of its types.
+package vfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dircache/internal/fsapi"
+)
+
+// DentryFlags describe a dentry's cache state. Flags are manipulated
+// atomically so the lock-free (RCU-era) read path can validate them.
+type DentryFlags uint32
+
+const (
+	// DNegative: the name is known not to exist (negative dentry).
+	DNegative DentryFlags = 1 << iota
+	// DUnhydrated: created from a readdir result; existence and type are
+	// known but the inode has not been fetched (paper §5.1: "dentries
+	// without an inode").
+	DUnhydrated
+	// DComplete: all children of this directory are in the cache (§5.1).
+	DComplete
+	// DMounted: some namespace has a mount on this dentry (check the
+	// mount table when crossing).
+	DMounted
+	// DAlias: a symlink-alias dentry created by the fastpath (§4.2); its
+	// Target redirects to the real dentry.
+	DAlias
+	// DDeepNegative: a negative dentry synthesized under another negative
+	// dentry or under a file (§5.2).
+	DDeepNegative
+	// DNotDir: this (deep) negative dentry represents an ENOTDIR failure
+	// rather than ENOENT (§5.2).
+	DNotDir
+	// DDead: evicted/unlinked; lock-free readers must discard it.
+	DDead
+)
+
+// parentName is the atomically-swapped (parent, name) pair, so the
+// lock-free walk can read a consistent identity while a rename is moving
+// the dentry.
+type parentName struct {
+	parent *Dentry
+	name   string
+}
+
+// Dentry is one directory cache entry: a (parent, name) → inode binding,
+// possibly negative. Exported methods that read identity or flags are safe
+// without locks; structural changes happen inside the VFS under d.mu.
+type Dentry struct {
+	id uint64
+
+	pn    atomic.Pointer[parentName]
+	flags atomic.Uint32
+
+	inode atomic.Pointer[Inode]
+	sb    *Super
+
+	// hint fields let an unhydrated dentry be hydrated with GetNode
+	// instead of a directory search.
+	hintID   fsapi.NodeID
+	hintType fsapi.FileType
+
+	// target of a DAlias dentry: the real dentry this alias redirects to.
+	target atomic.Pointer[Dentry]
+
+	// linkBody caches a symlink's target string after first read.
+	linkBody atomic.Value // string
+
+	mu       sync.Mutex
+	children map[string]*Dentry
+	nkids    atomic.Int32 // cached len(children): pins against eviction
+
+	// completeList caches the directory's rendered listing while the
+	// dentry is DComplete and no child has changed — the dirent buffer a
+	// repeated readdir copies out of (§5.1). Guarded by mu.
+	completeList []fsapi.DirEntry
+	listValid    bool
+
+	refs atomic.Int32 // open files, cwd/root references
+
+	// fast is the per-dentry state owned by the installed Hooks (the
+	// paper's struct fast_dentry). Set once at allocation, read-only
+	// afterwards.
+	fast any
+
+	// lru bookkeeping (guarded by the kernel lru lock).
+	lruElem *lruEntry
+}
+
+// ID returns the dentry's unique, never-reused identity (the analogue of
+// the kernel dentry's virtual address as a stable token).
+func (d *Dentry) ID() uint64 { return d.id }
+
+// Name returns the dentry's current component name.
+func (d *Dentry) Name() string { return d.pn.Load().name }
+
+// Parent returns the dentry's current parent (nil for a superblock root).
+func (d *Dentry) Parent() *Dentry { return d.pn.Load().parent }
+
+// Flags returns the current flag set.
+func (d *Dentry) Flags() DentryFlags { return DentryFlags(d.flags.Load()) }
+
+func (d *Dentry) setFlags(f DentryFlags)   { d.flags.Or(uint32(f)) }
+func (d *Dentry) clearFlags(f DentryFlags) { d.flags.And(^uint32(f)) }
+
+// IsNegative reports whether the dentry is negative (including deep).
+func (d *Dentry) IsNegative() bool { return d.Flags()&DNegative != 0 }
+
+// IsDead reports whether the dentry has been evicted or killed.
+func (d *Dentry) IsDead() bool { return d.Flags()&DDead != 0 }
+
+// Inode returns the attached inode, or nil for negative/unhydrated
+// dentries.
+func (d *Dentry) Inode() *Inode { return d.inode.Load() }
+
+// Super returns the superblock owning this dentry.
+func (d *Dentry) Super() *Super { return d.sb }
+
+// Target returns the alias redirect target for DAlias dentries.
+func (d *Dentry) Target() *Dentry { return d.target.Load() }
+
+// Fast returns the hook-owned per-dentry state installed at allocation.
+func (d *Dentry) Fast() any { return d.fast }
+
+// Ref pins the dentry against eviction.
+func (d *Dentry) Ref() { d.refs.Add(1) }
+
+// Unref releases a pin.
+func (d *Dentry) Unref() { d.refs.Add(-1) }
+
+// IsDir reports whether the dentry currently refers to a directory
+// (unhydrated dentries answer from their readdir type hint).
+func (d *Dentry) IsDir() bool {
+	if ino := d.Inode(); ino != nil {
+		return ino.Mode().IsDir()
+	}
+	return d.Flags()&DUnhydrated != 0 && d.hintType == fsapi.TypeDirectory
+}
+
+// IsSymlink reports whether the dentry currently refers to a symlink.
+func (d *Dentry) IsSymlink() bool {
+	if ino := d.Inode(); ino != nil {
+		return ino.Mode().IsSymlink()
+	}
+	return d.Flags()&DUnhydrated != 0 && d.hintType == fsapi.TypeSymlink
+}
+
+// EachChild calls fn for every cached child (including negatives, aliases
+// and deep negatives) under d.mu. fn must not re-enter the dentry tree.
+func (d *Dentry) EachChild(fn func(*Dentry)) {
+	d.mu.Lock()
+	kids := make([]*Dentry, 0, len(d.children))
+	for _, c := range d.children {
+		kids = append(kids, c)
+	}
+	d.mu.Unlock()
+	for _, c := range kids {
+		fn(c)
+	}
+}
+
+// Child returns the cached child dentry by name (including negatives and
+// aliases), or nil. Exported for the fastpath hooks.
+func (d *Dentry) Child(name string) *Dentry { return d.child(name) }
+
+// child returns the cached child by name, under d.mu.
+func (d *Dentry) child(name string) *Dentry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.children[name]
+}
+
+// attachChild links c under d (c's pn must already point at d).
+func (d *Dentry) attachChild(c *Dentry) {
+	d.mu.Lock()
+	if d.children == nil {
+		d.children = make(map[string]*Dentry, 4)
+	}
+	d.children[c.Name()] = c
+	d.listValid = false
+	d.mu.Unlock()
+	d.nkids.Add(1)
+}
+
+// detachChild unlinks the named child from d's children map.
+func (d *Dentry) detachChild(name string) {
+	d.mu.Lock()
+	if _, ok := d.children[name]; ok {
+		delete(d.children, name)
+		d.nkids.Add(-1)
+	}
+	d.listValid = false
+	d.mu.Unlock()
+}
+
+// invalidateList drops the cached listing (child set or a child's
+// identity changed).
+func (d *Dentry) invalidateList() {
+	d.mu.Lock()
+	d.listValid = false
+	d.mu.Unlock()
+}
+
+// PathTo renders the dentry's path from the superblock root ("/" rooted at
+// this dentry's sb), for diagnostics and signature (re)construction. It is
+// not canonical across mounts; callers that need a namespace path must
+// compose mounts themselves.
+func (d *Dentry) PathTo() string {
+	var comps []string
+	n := 0
+	for cur := d; cur != nil; {
+		pn := cur.pn.Load()
+		if pn.parent == nil {
+			break
+		}
+		comps = append(comps, pn.name)
+		n += len(pn.name) + 1
+		cur = pn.parent
+	}
+	if len(comps) == 0 {
+		return "/"
+	}
+	buf := make([]byte, 0, n)
+	for i := len(comps) - 1; i >= 0; i-- {
+		buf = append(buf, '/')
+		buf = append(buf, comps[i]...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,381 @@
+package vfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dircache/internal/fsapi"
+	"dircache/internal/lsm"
+)
+
+// Config selects the directory cache behaviour. The zero value is the
+// stock Linux 3.14 baseline ("unmodified kernel"); feature flags turn on
+// the paper's optimizations individually, which the ablation benchmarks
+// exploit.
+type Config struct {
+	// SyncMode selects the hash table synchronization era (Figure 2).
+	SyncMode SyncMode
+
+	// HashBuckets sizes the (parent,name) dentry hash table (0 = 2^18,
+	// Linux's default).
+	HashBuckets int
+
+	// CacheCapacity bounds the number of cached dentries; 0 = unlimited.
+	// When the cache exceeds it, cold leaf dentries are evicted.
+	CacheCapacity int
+
+	// DisableNegatives turns off negative dentry caching entirely (not a
+	// Linux behaviour; used by ablations).
+	DisableNegatives bool
+
+	// DirCompleteness enables §5.1: DIR_COMPLETE tracking, readdir served
+	// from the cache, authoritative misses, and creation without an
+	// existence lookup.
+	DirCompleteness bool
+
+	// AggressiveNegatives enables §5.2: keep negative dentries after
+	// unlink/rename, and cache negatives on pseudo file systems.
+	AggressiveNegatives bool
+
+	// MaxSymlinks bounds symlink resolution depth (0 = 40, Linux's
+	// MAXSYMLINKS).
+	MaxSymlinks int
+
+	// PhaseTrace enables per-walk phase timing (Figure 3). Costs a few
+	// timestamps per lookup; leave off except when measuring.
+	PhaseTrace bool
+}
+
+// Invalidation tells hooks why a subtree invalidation is happening.
+type Invalidation int
+
+const (
+	// InvalRename: the dentry (and its subtree) is moving to a new path.
+	InvalRename Invalidation = iota
+	// InvalPerm: a directory's permission-relevant metadata changed.
+	InvalPerm
+	// InvalUnlink: the dentry is being unlinked/rmdired (subtree = alias
+	// or deep-negative children).
+	InvalUnlink
+	// InvalMount: a mount or unmount is changing resolution under the
+	// dentry.
+	InvalMount
+)
+
+// Hooks is the seam through which internal/core installs the paper's §3/§4
+// fastpath. All methods must be safe for concurrent use. A nil Hooks means
+// the unmodified baseline.
+type Hooks interface {
+	// NewDentry is called once per allocated dentry; its return value is
+	// stored as the dentry's Fast() state (the struct fast_dentry).
+	NewDentry(d *Dentry) any
+
+	// TryFast attempts a whole-path lookup from start. handled=false
+	// falls back to the slow walk. When handled, res/err are the final
+	// outcome (err may be ENOENT from a negative hit).
+	TryFast(t *Task, start PathRef, path string, fl WalkFlags) (res PathRef, err error, handled bool)
+
+	// BeginSlow returns an invalidation-epoch token before a slow walk.
+	BeginSlow() uint64
+
+	// EndSlowLookup is called after a successful slow walk so the hooks
+	// can populate the DLHT and PCC (unless the token went stale).
+	// lexical is the dentry the path's canonical lexical form denotes:
+	// usually res itself, but the symlink dentry when the final component
+	// was a followed link, or the alias dentry when the final component
+	// resolved under a symlink prefix (§4.2).
+	EndSlowLookup(token uint64, t *Task, start PathRef, path string, lexical, res PathRef)
+
+	// EndSlowNegative is called after a slow walk failed with ENOENT or
+	// ENOTDIR so the hooks can install deep negative dentries (§5.2).
+	EndSlowNegative(token uint64, t *Task, start PathRef, path string, f *WalkFailure)
+
+	// AliasStep is called while the slow walk resolves components that
+	// followed a symlink: aliasParent is the symlink (or previous alias)
+	// dentry with its mount, name the component, real the resolved
+	// location. It returns the alias dentry to chain from, or nil to stop
+	// aliasing (§4.2).
+	AliasStep(t *Task, aliasParent PathRef, name string, real PathRef) *Dentry
+
+	// BeginMutation is called before a structural or permission change
+	// rooted at d. The returned function is called when the change is
+	// complete. Hooks bump their invalidation epoch on both edges and
+	// shoot down cached state under d.
+	BeginMutation(d *Dentry, why Invalidation) (end func())
+
+	// OnEvict is called when a dentry leaves the cache (LRU eviction or
+	// final unlink teardown).
+	OnEvict(d *Dentry)
+}
+
+// Stats are cumulative directory cache counters.
+type Stats struct {
+	Lookups       int64 // path walks requested
+	FastHits      int64 // whole-path fastpath hits (set via AddFastHit)
+	FastNegHits   int64 // fastpath hits on negative dentries
+	SlowWalks     int64 // walks that took the component-at-a-time path
+	Components    int64 // components resolved on the slow path
+	CacheHits     int64 // slow-path hash table hits
+	FSLookups     int64 // misses that called the low-level FS
+	Hydrations    int64 // unhydrated dentries filled via GetNode
+	NegativeHits  int64 // ENOENT answered by a negative dentry
+	CompleteShort int64 // misses answered by DIR_COMPLETE (§5.1)
+	ReaddirCached int64 // readdir served from the dcache (§5.1)
+	ReaddirFS     int64 // readdir served by the low-level FS
+	Evictions     int64
+	SymlinkJumps  int64
+	DotDotSteps   int64
+	RetryWalks    int64 // optimistic walks that had to retry/fallback
+}
+
+type statsCell struct {
+	lookups, fastHits, fastNegHits, slowWalks, components, cacheHits,
+	fsLookups, hydrations, negativeHits, completeShort,
+	readdirCached, readdirFS, evictions, symlinkJumps, dotDotSteps,
+	retryWalks atomic.Int64
+}
+
+func (s *statsCell) snapshot() Stats {
+	return Stats{
+		Lookups:       s.lookups.Load(),
+		FastHits:      s.fastHits.Load(),
+		FastNegHits:   s.fastNegHits.Load(),
+		SlowWalks:     s.slowWalks.Load(),
+		Components:    s.components.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		FSLookups:     s.fsLookups.Load(),
+		Hydrations:    s.hydrations.Load(),
+		NegativeHits:  s.negativeHits.Load(),
+		CompleteShort: s.completeShort.Load(),
+		ReaddirCached: s.readdirCached.Load(),
+		ReaddirFS:     s.readdirFS.Load(),
+		Evictions:     s.evictions.Load(),
+		SymlinkJumps:  s.symlinkJumps.Load(),
+		DotDotSteps:   s.dotDotSteps.Load(),
+		RetryWalks:    s.retryWalks.Load(),
+	}
+}
+
+// Kernel owns the entire VFS state: the dentry cache, mount namespaces,
+// LSM stack, and configuration.
+type Kernel struct {
+	cfg   Config
+	table *hashTable
+	lru   lruList
+	lsm   lsm.Stack
+
+	hooks Hooks
+
+	// big is the 2.6.36-era global dcache lock (SyncBigLock only).
+	big sync.Mutex
+
+	// renameRW is the ref-walk fallback lock; renameSeq is the global
+	// rename seqcount validated by optimistic walks.
+	renameRW  sync.RWMutex
+	renameSeq atomic.Uint64
+
+	idGen  atomic.Uint64 // dentries, mounts, namespaces, supers
+	stats  statsCell
+	initNS *Namespace
+
+	// supers deduplicates superblocks so mounting the same FS instance
+	// twice aliases one dentry tree (§4.3 mount aliases).
+	supersMu sync.Mutex
+	supers   map[fsapi.FileSystem]*Super
+
+	// aliasEpoch counts events that create path aliases (bind mounts,
+	// namespace clones). While zero, every dentry has exactly one
+	// canonical path and hooks may take single-view shortcuts.
+	aliasEpoch atomic.Uint64
+
+	// phases receives per-walk PhaseTimes when Config.PhaseTrace is set.
+	phases func(PhaseTimes)
+}
+
+// AliasingEpoch reports how many alias-creating events (bind mounts,
+// namespace clones) have occurred; zero means single-view paths.
+func (k *Kernel) AliasingEpoch() uint64 { return k.aliasEpoch.Load() }
+
+// NewKernel creates a kernel whose root file system is rootFS.
+func NewKernel(cfg Config, rootFS fsapi.FileSystem) *Kernel {
+	if cfg.MaxSymlinks == 0 {
+		cfg.MaxSymlinks = 40
+	}
+	k := &Kernel{cfg: cfg, supers: make(map[fsapi.FileSystem]*Super)}
+	k.table = newHashTable(cfg.SyncMode, cfg.HashBuckets)
+
+	sb := k.superFor(rootFS)
+	rootMount := &Mount{id: k.idGen.Add(1), sb: sb, root: sb.root}
+	ns := &Namespace{id: k.idGen.Add(1), mounts: make(map[mkey]*Mount), root: rootMount}
+	k.initNS = ns
+	return k
+}
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// SetHooks installs the fastpath hooks. Must be called before any tasks
+// run (the root dentry is retrofitted with hook state).
+func (k *Kernel) SetHooks(h Hooks) {
+	k.hooks = h
+	if h != nil {
+		// Retrofit dentries allocated before installation (the roots).
+		root := k.initNS.root.sb.root
+		if root.fast == nil {
+			root.fast = h.NewDentry(root)
+		}
+	}
+}
+
+// Hooks returns the installed hooks (nil for baseline).
+func (k *Kernel) Hooks() Hooks { return k.hooks }
+
+// LSM returns the kernel's security module stack for registration.
+func (k *Kernel) LSM() *lsm.Stack { return &k.lsm }
+
+// InitialNamespace returns the boot mount namespace.
+func (k *Kernel) InitialNamespace() *Namespace { return k.initNS }
+
+// Stats returns a snapshot of the cumulative counters.
+func (k *Kernel) Stats() Stats { return k.stats.snapshot() }
+
+// AddFastHit lets hooks account a fastpath hit (negative = ENOENT served).
+func (k *Kernel) AddFastHit(negative bool) {
+	k.stats.fastHits.Add(1)
+	if negative {
+		k.stats.fastNegHits.Add(1)
+	}
+}
+
+// DentryCount returns the number of cached dentries.
+func (k *Kernel) DentryCount() int { return k.lru.Len() }
+
+// EvictionEpoch exposes the LRU eviction epoch (§5.1 bookkeeping).
+func (k *Kernel) EvictionEpoch() uint64 { return k.lru.Epoch() }
+
+// ChainStats reports hash bucket utilization (empty/1/2/3+ chains).
+func (k *Kernel) ChainStats() (empty, one, two, more int) {
+	return k.table.chainStats()
+}
+
+// superFor returns the superblock for fs, creating one on first mount.
+// Re-mounting the same instance shares the dentry tree (mount aliasing).
+func (k *Kernel) superFor(fs fsapi.FileSystem) *Super {
+	k.supersMu.Lock()
+	defer k.supersMu.Unlock()
+	if sb, ok := k.supers[fs]; ok {
+		return sb
+	}
+	sb := k.newSuper(fs)
+	k.supers[fs] = sb
+	return sb
+}
+
+// newSuper wraps a low-level FS in a superblock with a root dentry.
+func (k *Kernel) newSuper(fs fsapi.FileSystem) *Super {
+	sb := &Super{
+		id:     k.idGen.Add(1),
+		fs:     fs,
+		caps:   fs.StatFS().Caps,
+		icache: make(map[fsapi.NodeID]*Inode),
+	}
+	rootInfo := fs.Root()
+	root := k.allocDentry(sb, nil, "", sb.inodeFor(rootInfo))
+	sb.root = root
+	return sb
+}
+
+// allocDentry creates a dentry (positive if ino != nil) and registers it
+// with the LRU and hook state. It does NOT insert into the hash table or
+// the parent's child map — callers do, under the proper locks.
+func (k *Kernel) allocDentry(sb *Super, parent *Dentry, name string, ino *Inode) *Dentry {
+	d := &Dentry{id: k.idGen.Add(1), sb: sb}
+	d.pn.Store(&parentName{parent: parent, name: name})
+	if ino != nil {
+		d.inode.Store(ino)
+	} else {
+		d.setFlags(DNegative)
+	}
+	if k.hooks != nil {
+		d.fast = k.hooks.NewDentry(d)
+	}
+	k.lru.add(d)
+	return d
+}
+
+// maybeShrink enforces CacheCapacity by evicting cold leaf dentries.
+func (k *Kernel) maybeShrink() {
+	if k.cfg.CacheCapacity <= 0 {
+		return
+	}
+	over := k.lru.Len() - k.cfg.CacheCapacity
+	if over <= 0 {
+		return
+	}
+	k.Shrink(over)
+}
+
+// Shrink evicts up to n cold, unpinned leaf dentries and returns how many
+// were evicted.
+func (k *Kernel) Shrink(n int) int {
+	victims := k.lru.victims(n)
+	for _, d := range victims {
+		pn := d.pn.Load()
+		d.setFlags(DDead)
+		if pn.parent != nil {
+			k.table.remove(pn.parent.id, pn.name, d)
+			pn.parent.detachChild(pn.name)
+			pn.parent.clearFlags(DComplete)
+		}
+		k.stats.evictions.Add(1)
+		if k.hooks != nil {
+			k.hooks.OnEvict(d)
+		}
+	}
+	return len(victims)
+}
+
+// DropCaches evicts every evictable dentry (repeatedly, so emptied parents
+// become leaves and fall too) and returns the number evicted. Pinned
+// dentries (roots, cwds, open files) survive. This is the experiment
+// harness's "echo 2 > /proc/sys/vm/drop_caches".
+func (k *Kernel) DropCaches() int {
+	total := 0
+	for {
+		n := k.Shrink(1 << 20)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// beginMutation invokes the hooks' BeginMutation if installed.
+func (k *Kernel) beginMutation(d *Dentry, why Invalidation) func() {
+	if k.hooks == nil {
+		return func() {}
+	}
+	return k.hooks.BeginMutation(d, why)
+}
+
+// renameWriteLock enters a structural-change critical section: the rename
+// seqcount goes odd, optimistic walks retry, and ref-walks block.
+func (k *Kernel) renameWriteLock() {
+	k.renameRW.Lock()
+	k.renameSeq.Add(1)
+}
+
+func (k *Kernel) renameWriteUnlock() {
+	k.renameSeq.Add(1)
+	k.renameRW.Unlock()
+}
+
+// readSeqBegin/readSeqValid implement the optimistic reader side.
+func (k *Kernel) readSeqBegin() (uint64, bool) {
+	s := k.renameSeq.Load()
+	return s, s&1 == 0
+}
+
+func (k *Kernel) readSeqValid(s uint64) bool {
+	return k.renameSeq.Load() == s
+}

@@ -1,0 +1,130 @@
+package vfs
+
+import "sync"
+
+// lruEntry is an intrusive doubly-linked list node for the dentry LRU.
+type lruEntry struct {
+	d          *Dentry
+	prev, next *lruEntry
+}
+
+// lruList is the global dentry LRU used to shrink the cache under
+// pressure. Front = most recently used. Eviction only considers leaf
+// dentries (no cached children) with no pins, preserving the invariant
+// that every cached dentry's parents are cached (§2.2) — eviction is
+// therefore bottom-up.
+type lruList struct {
+	mu         sync.Mutex
+	head, tail *lruEntry
+	count      int
+
+	// epoch increments on every eviction; directory-completeness
+	// bookkeeping uses it to detect "a child may have been evicted while
+	// I was reading this directory" (§5.1).
+	epoch uint64
+}
+
+func (l *lruList) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+func (l *lruList) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// add inserts d at the front.
+func (l *lruList) add(d *Dentry) {
+	e := &lruEntry{d: d}
+	l.mu.Lock()
+	d.lruElem = e
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+// touch moves d to the front. Called on cache hits; cheap no-op if already
+// at front.
+func (l *lruList) touch(d *Dentry) {
+	l.mu.Lock()
+	e := d.lruElem
+	if e == nil || l.head == e {
+		l.mu.Unlock()
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if l.tail == e {
+		l.tail = e.prev
+	}
+	// push front
+	e.prev = nil
+	e.next = l.head
+	l.head.prev = e
+	l.head = e
+	l.mu.Unlock()
+}
+
+// removeLocked unlinks e. Caller holds l.mu.
+func (l *lruList) removeLocked(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if l.head == e {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if l.tail == e {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.count--
+}
+
+// remove detaches d from the list (unlink/eviction path).
+func (l *lruList) remove(d *Dentry) {
+	l.mu.Lock()
+	if d.lruElem != nil {
+		l.removeLocked(d.lruElem)
+		d.lruElem = nil
+		l.epoch++
+	}
+	l.mu.Unlock()
+}
+
+// victims collects up to n evictable dentries from the cold end: unpinned
+// leaves. They are removed from the list; the caller completes the
+// eviction (table/parent/hook teardown) and must not re-add them.
+func (l *lruList) victims(n int) []*Dentry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Dentry
+	e := l.tail
+	for e != nil && len(out) < n {
+		prev := e.prev
+		d := e.d
+		if d.refs.Load() == 0 && d.nkids.Load() == 0 {
+			l.removeLocked(e)
+			d.lruElem = nil
+			l.epoch++
+			out = append(out, d)
+		}
+		e = prev
+	}
+	return out
+}

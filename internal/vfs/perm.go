@@ -1,0 +1,122 @@
+package vfs
+
+import (
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/lsm"
+)
+
+// permission implements the kernel's inode_permission: Unix discretionary
+// access control followed by the LSM stack. mnt supplies mount options
+// (noexec); it may be nil where mount context is unavailable.
+func (k *Kernel) permission(c *cred.Cred, mnt *Mount, ino *Inode, mask lsm.Mask) error {
+	mode := ino.Mode()
+
+	if mask&lsm.MayExec != 0 && mnt != nil && mnt.flags&MntNoExec != 0 && mode.IsRegular() {
+		return fsapi.EACCES
+	}
+
+	if err := dacPermission(c, mode, ino.UID(), ino.GID(), mask); err != nil {
+		return err
+	}
+	if k.lsm.Empty() {
+		return nil
+	}
+	return k.lsm.Check(c, ino.View(), mask)
+}
+
+// dacPermission is the classic owner/group/other bit check.
+func dacPermission(c *cred.Cred, mode fsapi.Mode, uid, gid uint32, mask lsm.Mask) error {
+	if c.IsRoot() {
+		// Root bypasses rw checks; exec on a regular file still requires
+		// at least one x bit (Linux's CAP_DAC_OVERRIDE subtlety).
+		if mask&lsm.MayExec != 0 && mode.IsRegular() && mode.Perm()&0o111 == 0 {
+			return fsapi.EACCES
+		}
+		return nil
+	}
+
+	var bits fsapi.Mode
+	switch {
+	case c.UID == uid:
+		bits = mode.Perm() >> 6
+	case c.InGroup(gid):
+		bits = mode.Perm() >> 3
+	default:
+		bits = mode.Perm()
+	}
+	bits &= 0o7
+
+	var want fsapi.Mode
+	if mask&lsm.MayRead != 0 {
+		want |= 0o4
+	}
+	if mask&lsm.MayWrite != 0 {
+		want |= 0o2
+	}
+	if mask&lsm.MayExec != 0 {
+		want |= 0o1
+	}
+	if bits&want != want {
+		return fsapi.EACCES
+	}
+	return nil
+}
+
+// CheckExec checks search/execute permission for a credential on an inode
+// (exported for the fastpath's per-dot-dot permission checks, §4.2).
+func (k *Kernel) CheckExec(c *cred.Cred, mnt *Mount, ino *Inode) error {
+	return k.permission(c, mnt, ino, lsm.MayExec)
+}
+
+// mayLookup checks search permission on a directory inode — one step of a
+// prefix check (§2.1).
+func (k *Kernel) mayLookup(c *cred.Cred, mnt *Mount, dir *Inode) error {
+	return k.permission(c, mnt, dir, lsm.MayExec)
+}
+
+// mayDelete enforces write+search on the parent plus the sticky bit rule.
+func (k *Kernel) mayDelete(c *cred.Cred, mnt *Mount, dir *Inode, victim *Inode) error {
+	if err := k.permission(c, mnt, dir, lsm.MayWrite|lsm.MayExec); err != nil {
+		return err
+	}
+	if dir.Mode().Perm()&fsapi.ModeSticky != 0 && !c.IsRoot() {
+		if victim != nil && victim.UID() != c.UID && dir.UID() != c.UID {
+			return fsapi.EPERM
+		}
+	}
+	return nil
+}
+
+// mayCreate enforces write+search on the parent directory.
+func (k *Kernel) mayCreate(c *cred.Cred, mnt *Mount, dir *Inode) error {
+	if mnt != nil && mnt.flags&MntReadOnly != 0 {
+		return fsapi.EROFS
+	}
+	return k.permission(c, mnt, dir, lsm.MayWrite|lsm.MayExec)
+}
+
+// mayWriteMnt rejects writes on read-only mounts or read-only file systems.
+func mayWriteMnt(mnt *Mount) error {
+	if mnt != nil && mnt.flags&MntReadOnly != 0 {
+		return fsapi.EROFS
+	}
+	if mnt != nil && mnt.sb.caps.ReadOnly {
+		return fsapi.EROFS
+	}
+	return nil
+}
+
+// maskForOpen maps open flags to the access mask checked on the target.
+func maskForOpen(flags OpenFlag) lsm.Mask {
+	var m lsm.Mask
+	switch flags & O_ACCMODE {
+	case O_RDONLY:
+		m = lsm.MayRead
+	case O_WRONLY:
+		m = lsm.MayWrite
+	case O_RDWR:
+		m = lsm.MayRead | lsm.MayWrite
+	}
+	return m
+}

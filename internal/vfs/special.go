@@ -1,0 +1,95 @@
+package vfs
+
+// Helpers for the fastpath hooks (internal/core) to materialize the §4.2
+// and §5.2 special dentry kinds. They are ordinary cache citizens (LRU,
+// parent child maps, hook state) but only enter the (parent, name) hash
+// table when the slow walk could legitimately probe for them.
+
+// AddSpecialNegative installs a negative dentry named name under parent.
+// When parent is itself negative or a non-directory, the child is a "deep"
+// negative (§5.2) and stays out of the slow-walk hash table (the slow walk
+// stops at parent before ever probing below it). notDir marks an ENOTDIR
+// failure dentry. Returns the installed dentry (an existing one if the
+// path raced).
+func (k *Kernel) AddSpecialNegative(parent *Dentry, name string, notDir bool) *Dentry {
+	if parent.IsDead() {
+		return nil
+	}
+	parent.mu.Lock()
+	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
+		parent.mu.Unlock()
+		return cur
+	}
+	parent.mu.Unlock()
+
+	deep := parent.IsNegative() || !parent.IsDir()
+
+	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
+	d.pn.Store(&parentName{parent: parent, name: name})
+	d.setFlags(DNegative)
+	if deep {
+		d.setFlags(DDeepNegative)
+	}
+	if notDir {
+		d.setFlags(DNotDir)
+	}
+	if k.hooks != nil {
+		d.fast = k.hooks.NewDentry(d)
+	}
+	k.lru.add(d)
+	return k.installDedup2(parent, name, d, !deep)
+}
+
+// AddAlias installs a symlink-alias dentry (§4.2) named name under parent
+// (a symlink dentry or another alias), redirecting to target. Aliases
+// never enter the slow-walk hash table: the slow walk resolves symlinks
+// before probing under them.
+func (k *Kernel) AddAlias(parent *Dentry, name string, target *Dentry) *Dentry {
+	if parent.IsDead() || target == nil || target.IsDead() {
+		return nil
+	}
+	parent.mu.Lock()
+	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
+		parent.mu.Unlock()
+		if cur.Flags()&DAlias != 0 {
+			// Refresh the redirect in case the target dentry changed.
+			cur.target.Store(target)
+			return cur
+		}
+		return cur
+	}
+	parent.mu.Unlock()
+
+	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
+	d.pn.Store(&parentName{parent: parent, name: name})
+	d.setFlags(DAlias)
+	d.target.Store(target)
+	if k.hooks != nil {
+		d.fast = k.hooks.NewDentry(d)
+	}
+	k.lru.add(d)
+	return k.installDedup2(parent, name, d, false)
+}
+
+// installDedup2 is installDedup with control over hash table membership.
+func (k *Kernel) installDedup2(parent *Dentry, name string, d *Dentry, inTable bool) *Dentry {
+	parent.mu.Lock()
+	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
+		parent.mu.Unlock()
+		d.setFlags(DDead)
+		k.lru.remove(d)
+		return cur
+	}
+	if parent.children == nil {
+		parent.children = make(map[string]*Dentry, 4)
+	}
+	parent.children[name] = d
+	parent.listValid = false
+	parent.mu.Unlock()
+	parent.nkids.Add(1)
+	if inTable {
+		k.table.insert(parent.id, name, d)
+	}
+	k.maybeShrink()
+	return d
+}

@@ -1,0 +1,461 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/lsm"
+	"dircache/internal/memfs"
+	"dircache/internal/pseudofs"
+)
+
+func TestMountCrossing(t *testing.T) {
+	k, root := newKernel(t, Config{})
+	data := memfs.New(memfs.Options{Name: "data"})
+	if err := root.Mkdir("/mnt", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Mount(data, "/mnt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Mkdir("/mnt/inside", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Create("/mnt/inside/file", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ni, err := root.Stat("/mnt/inside/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must live on the mounted FS, not the root FS.
+	if got, err := data.Lookup(data.Root().ID, "inside"); err != nil || got.Mode.Type() != fsapi.TypeDirectory {
+		t.Fatalf("mounted fs does not hold the dir: %v", err)
+	}
+	_ = ni
+	// Dot-dot climbs out of the mount.
+	if err := root.Chdir("/mnt/inside"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("../../etc/passwd"); err != nil {
+		t.Fatalf("dotdot across mountpoint: %v", err)
+	}
+	if got := root.Getcwd(); got != "/mnt/inside" {
+		t.Fatalf("getcwd across mount: %q", got)
+	}
+	_ = k
+}
+
+func TestMountStackingAndUnmount(t *testing.T) {
+	_, root := newKernel(t, Config{})
+	lower := memfs.New(memfs.Options{})
+	upper := memfs.New(memfs.Options{})
+	root.Mkdir("/mnt", 0o755)
+	if _, err := root.Mount(lower, "/mnt", 0); err != nil {
+		t.Fatal(err)
+	}
+	root.Create("/mnt/lower-file", 0o644)
+	// Mounting again stacks on top (as mount(2) does): the new FS covers
+	// the previous one.
+	if _, err := root.Mount(upper, "/mnt", 0); err != nil {
+		t.Fatalf("stacked mount: %v", err)
+	}
+	root.Create("/mnt/upper-file", 0o644)
+	if _, err := root.Stat("/mnt/lower-file"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatal("lower mount visible through upper")
+	}
+	// Unmount the top: the lower mount shows through again.
+	if err := root.Unmount("/mnt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("/mnt/lower-file"); err != nil {
+		t.Fatalf("lower mount lost: %v", err)
+	}
+	if _, err := root.Stat("/mnt/upper-file"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatal("upper mount still visible")
+	}
+	// Unmount again: the original empty directory shows through.
+	if err := root.Unmount("/mnt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Stat("/mnt/lower-file"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("unmount did not uncover mountpoint: %v", err)
+	}
+}
+
+func TestReadOnlyMount(t *testing.T) {
+	_, root := newKernel(t, Config{})
+	data := memfs.New(memfs.Options{})
+	root.Mkdir("/ro", 0o755)
+	if _, err := root.Mount(data, "/ro", MntReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Create("/ro/x", 0o644); !errors.Is(err, fsapi.EROFS) {
+		t.Fatalf("create on ro mount: %v", err)
+	}
+	if err := root.Mkdir("/ro/d", 0o755); !errors.Is(err, fsapi.EROFS) {
+		t.Fatalf("mkdir on ro mount: %v", err)
+	}
+}
+
+func TestBindMountAlias(t *testing.T) {
+	_, root := newKernel(t, Config{})
+	root.Mkdir("/data", 0o755)
+	root.Create("/data/file", 0o644)
+	root.Mkdir("/alias", 0o755)
+	if _, err := root.BindMount("/data", "/alias", 0); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := root.Stat("/data/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := root.Stat("/alias/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID != n2.ID {
+		t.Fatal("bind mount does not alias the same inode")
+	}
+	// A write through one alias is visible through the other.
+	f, err := root.Open("/alias/file", O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	f.Close()
+	n1, _ = root.Stat("/data/file")
+	if n1.Size != 5 {
+		t.Fatalf("write through alias invisible: size %d", n1.Size)
+	}
+}
+
+func TestMountNamespacePrivacy(t *testing.T) {
+	k, root := newKernel(t, Config{})
+	other := k.NewTask(cred.Root())
+	other.UnshareNamespace()
+
+	root.Mkdir("/mnt", 0o755)
+	private := memfs.New(memfs.Options{})
+	if _, err := other.Mount(private, "/mnt", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Create("/mnt/private-file", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The initial namespace must not see the private mount.
+	if _, err := root.Stat("/mnt/private-file"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("namespace leak: %v", err)
+	}
+	if _, err := other.Stat("/mnt/private-file"); err != nil {
+		t.Fatalf("owner namespace lost its mount: %v", err)
+	}
+	// Both namespaces share the underlying root fs dentries.
+	if _, err := other.Stat("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoFSNegativePolicy(t *testing.T) {
+	// Baseline: no negative dentries on proc (NoNegatives capability).
+	k, root := newKernel(t, Config{})
+	proc := pseudofs.BuildProc(10)
+	root.Mkdir("/proc", 0o755)
+	if _, err := root.Mount(proc, "/proc", 0); err != nil {
+		t.Fatal(err)
+	}
+	root.Stat("/proc/999")
+	before := k.Stats().FSLookups
+	root.Stat("/proc/999")
+	if k.Stats().FSLookups != before+1 {
+		t.Fatal("baseline cached a negative dentry on a pseudo FS")
+	}
+
+	// Optimized policy: negatives allowed (§5.2).
+	k2, root2 := newKernel(t, Config{AggressiveNegatives: true})
+	proc2 := pseudofs.BuildProc(10)
+	root2.Mkdir("/proc", 0o755)
+	if _, err := root2.Mount(proc2, "/proc", 0); err != nil {
+		t.Fatal(err)
+	}
+	root2.Stat("/proc/999")
+	before = k2.Stats().FSLookups
+	root2.Stat("/proc/999")
+	if k2.Stats().FSLookups != before {
+		t.Fatal("aggressive mode did not cache pseudo-FS negative")
+	}
+	// Real proc entries still resolve.
+	if _, err := root2.Stat("/proc/7/status"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaddirCompleteness(t *testing.T) {
+	k, root := newKernel(t, Config{DirCompleteness: true})
+	root.Mkdir("/spool", 0o755)
+	for i := 0; i < 20; i++ {
+		root.Create(fmt.Sprintf("/spool/msg%02d", i), 0o644)
+	}
+	// Drop dentries so the listing must come from the FS once.
+	k.DropCaches()
+
+	d, err := root.Open("/spool", O_RDONLY|O_DIRECTORY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := d.ReadDirAll()
+	if err != nil || len(ents) != 20 {
+		t.Fatalf("first listing: %d %v", len(ents), err)
+	}
+	d.Close()
+	fsReads := k.Stats().ReaddirFS
+
+	// Second listing must be served from the cache.
+	d2, _ := root.Open("/spool", O_RDONLY|O_DIRECTORY, 0)
+	ents2, err := d2.ReadDirAll()
+	if err != nil || len(ents2) != 20 {
+		t.Fatalf("second listing: %d %v", len(ents2), err)
+	}
+	d2.Close()
+	if k.Stats().ReaddirFS != fsReads {
+		t.Fatal("complete directory still hit the FS for readdir")
+	}
+	if k.Stats().ReaddirCached == 0 {
+		t.Fatal("cached readdir not counted")
+	}
+
+	// Lookups of listed names hydrate instead of searching the directory.
+	fsLookups := k.Stats().FSLookups
+	if _, err := root.Stat("/spool/msg05"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats().FSLookups != fsLookups {
+		t.Fatal("lookup of readdir-cached name searched the directory")
+	}
+	if k.Stats().Hydrations == 0 {
+		t.Fatal("no hydration recorded")
+	}
+
+	// Misses under a complete directory are authoritative.
+	fsLookups = k.Stats().FSLookups
+	if _, err := root.Stat("/spool/absent"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatal(err)
+	}
+	if k.Stats().FSLookups != fsLookups {
+		t.Fatal("miss under complete dir reached the FS")
+	}
+	if k.Stats().CompleteShort == 0 {
+		t.Fatal("completeness shortcut not counted")
+	}
+}
+
+func TestCompletenessSurvivesMutations(t *testing.T) {
+	k, root := newKernel(t, Config{DirCompleteness: true})
+	root.Mkdir("/d", 0o755) // fresh dir: born complete
+	fsReads := k.Stats().ReaddirFS
+	d, _ := root.Open("/d", O_RDONLY|O_DIRECTORY, 0)
+	ents, _ := d.ReadDirAll()
+	d.Close()
+	if len(ents) != 0 || k.Stats().ReaddirFS != fsReads {
+		t.Fatal("fresh mkdir was not born complete")
+	}
+	// Create and unlink keep completeness (the cache tracks them).
+	root.Create("/d/a", 0o644)
+	root.Create("/d/b", 0o644)
+	root.Unlink("/d/a")
+	d, _ = root.Open("/d", O_RDONLY|O_DIRECTORY, 0)
+	ents, _ = d.ReadDirAll()
+	d.Close()
+	if k.Stats().ReaddirFS != fsReads {
+		t.Fatal("listing after tracked mutations hit the FS")
+	}
+	if len(ents) != 1 || ents[0].Name != "b" {
+		t.Fatalf("listing wrong after mutations: %v", ents)
+	}
+}
+
+func TestCompletenessClearedByEviction(t *testing.T) {
+	k, root := newKernel(t, Config{DirCompleteness: true})
+	root.Mkdir("/d", 0o755)
+	for i := 0; i < 10; i++ {
+		root.Create(fmt.Sprintf("/d/f%d", i), 0o644)
+	}
+	// Evict everything: completeness must not survive.
+	k.DropCaches()
+	d, _ := root.Open("/d", O_RDONLY|O_DIRECTORY, 0)
+	ents, err := d.ReadDirAll()
+	d.Close()
+	if err != nil || len(ents) != 10 {
+		t.Fatalf("listing after eviction: %d %v", len(ents), err)
+	}
+	if k.Stats().ReaddirFS == 0 {
+		t.Fatal("listing after eviction did not consult the FS")
+	}
+}
+
+func TestSeekBreaksCompletenessAccumulation(t *testing.T) {
+	k, root := newKernel(t, Config{DirCompleteness: true})
+	root.Mkdir("/d", 0o755)
+	for i := 0; i < 10; i++ {
+		root.Create(fmt.Sprintf("/d/f%d", i), 0o644)
+	}
+	k.DropCaches()
+	d, _ := root.Open("/d", O_RDONLY|O_DIRECTORY, 0)
+	d.ReadDir(3)
+	d.Seek(2, 0) // arbitrary seek: this pass may no longer mark complete
+	d.ReadDirAll()
+	d.Close()
+	if root.k.initNS.root.sb.root.child("d").Flags()&DComplete != 0 {
+		t.Fatal("seeked readdir pass still marked the directory complete")
+	}
+}
+
+func TestLSMIntegration(t *testing.T) {
+	k, root := newKernel(t, Config{})
+	policy := lsm.NewLabelPolicy()
+	policy.Allow("webapp", "webdata", lsm.MayRead|lsm.MayExec)
+	k.LSM().Register(policy)
+
+	root.Mkdir("/srv", 0o755)
+	root.Mkdir("/srv/www", 0o755)
+	root.Create("/srv/www/index.html", 0o644)
+	if err := root.SetLabel("/srv/www", "webdata"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.SetLabel("/srv/www/index.html", "webdata"); err != nil {
+		t.Fatal(err)
+	}
+
+	confined := k.NewTask(cred.New(2000, 2000, nil, "webapp"))
+	if _, err := confined.Stat("/srv/www/index.html"); err != nil {
+		t.Fatalf("allowed read denied: %v", err)
+	}
+	if _, err := confined.Open("/srv/www/index.html", O_WRONLY, 0); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("LSM write denial missing: %v", err)
+	}
+	// A label the policy doesn't know blocks even world-readable files.
+	root.Create("/srv/www/secret", 0o644)
+	root.SetLabel("/srv/www/secret", "secret")
+	if _, err := confined.Open("/srv/www/secret", O_RDONLY, 0); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("unknown label readable: %v", err)
+	}
+	// DAC still applies before LSM.
+	unconfined := k.NewTask(cred.New(2000, 2000, nil, ""))
+	if _, err := unconfined.Open("/home/bob/secret/key", O_RDONLY, 0); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("DAC skipped: %v", err)
+	}
+}
+
+func TestConcurrentLookupsAndRenames(t *testing.T) {
+	for _, mode := range []SyncMode{SyncRCU, SyncBucketLock, SyncBigLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			k, root := newKernel(t, Config{SyncMode: mode})
+			for i := 0; i < 8; i++ {
+				root.Mkdir(fmt.Sprintf("/work%d", i), 0o755)
+				for j := 0; j < 8; j++ {
+					root.Create(fmt.Sprintf("/work%d/f%d", i, j), 0o644)
+				}
+			}
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			// Readers hammer stable paths.
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					tt := k.NewTask(cred.Root())
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						p := fmt.Sprintf("/work%d/f%d", i%4, i%8)
+						if _, err := tt.Stat(p); err != nil {
+							t.Errorf("reader: stat %s: %v", p, err)
+							return
+						}
+					}
+				}(r)
+			}
+			// Writers rename files back and forth in the other dirs.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					tt := k.NewTask(cred.Root())
+					base := fmt.Sprintf("/work%d", 4+w)
+					for i := 0; i < 200; i++ {
+						old := fmt.Sprintf("%s/f%d", base, i%8)
+						new := fmt.Sprintf("%s/g%d", base, i%8)
+						if err := tt.Rename(old, new); err != nil {
+							t.Errorf("rename: %v", err)
+							return
+						}
+						if err := tt.Rename(new, old); err != nil {
+							t.Errorf("rename back: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			// Let writers finish, then stop readers.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			// Writers have bounded loops; readers stop when signaled.
+			for w := 0; w < 50; w++ {
+				select {
+				case <-done:
+					w = 50
+				default:
+				}
+			}
+			close(stop)
+			<-done
+		})
+	}
+}
+
+func TestForkSharesCred(t *testing.T) {
+	k, _ := newKernel(t, Config{})
+	parent := k.NewTask(cred.New(500, 500, nil, ""))
+	child := parent.Fork()
+	if parent.Cred() != child.Cred() {
+		t.Fatal("fork did not share the credential")
+	}
+	// setuid-style change via prepare/commit allocates a fresh cred.
+	p := child.Cred().Prepare()
+	p.UID = 0
+	child.SetCred(cred.Commit(child.Cred(), p))
+	if parent.Cred() == child.Cred() {
+		t.Fatal("commit after change still shared")
+	}
+}
+
+func TestUnhydratedLstatType(t *testing.T) {
+	// A dentry created from readdir knows its type without an inode;
+	// hydration must deliver full metadata.
+	k, root := newKernel(t, Config{DirCompleteness: true})
+	root.Mkdir("/d", 0o755)
+	root.Create("/d/f", 0o640)
+	root.Symlink("/d/f", "/d/l")
+	k.DropCaches()
+	d, _ := root.Open("/d", O_RDONLY|O_DIRECTORY, 0)
+	ents, _ := d.ReadDirAll()
+	d.Close()
+	types := map[string]fsapi.FileType{}
+	for _, e := range ents {
+		types[e.Name] = e.Type
+	}
+	if types["f"] != fsapi.TypeRegular || types["l"] != fsapi.TypeSymlink {
+		t.Fatalf("readdir types: %v", types)
+	}
+	ni, err := root.Lstat("/d/f")
+	if err != nil || ni.Mode.Perm() != 0o640 {
+		t.Fatalf("hydrated stat: %+v %v", ni, err)
+	}
+}

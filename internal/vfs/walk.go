@@ -1,0 +1,696 @@
+package vfs
+
+import (
+	"errors"
+	"time"
+
+	"dircache/internal/fsapi"
+)
+
+// MaxPath bounds path lengths, matching Linux's PATH_MAX.
+const MaxPath = 4096
+
+// WalkFlags modify path resolution.
+type WalkFlags uint32
+
+const (
+	// WalkNoFollow does not follow a symlink in the final component
+	// (lstat, O_NOFOLLOW).
+	WalkNoFollow WalkFlags = 1 << iota
+	// WalkDirectory requires the final component to be a directory.
+	WalkDirectory
+	// WalkNoFast skips the fastpath hook (used internally when the
+	// caller needs authoritative slow-walk side effects).
+	WalkNoFast
+)
+
+// WalkFailure is the structured ENOENT/ENOTDIR result of a slow walk. It
+// tells the hooks where the resolution stopped so deep negative dentries
+// (§5.2) can be installed.
+type WalkFailure struct {
+	Errno fsapi.Errno
+	// Anchor is the deepest cached dentry on the path: the negative
+	// dentry for the failing component, the directory whose completeness
+	// answered the miss, or — for ENOTDIR — the non-directory dentry the
+	// path tried to descend through.
+	Anchor PathRef
+	// Missing lists the path components below Anchor that are not
+	// cached, in order.
+	Missing []string
+}
+
+// Error implements error.
+func (f *WalkFailure) Error() string { return f.Errno.Error() }
+
+// Unwrap lets errors.Is match the underlying Errno.
+func (f *WalkFailure) Unwrap() error { return f.Errno }
+
+// errSeqRetry aborts an optimistic walk that observed torn state.
+var errSeqRetry = errors.New("vfs: optimistic walk retry")
+
+// PhaseTimes decomposes one lookup into the cost centers charted in
+// Figure 3 of the paper.
+type PhaseTimes struct {
+	Init       time.Duration // start-ref resolution, setup
+	ScanHash   time.Duration // component scanning and key hashing
+	HashLookup time.Duration // hash table probes
+	PermCheck  time.Duration // per-directory permission checks
+	Finalize   time.Duration // final dentry validation
+}
+
+// Add accumulates other into p.
+func (p *PhaseTimes) Add(o PhaseTimes) {
+	p.Init += o.Init
+	p.ScanHash += o.ScanHash
+	p.HashLookup += o.HashLookup
+	p.PermCheck += o.PermCheck
+	p.Finalize += o.Finalize
+}
+
+// Total sums all phases.
+func (p *PhaseTimes) Total() time.Duration {
+	return p.Init + p.ScanHash + p.HashLookup + p.PermCheck + p.Finalize
+}
+
+// SetPhaseSink installs a callback receiving each walk's PhaseTimes
+// (only honored when Config.PhaseTrace is set). Not synchronized with
+// in-flight walks; install before measuring.
+func (k *Kernel) SetPhaseSink(fn func(PhaseTimes)) { k.phases = fn }
+
+// PhaseTraceOn reports whether phase tracing is active (config flag set
+// and a sink installed) — hooks use it to instrument the fastpath.
+func (k *Kernel) PhaseTraceOn() bool { return k.cfg.PhaseTrace && k.phases != nil }
+
+// RecordPhases delivers one lookup's phase decomposition to the sink.
+func (k *Kernel) RecordPhases(p PhaseTimes) {
+	if k.phases != nil {
+		k.phases(p)
+	}
+}
+
+// nextComponent splits the leading path component from s, skipping any
+// leading slashes. comp == "" means s held nothing but slashes.
+func nextComponent(s string) (comp, rest string) {
+	i := 0
+	for i < len(s) && s[i] == '/' {
+		i++
+	}
+	j := i
+	for j < len(s) && s[j] != '/' {
+		j++
+	}
+	return s[i:j], s[j:]
+}
+
+// hasMoreComponents reports whether s contains any non-slash bytes.
+func hasMoreComponents(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// startFor picks the walk's starting location for path.
+func (t *Task) startFor(path string) PathRef {
+	if len(path) > 0 && path[0] == '/' {
+		return t.Root()
+	}
+	return t.Cwd()
+}
+
+// Walk resolves path to a PathRef using the fastpath when installed,
+// falling back to the component-at-a-time slow walk. Relative paths start
+// at the task's working directory.
+func (t *Task) Walk(path string, fl WalkFlags) (PathRef, error) {
+	return t.WalkFrom(PathRef{}, path, fl)
+}
+
+// WalkFrom resolves path starting at `at` for relative paths (the *at()
+// family); a zero `at` means the working directory. Absolute paths always
+// start at the task root.
+func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) {
+	k := t.k
+	k.stats.lookups.Add(1)
+	if path == "" {
+		return PathRef{}, fsapi.ENOENT
+	}
+	if len(path) >= MaxPath {
+		return PathRef{}, fsapi.ENAMETOOLONG
+	}
+	var start PathRef
+	if path[0] == '/' {
+		start = t.Root()
+	} else if at.D != nil {
+		start = at
+	} else {
+		start = t.Cwd()
+	}
+
+	if k.hooks != nil && fl&WalkNoFast == 0 {
+		if res, err, handled := k.hooks.TryFast(t, start, path, fl); handled {
+			return res, err
+		}
+	}
+
+	k.stats.slowWalks.Add(1)
+	var token uint64
+	if k.hooks != nil {
+		token = k.hooks.BeginSlow()
+	}
+	res, lexical, err := k.walkSlow(t, start, path, fl)
+	if k.hooks != nil {
+		if err == nil {
+			k.hooks.EndSlowLookup(token, t, start, path, lexical, res)
+		} else {
+			var f *WalkFailure
+			if errors.As(err, &f) {
+				k.hooks.EndSlowNegative(token, t, start, path, f)
+			}
+		}
+	}
+	return res, err
+}
+
+// walkSlow dispatches on the synchronization era.
+func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+	switch k.cfg.SyncMode {
+	case SyncBigLock:
+		k.big.Lock()
+		defer k.big.Unlock()
+		return k.walkOnce(t, start, path, fl)
+	case SyncBucketLock:
+		k.renameRW.RLock()
+		defer k.renameRW.RUnlock()
+		return k.walkOnce(t, start, path, fl)
+	default: // SyncRCU
+		for try := 0; try < 4; try++ {
+			seq, even := k.readSeqBegin()
+			if !even {
+				k.stats.retryWalks.Add(1)
+				continue
+			}
+			res, lex, err := k.walkOnce(t, start, path, fl)
+			if err == errSeqRetry {
+				k.stats.retryWalks.Add(1)
+				continue
+			}
+			if !k.readSeqValid(seq) {
+				k.stats.retryWalks.Add(1)
+				continue
+			}
+			return res, lex, err
+		}
+		// ref-walk fallback: block out structural changes and redo.
+		k.stats.retryWalks.Add(1)
+		k.renameRW.RLock()
+		defer k.renameRW.RUnlock()
+		return k.walkOnce(t, start, path, fl)
+	}
+}
+
+// segment is one pending piece of path: the original request or a symlink
+// target. aliasable marks components of the original user path (only those
+// get symlink-alias dentries, §4.2).
+type segment struct {
+	rest      string
+	aliasable bool
+}
+
+// walkOnce performs one component-at-a-time traversal — the analogue of
+// Linux's link_path_walk + walk_component, including the per-directory
+// permission checks that constitute the prefix check.
+func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+	var ph PhaseTimes
+	tracing := k.cfg.PhaseTrace && k.phases != nil
+	var t0 time.Time
+	if tracing {
+		t0 = time.Now()
+	}
+
+	c := t.Cred()
+	ns := t.Namespace()
+	cur := start
+	root := t.Root()
+
+	// Segment stack for symlink continuations.
+	segs := make([]segment, 1, 4)
+	segs[0] = segment{rest: path, aliasable: true}
+	symDepth := 0
+
+	var aliasCur PathRef // current tail of the alias chain being built
+	var lexical PathRef  // what the path's lexical form denotes (§4.2)
+
+	if tracing {
+		ph.Init += time.Since(t0)
+	}
+
+	mustDir := fl&WalkDirectory != 0
+
+	for len(segs) > 0 {
+		seg := &segs[len(segs)-1]
+		var comp string
+		if tracing {
+			t0 = time.Now()
+		}
+		comp, seg.rest = nextComponent(seg.rest)
+		if tracing {
+			ph.ScanHash += time.Since(t0)
+		}
+		if comp == "" {
+			// Segment exhausted (was empty or all slashes).
+			segs = segs[:len(segs)-1]
+			continue
+		}
+		if len(comp) > 255 {
+			return PathRef{}, PathRef{}, fsapi.ENAMETOOLONG
+		}
+		trailingSlash := len(seg.rest) > 0 && !hasMoreComponents(seg.rest)
+		final := !hasMoreComponents(seg.rest) && len(segs) == 1
+		if final && trailingSlash {
+			// "path/" requires the result to be a directory.
+			mustDir = true
+		}
+
+		// The current location must be a searchable directory.
+		curIno := cur.D.Inode()
+		if curIno == nil || cur.D.IsDead() {
+			return PathRef{}, PathRef{}, errSeqRetry
+		}
+		if !curIno.Mode().IsDir() {
+			return PathRef{}, PathRef{}, &WalkFailure{
+				Errno:   fsapi.ENOTDIR,
+				Anchor:  cur,
+				Missing: remainingComponents(comp, segs),
+			}
+		}
+		if tracing {
+			t0 = time.Now()
+		}
+		err := k.mayLookup(c, cur.Mnt, curIno)
+		if tracing {
+			ph.PermCheck += time.Since(t0)
+		}
+		if err != nil {
+			return PathRef{}, PathRef{}, err
+		}
+
+		if comp == "." {
+			continue
+		}
+		if comp == ".." {
+			k.stats.dotDotSteps.Add(1)
+			aliasCur = PathRef{} // stop aliasing across parent references
+			cur = k.followDotDot(t, ns, root, cur)
+			continue
+		}
+
+		k.stats.components.Add(1)
+
+		// Hash table probe.
+		if tracing {
+			t0 = time.Now()
+		}
+		d := k.table.lookup(cur.D.id, comp)
+		if tracing {
+			ph.HashLookup += time.Since(t0)
+		}
+
+		if d != nil && d.sb.caps.Revalidate {
+			// Close-to-open consistency: the cached entry must be
+			// re-verified at the server (§4.3). Positive entries refresh
+			// via GetNode; negatives are not trusted at all.
+			if d.IsNegative() || k.revalidate(d) != nil {
+				k.killDentryKeepComplete(d)
+				d = nil
+			}
+		}
+		if d != nil {
+			if d.IsDead() {
+				return PathRef{}, PathRef{}, errSeqRetry
+			}
+			k.stats.cacheHits.Add(1)
+			k.lru.touch(d)
+			if d.IsNegative() {
+				k.stats.negativeHits.Add(1)
+				errno := fsapi.ENOENT
+				if d.Flags()&DNotDir != 0 {
+					errno = fsapi.ENOTDIR
+				}
+				return PathRef{}, PathRef{}, &WalkFailure{
+					Errno:   errno,
+					Anchor:  PathRef{Mnt: cur.Mnt, D: d},
+					Missing: remainingComponents("", segs),
+				}
+			}
+			if d.Flags()&DUnhydrated != 0 {
+				if err := k.hydrate(d); err != nil {
+					return PathRef{}, PathRef{}, err
+				}
+			}
+		} else {
+			// Miss: authoritative shortcut if the directory is complete.
+			if k.cfg.DirCompleteness && cur.D.Flags()&DComplete != 0 {
+				k.stats.completeShort.Add(1)
+				return PathRef{}, PathRef{}, &WalkFailure{
+					Errno:   fsapi.ENOENT,
+					Anchor:  cur,
+					Missing: remainingComponents(comp, segs),
+				}
+			}
+			var werr error
+			d, werr = k.missLookup(cur, comp)
+			if werr != nil {
+				if errno, ok := werr.(fsapi.Errno); ok && errno == fsapi.ENOENT {
+					anchor := cur
+					missing := remainingComponents(comp, segs)
+					// If a negative dentry was installed, it anchors the
+					// failure itself.
+					if nd := cur.D.child(comp); nd != nil && nd.IsNegative() {
+						anchor = PathRef{Mnt: cur.Mnt, D: nd}
+						missing = remainingComponents("", segs)
+					}
+					return PathRef{}, PathRef{}, &WalkFailure{Errno: fsapi.ENOENT, Anchor: anchor, Missing: missing}
+				}
+				return PathRef{}, PathRef{}, werr
+			}
+		}
+
+		next := PathRef{Mnt: cur.Mnt, D: d}
+
+		// Cross mount points (possibly stacked).
+		for next.D.Flags()&DMounted != 0 {
+			m := ns.mountAt(next.Mnt, next.D)
+			if m == nil {
+				break
+			}
+			next = PathRef{Mnt: m, D: m.root}
+		}
+
+		// Symbolic links.
+		if next.D.IsSymlink() {
+			follow := !final || fl&WalkNoFollow == 0 || trailingSlash || mustDir
+			if final && fl&WalkNoFollow != 0 && !trailingSlash && !mustDir {
+				follow = false
+			}
+			if follow {
+				symDepth++
+				if symDepth > k.cfg.MaxSymlinks {
+					return PathRef{}, PathRef{}, fsapi.ELOOP
+				}
+				k.stats.symlinkJumps.Add(1)
+				target, err := k.readLinkBody(next.D)
+				if err != nil {
+					return PathRef{}, PathRef{}, err
+				}
+				if k.hooks != nil && seg.aliasable {
+					aliasCur = PathRef{Mnt: cur.Mnt, D: next.D}
+					if final && lexical.D == nil {
+						// The requested path denotes the link itself;
+						// the result is its target (§4.2 link-f).
+						lexical = aliasCur
+					}
+				}
+				// Push the target as a new, non-aliasable segment.
+				segs = append(segs, segment{rest: target})
+				if target[0] == '/' {
+					cur = root
+				}
+				continue
+			}
+		}
+
+		// Alias chaining for components after a symlink (§4.2).
+		if aliasCur.D != nil && k.hooks != nil && seg.aliasable && !next.D.IsNegative() {
+			alias := k.hooks.AliasStep(t, aliasCur, comp, next)
+			if alias == nil {
+				aliasCur = PathRef{}
+			} else {
+				aliasCur = PathRef{Mnt: aliasCur.Mnt, D: alias}
+				if final {
+					// The requested path denotes the alias chain's
+					// tail (§4.2 link-d).
+					lexical = aliasCur
+				}
+			}
+		}
+
+		cur = next
+	}
+
+	if tracing {
+		t0 = time.Now()
+	}
+	// Final validation.
+	ino := cur.D.Inode()
+	if ino == nil {
+		if cur.D.IsNegative() {
+			return PathRef{}, PathRef{}, &WalkFailure{Errno: fsapi.ENOENT, Anchor: cur}
+		}
+		if cur.D.Flags()&DUnhydrated != 0 {
+			if err := k.hydrate(cur.D); err != nil {
+				return PathRef{}, PathRef{}, err
+			}
+			ino = cur.D.Inode()
+		}
+	}
+	if mustDir && (ino == nil || !ino.Mode().IsDir()) {
+		return PathRef{}, PathRef{}, fsapi.ENOTDIR
+	}
+	if tracing {
+		ph.Finalize += time.Since(t0)
+		k.phases(ph)
+	}
+	if lexical.D == nil {
+		lexical = cur
+	}
+	return cur, lexical, nil
+}
+
+// remainingComponents collects first (if non-empty) plus every component
+// left in the segment stack's aliasable portion — the components below the
+// failure anchor.
+func remainingComponents(first string, segs []segment) []string {
+	var out []string
+	if first != "" {
+		out = append(out, first)
+	}
+	// Only the original (bottom, aliasable) segment names real path
+	// components the user asked for; symlink-target segments are internal.
+	rest := segs[0].rest
+	for {
+		var c string
+		c, rest = nextComponent(rest)
+		if c == "" {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// followDotDot implements ".." with mount climbing; staying put at the
+// task's root (chroot barrier).
+func (k *Kernel) followDotDot(t *Task, ns *Namespace, root PathRef, cur PathRef) PathRef {
+	for {
+		if cur.D == root.D && cur.Mnt == root.Mnt {
+			return cur // at the task root: ".." is a no-op
+		}
+		if cur.D != cur.Mnt.root {
+			p := cur.D.Parent()
+			if p == nil {
+				return cur
+			}
+			return PathRef{Mnt: cur.Mnt, D: p}
+		}
+		// At a mount root: climb to the mountpoint in the parent mount.
+		if cur.Mnt.parent == nil {
+			return cur // global root
+		}
+		cur = PathRef{Mnt: cur.Mnt.parent, D: cur.Mnt.mountpoint}
+	}
+}
+
+// hydrate attaches the inode to an unhydrated dentry via GetNode — much
+// cheaper than a directory search (§5.1).
+func (k *Kernel) hydrate(d *Dentry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.Flags()&DUnhydrated == 0 {
+		return nil // raced with another hydration
+	}
+	info, err := d.sb.fs.GetNode(d.hintID)
+	if err != nil {
+		// The node vanished under us (concurrent FS-level change): treat
+		// the dentry as stale.
+		return fsapi.ESTALE
+	}
+	k.stats.hydrations.Add(1)
+	d.inode.Store(d.sb.inodeFor(info))
+	d.clearFlags(DUnhydrated)
+	return nil
+}
+
+// missLookup consults the low-level FS for (cur, comp), installing a
+// positive or negative dentry. Deduplicates concurrent misses via the
+// parent's child map.
+func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
+	parent := cur.D
+	parent.mu.Lock()
+	if d, ok := parent.children[comp]; ok && !d.IsDead() {
+		parent.mu.Unlock()
+		if d.IsNegative() {
+			return nil, fsapi.ENOENT
+		}
+		return d, nil
+	}
+	parent.mu.Unlock()
+
+	pIno := parent.Inode()
+	if pIno == nil {
+		return nil, errSeqRetry
+	}
+	k.stats.fsLookups.Add(1)
+	info, err := parent.sb.fs.Lookup(pIno.ID(), comp)
+	switch {
+	case err == nil:
+		d := k.allocDentry(parent.sb, parent, comp, parent.sb.inodeFor(info))
+		k.installDedup(parent, comp, d)
+		return d, nil
+	case errors.Is(err, fsapi.ENOENT):
+		if k.negativesAllowed(parent.sb) {
+			d := k.allocDentry(parent.sb, parent, comp, nil)
+			k.installDedup(parent, comp, d)
+		}
+		return nil, fsapi.ENOENT
+	default:
+		return nil, err
+	}
+}
+
+// negativesAllowed applies the §5.2 policy: pseudo file systems get
+// negative dentries only under AggressiveNegatives.
+func (k *Kernel) negativesAllowed(sb *Super) bool {
+	if k.cfg.DisableNegatives {
+		return false
+	}
+	if sb.caps.NoNegatives && !k.cfg.AggressiveNegatives {
+		return false
+	}
+	return true
+}
+
+// installDedup inserts d under (parent, name) unless a concurrent walk won
+// the race, in which case d is discarded in favor of the incumbent.
+func (k *Kernel) installDedup(parent *Dentry, name string, d *Dentry) *Dentry {
+	parent.mu.Lock()
+	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
+		parent.mu.Unlock()
+		// Lost the race: drop our speculative dentry.
+		d.setFlags(DDead)
+		k.lru.remove(d)
+		return cur
+	}
+	if parent.children == nil {
+		parent.children = make(map[string]*Dentry, 4)
+	}
+	parent.children[name] = d
+	parent.listValid = false
+	parent.mu.Unlock()
+	parent.nkids.Add(1)
+	k.table.insert(parent.id, name, d)
+	k.maybeShrink()
+	return d
+}
+
+// revalidate re-fetches a dentry's node from the low-level FS (the GETATTR
+// round trip of an NFS-style client) and refreshes the cached inode.
+// ESTALE (or any failure) means the server-side object is gone.
+func (k *Kernel) revalidate(d *Dentry) error {
+	ino := d.Inode()
+	if ino == nil {
+		if d.Flags()&DUnhydrated != 0 {
+			return k.hydrate(d)
+		}
+		return fsapi.ESTALE
+	}
+	info, err := d.sb.fs.GetNode(ino.ID())
+	if err != nil {
+		return err
+	}
+	ino.applyInfo(info)
+	return nil
+}
+
+// readLinkBody returns the symlink target, caching it in the dentry as
+// Linux caches symlink bodies in the page cache.
+func (k *Kernel) readLinkBody(d *Dentry) (string, error) {
+	if v := d.linkBody.Load(); v != nil {
+		return v.(string), nil
+	}
+	ino := d.Inode()
+	if ino == nil {
+		return "", errSeqRetry
+	}
+	target, err := d.sb.fs.ReadLink(ino.ID())
+	if err != nil {
+		return "", err
+	}
+	if target == "" {
+		return "", fsapi.EINVAL
+	}
+	d.linkBody.Store(target)
+	return target, nil
+}
+
+// walkParent resolves everything but the last component, returning the
+// parent directory and the final name. Used by create-style and
+// remove-style operations.
+func (t *Task) walkParent(path string) (PathRef, string, error) {
+	return t.walkParentAt(PathRef{}, path)
+}
+
+// walkParentAt is walkParent starting at `at` for relative paths.
+func (t *Task) walkParentAt(at PathRef, path string) (PathRef, string, error) {
+	if path == "" {
+		return PathRef{}, "", fsapi.ENOENT
+	}
+	if len(path) >= MaxPath {
+		return PathRef{}, "", fsapi.ENAMETOOLONG
+	}
+	// Strip trailing slashes.
+	end := len(path)
+	for end > 0 && path[end-1] == '/' {
+		end--
+	}
+	if end == 0 {
+		// Path was "/" (or all slashes): no parent to speak of.
+		return PathRef{}, "", fsapi.EBUSY
+	}
+	i := end - 1
+	for i >= 0 && path[i] != '/' {
+		i--
+	}
+	last := path[i+1 : end]
+	if last == "." || last == ".." {
+		return PathRef{}, "", fsapi.EINVAL
+	}
+	if len(last) > 255 {
+		return PathRef{}, "", fsapi.ENAMETOOLONG
+	}
+	var dir string
+	switch {
+	case i < 0:
+		dir = "."
+	case i == 0:
+		dir = "/"
+	default:
+		dir = path[:i]
+	}
+	ref, err := t.WalkFrom(at, dir, WalkDirectory)
+	if err != nil {
+		return PathRef{}, "", err
+	}
+	return ref, last, nil
+}

@@ -1,0 +1,498 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dircache"
+)
+
+// Report summarizes one emulated application run.
+type Report struct {
+	Name    string
+	Elapsed time.Duration
+	Probe   *Probe
+	// Work is an application-specific progress count (files visited,
+	// objects built, ...), for sanity checks.
+	Work int
+}
+
+// PathFraction is Figure 1's metric: the share of execution time spent in
+// path-based operations.
+func (r Report) PathFraction() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Probe.PathSyscallTime()) / float64(r.Elapsed)
+}
+
+// run wraps an emulator body with timing.
+func run(name string, w *Proc, body func() (int, error)) (Report, error) {
+	t0 := time.Now()
+	work, err := body()
+	return Report{Name: name, Elapsed: time.Since(t0), Probe: w.Pr, Work: work}, err
+}
+
+// Find emulates `find base -name pattern`: depth-first readdir + lstat of
+// every entry via the *at style (single-component relative stats), the
+// paper's find/du access pattern.
+func Find(w *Proc, base, substr string) (Report, error) {
+	return run("find", w, func() (int, error) {
+		matches := 0
+		var visit func(dir string) error
+		visit = func(dir string) error {
+			df, err := w.Open(dir, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+			if err != nil {
+				return err
+			}
+			ents, err := w.ReadDirHandle(df)
+			if err != nil {
+				df.Close()
+				return err
+			}
+			var subdirs []string
+			for _, e := range ents {
+				fi, err := w.StatAt(df, e.Name, false)
+				if err != nil {
+					df.Close()
+					return err
+				}
+				if strings.Contains(e.Name, substr) {
+					matches++
+				}
+				if fi.Type == dircache.TypeDirectory {
+					subdirs = append(subdirs, dir+"/"+e.Name)
+				}
+			}
+			df.Close()
+			for _, s := range subdirs {
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := visit(base); err != nil {
+			return 0, err
+		}
+		return matches, nil
+	})
+}
+
+// TarExtract emulates `tar xzf`: recreate a tree (from a Tree manifest
+// standing in for archive contents) under dst — create-heavy with
+// existence probes, like the paper's untar of the Linux source.
+func TarExtract(w *Proc, src *Tree, dst string, contents []byte) (Report, error) {
+	return run("tar", w, func() (int, error) {
+		if err := w.P.MkdirAll(dst, 0o755); err != nil {
+			return 0, err
+		}
+		created := 0
+		for _, d := range src.Dirs {
+			if d == src.Base {
+				continue
+			}
+			if err := w.Mkdir(dst+relOf(src.Base, d), 0o755); err != nil {
+				return created, err
+			}
+		}
+		for _, f := range src.Files {
+			out := dst + relOf(src.Base, f)
+			fh, err := w.Open(out, dircache.O_CREAT|dircache.O_EXCL|dircache.O_WRONLY, 0o644)
+			if err != nil {
+				return created, err
+			}
+			if _, err := fh.Write(contents); err != nil {
+				fh.Close()
+				return created, err
+			}
+			fh.Close()
+			created++
+		}
+		return created, nil
+	})
+}
+
+func relOf(base, path string) string { return path[len(base):] }
+
+// RmRecursive emulates `rm -r base`.
+func RmRecursive(w *Proc, base string) (Report, error) {
+	return run("rm -r", w, func() (int, error) {
+		removed := 0
+		var visit func(dir string) error
+		visit = func(dir string) error {
+			ents, err := w.ReadDir(dir)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				path := dir + "/" + e.Name
+				fi, err := w.Lstat(path)
+				if err != nil {
+					return err
+				}
+				if fi.Type == dircache.TypeDirectory {
+					if err := visit(path); err != nil {
+						return err
+					}
+				} else {
+					if err := w.Unlink(path); err != nil {
+						return err
+					}
+					removed++
+				}
+			}
+			if err := w.Rmdir(dir); err != nil {
+				return err
+			}
+			removed++
+			return nil
+		}
+		if err := visit(base); err != nil {
+			return 0, err
+		}
+		return removed, nil
+	})
+}
+
+// MakeBuild emulates `make`: scan every Makefile, stat sources and their
+// (often nonexistent) candidate headers across an include search path —
+// the negative-dentry-heavy pattern the paper calls out — then create .o
+// files for out-of-date objects and spend simulated compile effort.
+type MakeConfig struct {
+	// IncludePath is the header search path (generates misses like
+	// LD_LIBRARY_PATH / -I searches).
+	IncludePath []string
+	// CompileEffort models compilation compute per object: iterations of
+	// a checksum loop. 0 means pure metadata (cache-bound).
+	CompileEffort int
+	// Jobs splits the file list into j interleaved streams like make -j
+	// (emulated sequentially per stream for determinism; concurrency is
+	// exercised separately by Figure 8).
+	Jobs int
+}
+
+// MakeBuild runs the make emulator over a generated tree.
+func MakeBuild(w *Proc, tree *Tree, cfg MakeConfig) (Report, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1
+	}
+	return run("make", w, func() (int, error) {
+		built := 0
+		sink := uint64(0)
+		for _, d := range tree.Dirs {
+			if _, err := w.Stat(d + "/Makefile"); err != nil && dircache.Errno(err) != 2 {
+				return built, err
+			}
+		}
+		for _, f := range tree.Files {
+			if !strings.HasSuffix(f, ".c") {
+				continue
+			}
+			src, err := w.Stat(f)
+			if err != nil {
+				return built, err
+			}
+			// Dependency scan: probe headers near the source and along
+			// the include path; most probes miss.
+			stem := f[:len(f)-2]
+			for _, cand := range []string{stem + ".h", stem + "_priv.h", stem + "_gen.h"} {
+				w.Stat(cand) // misses are expected and desired
+			}
+			for _, inc := range cfg.IncludePath {
+				w.Stat(inc + "/" + baseOf(f) + ".h")
+			}
+			obj := stem + ".o"
+			o, err := w.Stat(obj)
+			if err == nil && o.Mtime > src.Mtime {
+				continue // up to date
+			}
+			// "Compile".
+			for i := 0; i < cfg.CompileEffort; i++ {
+				sink = sink*1099511628211 + uint64(i)
+			}
+			if err := w.P.WriteFile(obj, []byte{byte(sink)}, 0o644); err != nil {
+				return built, err
+			}
+			built++
+		}
+		return built, nil
+	})
+}
+
+// MakeBuildParallel emulates `make -jN`: the file list is sharded across
+// jobs goroutines, each with its own process (sharing credentials and thus
+// the PCC, like make's forked compiler jobs), all scanning dependencies
+// and building concurrently. Returns a merged report (probe times are
+// summed across workers; Elapsed is wall time).
+func MakeBuildParallel(procs []*Proc, tree *Tree, cfg MakeConfig) (Report, error) {
+	jobs := len(procs)
+	if jobs == 0 {
+		return Report{}, fmt.Errorf("make -j: no workers")
+	}
+	var cFiles []string
+	for _, f := range tree.Files {
+		if strings.HasSuffix(f, ".c") {
+			cFiles = append(cFiles, f)
+		}
+	}
+	t0 := time.Now()
+	errs := make([]error, jobs)
+	built := make([]int, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			w := procs[j]
+			sink := uint64(0)
+			// Every job scans the Makefiles (as make's includes do).
+			for i, d := range tree.Dirs {
+				if i%jobs != j {
+					continue
+				}
+				w.Stat(d + "/Makefile")
+			}
+			for i := j; i < len(cFiles); i += jobs {
+				f := cFiles[i]
+				src, err := w.Stat(f)
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				stem := f[:len(f)-2]
+				for _, cand := range []string{stem + ".h", stem + "_priv.h", stem + "_gen.h"} {
+					w.Stat(cand)
+				}
+				for _, inc := range cfg.IncludePath {
+					w.Stat(inc + "/" + baseOf(f) + ".h")
+				}
+				obj := stem + ".o"
+				if o, err := w.Stat(obj); err == nil && o.Mtime > src.Mtime {
+					continue
+				}
+				for it := 0; it < cfg.CompileEffort; it++ {
+					sink = sink*1099511628211 + uint64(it)
+				}
+				if err := w.P.WriteFile(obj, []byte{byte(sink)}, 0o644); err != nil {
+					errs[j] = err
+					return
+				}
+				built[j]++
+			}
+		}(j)
+	}
+	wg.Wait()
+	rep := Report{Name: "make -j", Elapsed: time.Since(t0), Probe: &Probe{}}
+	for j := 0; j < jobs; j++ {
+		if errs[j] != nil {
+			return rep, errs[j]
+		}
+		rep.Work += built[j]
+		for c := 0; c < int(numClasses); c++ {
+			rep.Probe.Times[c] += procs[j].Pr.Times[c]
+			rep.Probe.Counts[c] += procs[j].Pr.Counts[c]
+		}
+		rep.Probe.Paths += procs[j].Pr.Paths
+		rep.Probe.PathBytes += procs[j].Pr.PathBytes
+		rep.Probe.PathComponents += procs[j].Pr.PathComponents
+	}
+	return rep, nil
+}
+
+func baseOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	j := strings.LastIndexByte(path, '.')
+	if j < i {
+		j = len(path)
+	}
+	return path[i+1 : j]
+}
+
+// DuRecursive emulates `du -s`: readdir + fstatat on every entry, via
+// directory handles (single-component paths, the *at pattern of Table 1).
+func DuRecursive(w *Proc, base string) (Report, error) {
+	return run("du -s", w, func() (int, error) {
+		var total int64
+		files := 0
+		var visit func(dir string) error
+		visit = func(dir string) error {
+			df, err := w.Open(dir, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+			if err != nil {
+				return err
+			}
+			ents, err := w.ReadDirHandle(df)
+			if err != nil {
+				df.Close()
+				return err
+			}
+			var subdirs []string
+			for _, e := range ents {
+				fi, err := w.StatAt(df, e.Name, false)
+				if err != nil {
+					df.Close()
+					return err
+				}
+				total += fi.Size
+				files++
+				if fi.Type == dircache.TypeDirectory {
+					subdirs = append(subdirs, dir+"/"+e.Name)
+				}
+			}
+			df.Close()
+			for _, s := range subdirs {
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := visit(base); err != nil {
+			return 0, err
+		}
+		return files, nil
+	})
+}
+
+// UpdateDB emulates `updatedb -U base`: full traversal recording canonical
+// paths into a database file, *at-style like the real mlocate.
+func UpdateDB(w *Proc, base, dbPath string) (Report, error) {
+	return run("updatedb", w, func() (int, error) {
+		db, err := w.Open(dbPath, dircache.O_CREAT|dircache.O_TRUNC|dircache.O_WRONLY, 0o600)
+		if err != nil {
+			return 0, err
+		}
+		defer db.Close()
+		recorded := 0
+		var visit func(dir string) error
+		visit = func(dir string) error {
+			df, err := w.Open(dir, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+			if err != nil {
+				return err
+			}
+			ents, err := w.ReadDirHandle(df)
+			if err != nil {
+				df.Close()
+				return err
+			}
+			var subdirs []string
+			for _, e := range ents {
+				fi, err := w.StatAt(df, e.Name, false)
+				if err != nil {
+					df.Close()
+					return err
+				}
+				if _, err := db.Write([]byte(dir + "/" + e.Name + "\n")); err != nil {
+					df.Close()
+					return err
+				}
+				recorded++
+				if fi.Type == dircache.TypeDirectory {
+					subdirs = append(subdirs, dir+"/"+e.Name)
+				}
+			}
+			df.Close()
+			for _, s := range subdirs {
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := visit(base); err != nil {
+			return 0, err
+		}
+		return recorded, nil
+	})
+}
+
+// GitStatus emulates `git status`: read an index manifest, lstat every
+// tracked file (full multi-component paths from the repo root), and
+// readdir every directory hunting untracked files.
+func GitStatus(w *Proc, tree *Tree) (Report, error) {
+	return run("git status", w, func() (int, error) {
+		dirty := 0
+		idx, err := readIndex(w, tree)
+		if err != nil {
+			return 0, err
+		}
+		for path, size := range idx {
+			fi, err := w.Lstat(path)
+			if err != nil || fi.Size != size {
+				dirty++
+			}
+		}
+		for _, d := range tree.Dirs {
+			if _, err := w.ReadDir(d); err != nil {
+				return dirty, err
+			}
+		}
+		return len(idx), nil
+	})
+}
+
+// GitDiff emulates `git diff`: lstat every tracked file and open+read the
+// ones whose metadata changed (none, in the steady state — it is
+// lookup-bound).
+func GitDiff(w *Proc, tree *Tree) (Report, error) {
+	return run("git diff", w, func() (int, error) {
+		idx, err := readIndex(w, tree)
+		if err != nil {
+			return 0, err
+		}
+		checked := 0
+		for path, size := range idx {
+			fi, err := w.Lstat(path)
+			if err != nil {
+				continue
+			}
+			checked++
+			if fi.Size != size {
+				f, err := w.Open(path, dircache.O_RDONLY, 0)
+				if err != nil {
+					continue
+				}
+				buf := make([]byte, 512)
+				f.Read(buf)
+				f.Close()
+			}
+		}
+		return checked, nil
+	})
+}
+
+// readIndex builds (and caches on first use) the "git index": a manifest
+// file in the tree root listing every tracked path and size.
+func readIndex(w *Proc, tree *Tree) (map[string]int64, error) {
+	idxPath := tree.Base + "/.git-index"
+	if _, err := w.P.Stat(idxPath); err != nil {
+		var sb strings.Builder
+		for _, f := range tree.Files {
+			fi, err := w.P.Stat(f)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&sb, "%s %d\n", f, fi.Size)
+		}
+		if err := w.P.WriteFile(idxPath, []byte(sb.String()), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	data, err := w.P.ReadFile(idxPath)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		var size int64
+		fmt.Sscanf(line[sp+1:], "%d", &size)
+		idx[line[:sp]] = size
+	}
+	return idx, nil
+}

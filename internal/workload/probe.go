@@ -1,0 +1,227 @@
+// Package workload implements the evaluation workloads of §6: deterministic
+// file trees standing in for the Linux source / a maildir spool / a
+// debootstrapped /usr, and emulators for the applications the paper
+// measures (find, tar, rm, make, du, updatedb, git status/diff, a
+// Dovecot-style IMAP server, an Apache-style listing server). Emulators
+// reproduce each application's file-system operation mix; application
+// compute is modeled explicitly where the paper's numbers depend on it.
+package workload
+
+import (
+	"time"
+
+	"dircache"
+)
+
+// OpClass buckets path-based operations the way Figure 1 does.
+type OpClass int
+
+// Operation classes.
+const (
+	ClassStat OpClass = iota // access/stat/lstat
+	ClassOpen
+	ClassChmod // chmod/chown
+	ClassUnlink
+	ClassReaddir
+	ClassOther // mkdir, rename, symlink, ...
+	numClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case ClassStat:
+		return "access/stat"
+	case ClassOpen:
+		return "open"
+	case ClassChmod:
+		return "chmod/chown"
+	case ClassUnlink:
+		return "unlink"
+	case ClassReaddir:
+		return "readdir"
+	case ClassOther:
+		return "other"
+	}
+	return "?"
+}
+
+// Probe accumulates per-class operation time and counts, the ftrace-style
+// instrumentation behind Figure 1. Single-workload use; not synchronized.
+type Probe struct {
+	Times  [numClasses]time.Duration
+	Counts [numClasses]int64
+
+	// Path statistics (Table 1's l and # columns).
+	PathBytes      int64
+	PathComponents int64
+	Paths          int64
+}
+
+// note records one operation.
+func (pr *Probe) note(c OpClass, d time.Duration) {
+	pr.Times[c] += d
+	pr.Counts[c]++
+}
+
+// notePath records path-shape statistics.
+func (pr *Probe) notePath(path string) {
+	pr.Paths++
+	pr.PathBytes += int64(len(path))
+	n := int64(0)
+	inComp := false
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			inComp = false
+		} else if !inComp {
+			inComp = true
+			n++
+		}
+	}
+	pr.PathComponents += n
+}
+
+// PathSyscallTime sums all class times (the numerator of Figure 1).
+func (pr *Probe) PathSyscallTime() time.Duration {
+	var t time.Duration
+	for _, d := range pr.Times {
+		t += d
+	}
+	return t
+}
+
+// AvgPathLen returns Table 1's l (bytes per path).
+func (pr *Probe) AvgPathLen() float64 {
+	if pr.Paths == 0 {
+		return 0
+	}
+	return float64(pr.PathBytes) / float64(pr.Paths)
+}
+
+// AvgComponents returns Table 1's # (components per path).
+func (pr *Probe) AvgComponents() float64 {
+	if pr.Paths == 0 {
+		return 0
+	}
+	return float64(pr.PathComponents) / float64(pr.Paths)
+}
+
+// Proc wraps a Process with the probe; emulators go through it so every
+// path-based call is classified and timed.
+type Proc struct {
+	P  *dircache.Process
+	Pr *Probe
+}
+
+// NewProc wraps p with a fresh probe.
+func NewProc(p *dircache.Process) *Proc {
+	return &Proc{P: p, Pr: &Probe{}}
+}
+
+// Stat is a timed stat.
+func (w *Proc) Stat(path string) (dircache.FileInfo, error) {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	fi, err := w.P.Stat(path)
+	w.Pr.note(ClassStat, time.Since(t0))
+	return fi, err
+}
+
+// Lstat is a timed lstat.
+func (w *Proc) Lstat(path string) (dircache.FileInfo, error) {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	fi, err := w.P.Lstat(path)
+	w.Pr.note(ClassStat, time.Since(t0))
+	return fi, err
+}
+
+// StatAt is a timed fstatat.
+func (w *Proc) StatAt(dirf *dircache.File, path string, follow bool) (dircache.FileInfo, error) {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	fi, err := w.P.StatAt(dirf, path, follow)
+	w.Pr.note(ClassStat, time.Since(t0))
+	return fi, err
+}
+
+// Access is a timed access.
+func (w *Proc) Access(path string, m dircache.AccessMode) error {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	err := w.P.Access(path, m)
+	w.Pr.note(ClassStat, time.Since(t0))
+	return err
+}
+
+// Open is a timed open.
+func (w *Proc) Open(path string, flags dircache.OpenFlag, perm uint32) (*dircache.File, error) {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	f, err := w.P.Open(path, flags, perm)
+	w.Pr.note(ClassOpen, time.Since(t0))
+	return f, err
+}
+
+// Unlink is a timed unlink.
+func (w *Proc) Unlink(path string) error {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	err := w.P.Unlink(path)
+	w.Pr.note(ClassUnlink, time.Since(t0))
+	return err
+}
+
+// Rmdir is a timed rmdir (classified with unlink).
+func (w *Proc) Rmdir(path string) error {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	err := w.P.Rmdir(path)
+	w.Pr.note(ClassUnlink, time.Since(t0))
+	return err
+}
+
+// Chmod is a timed chmod.
+func (w *Proc) Chmod(path string, perm uint32) error {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	err := w.P.Chmod(path, perm)
+	w.Pr.note(ClassChmod, time.Since(t0))
+	return err
+}
+
+// Rename is a timed rename (ClassOther).
+func (w *Proc) Rename(oldP, newP string) error {
+	w.Pr.notePath(oldP)
+	w.Pr.notePath(newP)
+	t0 := time.Now()
+	err := w.P.Rename(oldP, newP)
+	w.Pr.note(ClassOther, time.Since(t0))
+	return err
+}
+
+// Mkdir is a timed mkdir (ClassOther).
+func (w *Proc) Mkdir(path string, perm uint32) error {
+	w.Pr.notePath(path)
+	t0 := time.Now()
+	err := w.P.Mkdir(path, perm)
+	w.Pr.note(ClassOther, time.Since(t0))
+	return err
+}
+
+// ReadDirHandle drains a directory handle with timing.
+func (w *Proc) ReadDirHandle(f *dircache.File) ([]dircache.DirEntry, error) {
+	t0 := time.Now()
+	ents, err := f.ReadDirAll()
+	w.Pr.note(ClassReaddir, time.Since(t0))
+	return ents, err
+}
+
+// ReadDir lists a directory with timing (open is charged to ClassOpen).
+func (w *Proc) ReadDir(path string) ([]dircache.DirEntry, error) {
+	f, err := w.Open(path, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return w.ReadDirHandle(f)
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircache"
+)
+
+// TreeSpec sizes a generated source tree.
+type TreeSpec struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// TopDirs is the number of top-level subsystem directories.
+	TopDirs int
+	// Depth is the maximum nesting below a top directory.
+	Depth int
+	// DirsPerLevel is the fan-out of subdirectories per directory.
+	DirsPerLevel int
+	// FilesPerDir is the number of files per directory.
+	FilesPerDir int
+	// HeaderEvery makes every n-th file a header (for make's
+	// dependency-scan behaviour).
+	HeaderEvery int
+	// FileBytes is the size of generated file contents.
+	FileBytes int
+}
+
+// SmallSource is a quick tree (~hundreds of files) for tests.
+func SmallSource() TreeSpec {
+	return TreeSpec{Seed: 1, TopDirs: 4, Depth: 2, DirsPerLevel: 2, FilesPerDir: 6, HeaderEvery: 3, FileBytes: 256}
+}
+
+// LinuxSource approximates the shape of a kernel source checkout at
+// laptop-benchmark scale (~10k files by default).
+func LinuxSource() TreeSpec {
+	return TreeSpec{Seed: 2015, TopDirs: 12, Depth: 3, DirsPerLevel: 3, FilesPerDir: 14, HeaderEvery: 4, FileBytes: 512}
+}
+
+var topNames = []string{
+	"arch", "block", "crypto", "drivers", "fs", "include", "init", "ipc",
+	"kernel", "lib", "mm", "net", "scripts", "security", "sound", "virt",
+}
+
+var subNames = []string{
+	"core", "ext4", "proc", "sysfs", "x86", "util", "hash", "cache",
+	"sched", "irq", "pci", "usb", "tty", "vfs", "nfs",
+}
+
+var fileStems = []string{
+	"main", "super", "inode", "dentry", "namei", "file", "ioctl", "mount",
+	"readdir", "lookup", "alloc", "bitmap", "journal", "xattr", "acl",
+	"symlink", "hash", "table", "util",
+}
+
+// Tree records what GenerateSource built, for emulators to consume.
+type Tree struct {
+	Base    string
+	Dirs    []string // all directories, parents before children
+	Files   []string // all regular files
+	Headers []string // the subset that are headers
+}
+
+// GenerateSource materializes a deterministic source-like tree under base.
+func GenerateSource(p *dircache.Process, base string, spec TreeSpec) (*Tree, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := &Tree{Base: base}
+	if err := p.MkdirAll(base, 0o755); err != nil {
+		return nil, err
+	}
+	t.Dirs = append(t.Dirs, base)
+	content := make([]byte, spec.FileBytes)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+
+	var build func(dir string, depth int) error
+	build = func(dir string, depth int) error {
+		for fi := 0; fi < spec.FilesPerDir; fi++ {
+			stem := fileStems[rng.Intn(len(fileStems))]
+			var name string
+			if spec.HeaderEvery > 0 && fi%spec.HeaderEvery == spec.HeaderEvery-1 {
+				name = fmt.Sprintf("%s_%d.h", stem, fi)
+			} else if fi == 0 {
+				name = "Makefile"
+			} else {
+				name = fmt.Sprintf("%s_%d.c", stem, fi)
+			}
+			path := dir + "/" + name
+			if err := p.WriteFile(path, content, 0o644); err != nil {
+				return err
+			}
+			t.Files = append(t.Files, path)
+			if len(name) > 2 && name[len(name)-2:] == ".h" {
+				t.Headers = append(t.Headers, path)
+			}
+		}
+		if depth >= spec.Depth {
+			return nil
+		}
+		for di := 0; di < spec.DirsPerLevel; di++ {
+			sub := fmt.Sprintf("%s/%s%d", dir, subNames[rng.Intn(len(subNames))], di)
+			if err := p.Mkdir(sub, 0o755); err != nil {
+				return err
+			}
+			t.Dirs = append(t.Dirs, sub)
+			if err := build(sub, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for ti := 0; ti < spec.TopDirs; ti++ {
+		top := fmt.Sprintf("%s/%s", base, topNames[ti%len(topNames)])
+		if ti >= len(topNames) {
+			top = fmt.Sprintf("%s-%d", top, ti/len(topNames))
+		}
+		if err := p.Mkdir(top, 0o755); err != nil {
+			return nil, err
+		}
+		t.Dirs = append(t.Dirs, top)
+		if err := build(top, 1); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// GenerateMaildir builds a maildir spool: base/INBOX.<i>/{tmp,new,cur}
+// with msgsPerBox message files in cur, named with maildir flag suffixes.
+func GenerateMaildir(p *dircache.Process, base string, boxes, msgsPerBox int) ([]string, error) {
+	var boxPaths []string
+	if err := p.MkdirAll(base, 0o755); err != nil {
+		return nil, err
+	}
+	body := make([]byte, 600)
+	for i := range body {
+		body[i] = byte(' ' + i%90)
+	}
+	for b := 0; b < boxes; b++ {
+		box := fmt.Sprintf("%s/INBOX.%d", base, b)
+		for _, sub := range []string{box, box + "/tmp", box + "/new", box + "/cur"} {
+			if err := p.Mkdir(sub, 0o700); err != nil {
+				return nil, err
+			}
+		}
+		for m := 0; m < msgsPerBox; m++ {
+			name := fmt.Sprintf("%s/cur/%d.M%dP1.host:2,S", box, 1600000000+m, m)
+			if err := p.WriteFile(name, body, 0o600); err != nil {
+				return nil, err
+			}
+		}
+		boxPaths = append(boxPaths, box)
+	}
+	return boxPaths, nil
+}
+
+// GenerateUsr builds a debootstrap-/usr-like tree for updatedb: bin/lib
+// directories full of flat files plus a share/doc hierarchy.
+func GenerateUsr(p *dircache.Process, base string, scale int) (*Tree, error) {
+	t := &Tree{Base: base}
+	if err := p.MkdirAll(base, 0o755); err != nil {
+		return nil, err
+	}
+	t.Dirs = append(t.Dirs, base)
+	add := func(dir string, n int, pat string) error {
+		if err := p.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		t.Dirs = append(t.Dirs, dir)
+		for i := 0; i < n; i++ {
+			f := fmt.Sprintf("%s/"+pat, dir, i)
+			if err := p.WriteFile(f, []byte("#!"), 0o755); err != nil {
+				return err
+			}
+			t.Files = append(t.Files, f)
+		}
+		return nil
+	}
+	if err := add(base+"/bin", 40*scale, "tool%03d"); err != nil {
+		return nil, err
+	}
+	if err := add(base+"/sbin", 10*scale, "daemon%03d"); err != nil {
+		return nil, err
+	}
+	if err := add(base+"/lib", 60*scale, "lib%03d.so"); err != nil {
+		return nil, err
+	}
+	for d := 0; d < 8*scale; d++ {
+		doc := fmt.Sprintf("%s/share/doc/pkg%03d", base, d)
+		if err := add(doc, 5, "README.%d"); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dircache"
+)
+
+// WebListing emulates the Apache autoindex handler (Table 3): each request
+// opens the directory, reads every entry, stats each for size/mtime, and
+// renders an HTML listing. Pages are generated per request, not cached.
+type WebListing struct {
+	w   *Proc
+	dir string
+}
+
+// NewWebListing serves listings of dir.
+func NewWebListing(w *Proc, dir string) *WebListing {
+	return &WebListing{w: w, dir: dir}
+}
+
+// Serve handles one request, returning the page size in bytes.
+func (s *WebListing) Serve() (int, error) {
+	df, err := s.w.Open(s.dir, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+	if err != nil {
+		return 0, err
+	}
+	ents, err := s.w.ReadDirHandle(df)
+	if err != nil {
+		df.Close()
+		return 0, err
+	}
+	var page strings.Builder
+	page.WriteString("<html><body><table>\n")
+	for _, e := range ents {
+		fi, err := s.w.StatAt(df, e.Name, true)
+		if err != nil {
+			df.Close()
+			return 0, err
+		}
+		fmt.Fprintf(&page, "<tr><td><a href=%q>%s</a></td><td>%d</td><td>%d</td></tr>\n",
+			e.Name, e.Name, fi.Size, fi.Mtime)
+	}
+	df.Close()
+	page.WriteString("</table></body></html>\n")
+	return page.Len(), nil
+}
+
+// RunApacheBench serves n requests and returns requests/second, like ab.
+func RunApacheBench(w *Proc, dir string, n int) (reqPerSec float64, err error) {
+	srv := NewWebListing(w, dir)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := srv.Serve(); err != nil {
+			return 0, err
+		}
+	}
+	el := time.Since(t0)
+	if el <= 0 {
+		el = time.Nanosecond
+	}
+	return float64(n) / el.Seconds(), nil
+}

@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dircache"
+)
+
+func newSys(t *testing.T, cfg dircache.Config) (*dircache.System, *Proc) {
+	t.Helper()
+	sys := dircache.New(cfg)
+	p := sys.Start(dircache.RootCreds())
+	return sys, NewProc(p)
+}
+
+func TestGenerateSourceDeterministic(t *testing.T) {
+	_, w1 := newSys(t, dircache.Baseline())
+	_, w2 := newSys(t, dircache.Optimized())
+	t1, err := GenerateSource(w1.P, "/src", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateSource(w2.P, "/src", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Files) != len(t2.Files) || len(t1.Dirs) != len(t2.Dirs) {
+		t.Fatalf("generation diverged: %d/%d files, %d/%d dirs",
+			len(t1.Files), len(t2.Files), len(t1.Dirs), len(t2.Dirs))
+	}
+	for i := range t1.Files {
+		if t1.Files[i] != t2.Files[i] {
+			t.Fatalf("file %d differs: %s vs %s", i, t1.Files[i], t2.Files[i])
+		}
+	}
+	if len(t1.Headers) == 0 {
+		t.Fatal("no headers generated")
+	}
+	// Every recorded file exists with content.
+	fi, err := w1.P.Stat(t1.Files[len(t1.Files)/2])
+	if err != nil || fi.Size == 0 {
+		t.Fatalf("generated file: %+v %v", fi, err)
+	}
+}
+
+func TestFindEmulator(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateSource(w.P, "/src", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Find(w, "/src", "Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != len(tree.Dirs)-1 {
+		// every generated dir except the bare base has a Makefile
+		t.Fatalf("find matched %d Makefiles, want %d", rep.Work, len(tree.Dirs)-1)
+	}
+	if rep.Probe.Counts[ClassStat] == 0 || rep.Probe.Counts[ClassReaddir] == 0 {
+		t.Fatalf("probe counts %+v", rep.Probe.Counts)
+	}
+	if rep.PathFraction() <= 0 || rep.PathFraction() > 1.01 {
+		t.Fatalf("path fraction %v", rep.PathFraction())
+	}
+	// find uses *at-style single-component stats (Table 1's # = 1).
+	if ac := rep.Probe.AvgComponents(); ac > 1.5 {
+		t.Fatalf("find avg components %v, want ~1", ac)
+	}
+}
+
+func TestTarAndRm(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateSource(w.P, "/archive", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := TarExtract(w, tree, "/out", []byte("content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != len(tree.Files) {
+		t.Fatalf("tar created %d files, want %d", rep.Work, len(tree.Files))
+	}
+	// Spot-check a file landed.
+	data, err := w.P.ReadFile("/out" + relOf(tree.Base, tree.Files[0]))
+	if err != nil || string(data) != "content" {
+		t.Fatalf("extracted file: %q %v", data, err)
+	}
+	rmRep, err := RmRecursive(w, "/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmRep.Work == 0 {
+		t.Fatal("rm removed nothing")
+	}
+	if _, err := w.P.Stat("/out"); dircache.Errno(err) != 2 {
+		t.Fatalf("/out survives rm -r: %v", err)
+	}
+}
+
+func TestMakeEmulator(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateSource(w.P, "/src", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MakeConfig{IncludePath: []string{"/src/include", "/usr/include"}}
+	rep, err := MakeBuild(w, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := 0
+	for _, f := range tree.Files {
+		if strings.HasSuffix(f, ".c") {
+			nc++
+		}
+	}
+	if rep.Work != nc {
+		t.Fatalf("built %d objects, want %d", rep.Work, nc)
+	}
+	// Incremental rebuild: everything up to date.
+	w2 := NewProc(w.P)
+	rep2, err := MakeBuild(w2, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Work != 0 {
+		t.Fatalf("incremental build rebuilt %d objects", rep2.Work)
+	}
+}
+
+func TestDuAndUpdateDB(t *testing.T) {
+	sys, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateUsr(w.P, "/usr", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DuRecursive(w, "/usr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work < len(tree.Files) {
+		t.Fatalf("du visited %d, want >= %d", rep.Work, len(tree.Files))
+	}
+	w.P.Mkdir("/var", 0o755)
+	rep2, err := UpdateDB(NewProc(w.P), "/usr", "/var/locatedb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Work < len(tree.Files) {
+		t.Fatalf("updatedb recorded %d", rep2.Work)
+	}
+	db, err := w.P.ReadFile("/var/locatedb")
+	if err != nil || len(db) == 0 {
+		t.Fatalf("db: %d bytes %v", len(db), err)
+	}
+	if !strings.Contains(string(db), "/usr/bin/tool000\n") {
+		t.Fatal("db missing expected path")
+	}
+	_ = sys
+}
+
+func TestGitEmulators(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateSource(w.P, "/repo", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := GitStatus(w, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work != len(tree.Files) {
+		t.Fatalf("git status tracked %d, want %d", rep.Work, len(tree.Files))
+	}
+	rep2, err := GitDiff(NewProc(w.P), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Work != len(tree.Files) {
+		t.Fatalf("git diff checked %d, want %d", rep2.Work, len(tree.Files))
+	}
+}
+
+func TestMaildirServer(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	boxes, err := GenerateMaildir(w.P, "/mail", 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boxes) != 3 {
+		t.Fatal(err)
+	}
+	ops, err := RunDovecot(w, boxes, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Message count conserved for marks, grown by deliveries (20 of 200).
+	total := 0
+	for _, b := range boxes {
+		ents, err := w.P.ReadDir(b + "/cur")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ents)
+	}
+	if total != 3*20+20 {
+		t.Fatalf("message count %d, want %d", total, 3*20+20)
+	}
+}
+
+func TestToggleFlag(t *testing.T) {
+	cases := map[string]string{
+		"123.M1.host:2,S":  "123.M1.host:2,",
+		"123.M1.host:2,":   "123.M1.host:2,S",
+		"123.M1.host:2,FS": "123.M1.host:2,F",
+		"123.M1.host:2,F":  "123.M1.host:2,FS",
+		"123.M1.host":      "123.M1.host:2,S",
+	}
+	for in, want := range cases {
+		if got := toggleFlag(in); got != want {
+			t.Fatalf("toggleFlag(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWebListing(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	w.P.Mkdir("/www", 0o755)
+	for i := 0; i < 25; i++ {
+		w.P.WriteFile("/www/file"+string(rune('a'+i)), []byte("x"), 0o644)
+	}
+	rps, err := RunApacheBench(w, "/www", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rps <= 0 {
+		t.Fatal("no throughput")
+	}
+	srv := NewWebListing(w, "/www")
+	n, err := srv.Serve()
+	if err != nil || n < 25*20 {
+		t.Fatalf("page %d bytes %v", n, err)
+	}
+}
+
+func TestWorkloadsAgreeAcrossConfigs(t *testing.T) {
+	// The same workload must do the same *work* on baseline and optimized
+	// systems (performance differs; results must not).
+	for _, mk := range []func() (*dircache.System, *Proc){
+		func() (*dircache.System, *Proc) {
+			s := dircache.New(dircache.Baseline())
+			return s, NewProc(s.Start(dircache.RootCreds()))
+		},
+		func() (*dircache.System, *Proc) {
+			s := dircache.New(dircache.Optimized())
+			return s, NewProc(s.Start(dircache.RootCreds()))
+		},
+	} {
+		_, w := mk()
+		tree, err := GenerateSource(w.P, "/src", SmallSource())
+		if err != nil {
+			t.Fatal(err)
+		}
+		find, err := Find(w, "/src", ".c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		du, err := DuRecursive(NewProc(w.P), "/src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := GitStatus(NewProc(w.P), tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Work counts are functions of the deterministic tree only.
+		if find.Work == 0 || du.Work == 0 || gs.Work != len(tree.Files) {
+			t.Fatalf("work counts: find=%d du=%d git=%d", find.Work, du.Work, gs.Work)
+		}
+	}
+}
+
+func TestMakeBuildParallel(t *testing.T) {
+	_, w := newSys(t, dircache.Optimized())
+	tree, err := GenerateSource(w.P, "/src", SmallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*Proc, 4)
+	for i := range procs {
+		procs[i] = NewProc(w.P.Fork())
+	}
+	defer func() {
+		for _, wp := range procs {
+			wp.P.Exit()
+		}
+	}()
+	cfg := MakeConfig{IncludePath: []string{"/src/include"}}
+	rep, err := MakeBuildParallel(procs, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := 0
+	for _, f := range tree.Files {
+		if strings.HasSuffix(f, ".c") {
+			nc++
+		}
+	}
+	if rep.Work != nc {
+		t.Fatalf("parallel build made %d objects, want %d", rep.Work, nc)
+	}
+	// Incremental parallel rebuild: nothing to do.
+	procs2 := make([]*Proc, 4)
+	for i := range procs2 {
+		procs2[i] = NewProc(w.P.Fork())
+	}
+	rep2, err := MakeBuildParallel(procs2, tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Work != 0 {
+		t.Fatalf("parallel incremental rebuilt %d", rep2.Work)
+	}
+	if rep.Probe.Counts[ClassStat] == 0 {
+		t.Fatal("merged probe empty")
+	}
+}

@@ -1,0 +1,140 @@
+package dircache
+
+import (
+	"dircache/internal/lsm"
+)
+
+// CacheStats aggregates directory cache counters: the VFS-level counters
+// every configuration reports, plus fastpath counters when DirectLookup is
+// enabled.
+type CacheStats struct {
+	// Path resolution.
+	Lookups   int64 // path walks requested
+	SlowWalks int64 // component-at-a-time walks
+	FastHits  int64 // whole-path fastpath hits
+	FastNeg   int64 // fastpath hits answering ENOENT/ENOTDIR
+
+	// Slow-path behaviour.
+	Components    int64 // components resolved on the slow path
+	CacheHits     int64 // hash table hits
+	FSLookups     int64 // misses serviced by the low-level FS
+	Hydrations    int64 // readdir stubs filled via GetNode
+	NegativeHits  int64 // ENOENT answered by negative dentries
+	CompleteShort int64 // misses answered by DIR_COMPLETE
+	RetryWalks    int64 // optimistic walk retries/fallbacks
+
+	// readdir (§5.1).
+	ReaddirCached int64
+	ReaddirFS     int64
+
+	// Cache management.
+	Evictions int64
+	Dentries  int64
+
+	// Fastpath internals (zero when DirectLookup is off).
+	TryFast         int64
+	DLHTMisses      int64
+	PCCMisses       int64
+	DotDotChecks    int64
+	Populations     int64
+	Invalidations   int64
+	AliasDentries   int64
+	DeepNegDentries int64
+}
+
+// HitRate returns the fraction of lookups that never reached the
+// low-level file system (the paper's hit%).
+func (s CacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	misses := float64(s.FSLookups)
+	total := float64(s.Lookups)
+	if misses > total {
+		return 0
+	}
+	return 1 - misses/total
+}
+
+// Stats snapshots the system's cache counters.
+func (s *System) Stats() CacheStats {
+	v := s.k.Stats()
+	out := CacheStats{
+		Lookups:       v.Lookups,
+		SlowWalks:     v.SlowWalks,
+		FastHits:      v.FastHits,
+		FastNeg:       v.FastNegHits,
+		Components:    v.Components,
+		CacheHits:     v.CacheHits,
+		FSLookups:     v.FSLookups,
+		Hydrations:    v.Hydrations,
+		NegativeHits:  v.NegativeHits,
+		CompleteShort: v.CompleteShort,
+		RetryWalks:    v.RetryWalks,
+		ReaddirCached: v.ReaddirCached,
+		ReaddirFS:     v.ReaddirFS,
+		Evictions:     v.Evictions,
+		Dentries:      int64(s.k.DentryCount()),
+	}
+	if s.core != nil {
+		c := s.core.Stats()
+		out.TryFast = c.TryFast
+		out.DLHTMisses = c.DLHTMiss
+		out.PCCMisses = c.PCCMiss
+		out.DotDotChecks = c.DotDotChecks
+		out.Populations = c.Populations
+		out.Invalidations = c.Invalidation
+		out.AliasDentries = c.AliasCreated
+		out.DeepNegDentries = c.DeepNegCreated
+	}
+	return out
+}
+
+// BucketStats reports baseline hash table chain utilization
+// (empty / one / two / three-plus), the §6.5 discussion datum.
+func (s *System) BucketStats() (empty, one, two, more int) {
+	return s.k.ChainStats()
+}
+
+// LabelPolicy is a type-enforcement-style LSM policy: allow rules between
+// subject labels (Creds.Label) and object labels (SetLabel).
+type LabelPolicy struct {
+	p *lsm.LabelPolicy
+}
+
+// NewLabelPolicy creates an empty policy permitting unlabeled objects.
+func NewLabelPolicy() *LabelPolicy {
+	return &LabelPolicy{p: lsm.NewLabelPolicy()}
+}
+
+// Allow grants subject → object access for the mask.
+func (lp *LabelPolicy) Allow(subject, object string, mask AccessMode) {
+	lp.p.Allow(subject, object, mask)
+}
+
+// RegisterLSM installs the policy into the system's security module stack.
+// Register policies before issuing lookups whose results they should
+// govern; the PCC memoizes their decisions exactly like DAC (§4.1).
+func (s *System) RegisterLSM(lp *LabelPolicy) {
+	s.k.LSM().Register(lp.p)
+}
+
+// PathPolicy is an AppArmor-style pathname-mediation profile set: confined
+// subjects (by credential Label) may only open paths their profile allows.
+// Pathname checks run once per open, outside the lookup fastpath.
+type PathPolicy struct {
+	p *lsm.PathACL
+}
+
+// NewPathPolicy creates an empty profile set.
+func NewPathPolicy() *PathPolicy { return &PathPolicy{p: lsm.NewPathACL()} }
+
+// Allow grants subject the mask under a path prefix.
+func (pp *PathPolicy) Allow(subject, prefix string, mask AccessMode) {
+	pp.p.Allow(subject, prefix, mask)
+}
+
+// RegisterPathLSM installs the pathname-mediation policy.
+func (s *System) RegisterPathLSM(pp *PathPolicy) {
+	s.k.LSM().Register(pp.p)
+}

@@ -1,0 +1,33 @@
+# Build/test entry points. `make check` is the tier-1 gate; `make race`
+# is the concurrency gate (stress tests in internal/vfs and internal/core
+# run concurrent walks against rename/chmod/Shrink under the detector).
+
+GO ?= go
+
+.PHONY: all build check race stress bench bench-parallel dcbench
+
+all: check race
+
+build:
+	$(GO) build ./...
+
+check: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/vfs/... ./internal/core/...
+
+# Longer soak of just the stress tests (several runs, full iteration count).
+stress:
+	$(GO) test -race -run 'Stress' -count=3 ./internal/vfs/... ./internal/core/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The lookup-scalability curve: warm-path walks at 1/2/4/8 goroutines.
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkParallelWalk -count 3 .
+
+# Paper tables/figures plus the machine-readable perf trajectory file.
+dcbench:
+	$(GO) run ./cmd/dcbench -scale small -json BENCH_parallel.json fig2 fig6 fig8

@@ -8,6 +8,8 @@ package dircache_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"dircache"
@@ -146,6 +148,58 @@ func benchStat(b *testing.B, cfg dircache.Config, path string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Stat(path)
+	}
+}
+
+// BenchmarkParallelWalk measures warm-path lookup throughput under
+// concurrency: N goroutines all stat the same deep path. "baseline" takes
+// the slow walk (hash-table hits + LRU accounting); "optimized" takes the
+// whole-path fastpath (DLHT + PCC). This is the contention scaling curve
+// the paper's §6.5 is about: per-op cost should stay flat as goroutines
+// grow, so shared-cache-line traffic on the hot path shows up directly.
+func BenchmarkParallelWalk(b *testing.B) {
+	const path = "/a/b/c/d/e/f/g/file"
+	for _, mode := range []string{"baseline", "optimized"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines-%d", mode, g), func(b *testing.B) {
+				cfg := dircache.Baseline()
+				if mode == "optimized" {
+					cfg = dircache.Optimized()
+					cfg.SignatureSeed = 1
+				}
+				sys := dircache.New(cfg)
+				setup := sys.Start(dircache.RootCreds())
+				if err := setup.MkdirAll("/a/b/c/d/e/f/g", 0o755); err != nil {
+					b.Fatal(err)
+				}
+				if err := setup.WriteFile(path, nil, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				// One process per worker; all share the root credential
+				// (and therefore one PCC). Warm every process so the
+				// measured loop stays on the hit path.
+				workers := g
+				if n := runtime.GOMAXPROCS(0); n > 1 {
+					workers = g * n
+				}
+				procs := make([]*dircache.Process, workers)
+				for i := range procs {
+					procs[i] = sys.Start(dircache.RootCreds())
+					if _, err := procs[i].Stat(path); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var next atomic.Int64
+				b.SetParallelism(g)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					p := procs[int(next.Add(1)-1)%len(procs)]
+					for pb.Next() {
+						p.Stat(path)
+					}
+				})
+			})
+		}
 	}
 }
 

@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	dcbench [-scale small|paper] [-list] [experiment ...]
+//	dcbench [-scale small|paper] [-list] [-json file] [experiment ...]
 //
 // With no experiment arguments, every experiment runs in paper order.
+// -json additionally writes every report's structured data to the named
+// file (conventionally BENCH_parallel.json, committed nowhere but diffed
+// across PRs to track the perf trajectory).
 // Experiment IDs: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2
 // table3 table4.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "experiment scale: small or paper")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (e.g. BENCH_parallel.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [experiment ...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
@@ -65,6 +70,7 @@ func main() {
 	}
 
 	failed := 0
+	var results []jsonReport
 	for _, e := range todo {
 		t0 := time.Now()
 		rep, err := e.Run(sc)
@@ -73,10 +79,53 @@ func main() {
 			failed++
 			continue
 		}
+		el := time.Since(t0)
 		fmt.Println(rep)
-		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", e.ID, el.Round(time.Millisecond))
+		results = append(results, jsonReport{
+			ID:        rep.ID,
+			Title:     rep.Title,
+			ElapsedMS: el.Milliseconds(),
+			Data:      rep.Data,
+			Notes:     rep.Notes,
+		})
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, *scale, results); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonReport is the machine-readable projection of one bench.Report: the
+// structured Data map the shape tests assert on, not the rendered table.
+type jsonReport struct {
+	ID        string             `json:"id"`
+	Title     string             `json:"title"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+	Data      map[string]float64 `json:"data"`
+	Notes     []string           `json:"notes,omitempty"`
+}
+
+type jsonDoc struct {
+	GeneratedAt string       `json:"generated_at"`
+	Scale       string       `json:"scale"`
+	Experiments []jsonReport `json:"experiments"`
+}
+
+func writeJSON(path, scale string, results []jsonReport) error {
+	doc := jsonDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Experiments: results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

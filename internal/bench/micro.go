@@ -372,10 +372,12 @@ func touchSubtree(p *dircache.Process, base string) error {
 
 // Fig8 reproduces Figure 8: per-operation stat/open latency as reader
 // threads scale, unmodified vs optimized. Lookups are read-scalable in
-// both; optimized stays strictly faster.
+// both; optimized stays strictly faster. The stat/s/core column is the
+// scaling headline: per-core throughput should stay flat as threads grow
+// (any dip is hot-path contention — shared locks or counter lines).
 func Fig8(sc Scale) (*Report, error) {
 	r := newReport("fig8", "stat/open latency vs threads (ns/op)",
-		"threads", "config", "stat", "open")
+		"threads", "config", "stat", "open", "stat/s/core")
 	const path = "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"
 	systems := map[string]*dircache.System{}
 	for _, mode := range []string{"unmod", "opt"} {
@@ -408,9 +410,17 @@ func Fig8(sc Scale) (*Report, error) {
 			vals[mode] = [2]float64{statNS, openNS}
 		}
 		for _, mode := range []string{"unmod", "opt"} {
-			r.add(fmt.Sprintf("%d", threads), mode, fmtNS(vals[mode][0]), fmtNS(vals[mode][1]))
+			// parallelNS reports average per-op latency per thread, so
+			// 1e9/latency is each core's lookup rate.
+			perCore := 0.0
+			if vals[mode][0] > 0 {
+				perCore = 1e9 / vals[mode][0]
+			}
+			r.add(fmt.Sprintf("%d", threads), mode, fmtNS(vals[mode][0]), fmtNS(vals[mode][1]),
+				fmt.Sprintf("%.0f", perCore))
 			r.put(fmt.Sprintf("stat/%d/%s", threads, mode), vals[mode][0])
 			r.put(fmt.Sprintf("open/%d/%s", threads, mode), vals[mode][1])
+			r.put(fmt.Sprintf("statrate/%d/%s", threads, mode), perCore)
 		}
 	}
 	r.note("read-side scalability: per-op latency should stay ~flat as threads grow (except biglock)")

@@ -6,6 +6,7 @@ import (
 
 	"dircache/internal/cred"
 	"dircache/internal/sig"
+	"dircache/internal/stripe"
 	"dircache/internal/vfs"
 )
 
@@ -50,8 +51,13 @@ type Stats struct {
 	DeepNegCreated int64
 }
 
+// statsCell holds the fastpath counters. The miss counters sit on the
+// TryFast fallback path, which concurrent walks hit together, so they are
+// striped (stripe.Int64) like the kernel's counters rather than shared
+// atomics.
 type statsCell struct {
-	tryFast, hits, negHits, dlhtMiss, pccMiss, dotDotChecks,
+	dlhtMiss, pccMiss, dotDotChecks stripe.Int64
+
 	populations, invalidations, staleTokens, aliasCreated,
 	deepNegCreated atomic.Int64
 }

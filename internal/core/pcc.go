@@ -9,6 +9,8 @@ package core
 
 import (
 	"sync/atomic"
+
+	"dircache/internal/stripe"
 )
 
 // PCC entry packing (one uint64, read/written atomically — the analogue of
@@ -35,7 +37,8 @@ func pccPack(dentryID, seq uint64) uint64 {
 const pccWays = 4
 
 // pccEntryBytes is the in-memory footprint of one entry used when sizing
-// from a byte budget (8-byte packed word + LRU overhead).
+// from a byte budget: the 8-byte packed word (the per-set LRU byte is
+// folded into the set's shared lru word, not charged per entry).
 const pccEntryBytes = 8
 
 // pccSet is one 4-way set. The lru word holds 4 packed 8-bit ages; it is
@@ -77,9 +80,14 @@ type PCC struct {
 	maxSets  int
 	resizing atomic.Bool
 
-	hits       atomic.Int64
-	misses     atomic.Int64
-	windowMiss atomic.Int64
+	// hits is bumped on every fastpath authorization; striped so that
+	// concurrent hits on one shared credential (the common server shape:
+	// many worker goroutines, one uid) don't serialize on a counter line.
+	hits   stripe.Int64
+	misses stripe.Int64
+	// windowMiss drives the resize heuristic; it only needs to be
+	// approximately monotonic between resets, which a striped counter is.
+	windowMiss stripe.Int64
 	resizes    atomic.Int64
 }
 
@@ -128,7 +136,8 @@ func (p *PCC) noteMiss(t *pccTable) {
 	if len(t.sets) >= p.maxSets {
 		return
 	}
-	if p.windowMiss.Add(1) < int64(len(t.sets)*pccWays*2) {
+	p.windowMiss.Add(1)
+	if p.windowMiss.Load() < int64(len(t.sets)*pccWays*2) {
 		return
 	}
 	if !p.resizing.CompareAndSwap(false, true) {
@@ -160,7 +169,7 @@ func (p *PCC) noteMiss(t *pccTable) {
 		}
 	}
 	p.table.Store(bigger)
-	p.windowMiss.Store(0)
+	p.windowMiss.Reset()
 	p.resizes.Add(1)
 }
 
@@ -187,13 +196,12 @@ func (p *PCC) Insert(dentryID, seq uint64) {
 			break
 		}
 		age := (ages >> (8 * w)) & 0xff
-		if victim == -1 || age >= oldest {
-			// Equal-age ties pick the later way; fine for an LRU
-			// approximation.
-			if age >= oldest {
-				oldest = age
-				victim = w
-			}
+		// Equal-age ties pick the later way; fine for an LRU
+		// approximation. (oldest starts at 0, so age >= oldest also
+		// covers the first, victim == -1 iteration.)
+		if age >= oldest {
+			oldest = age
+			victim = w
 		}
 	}
 	s.ways[victim].Store(packed)
@@ -213,6 +221,12 @@ func touch(s *pccSet, w int) {
 		bumped = bumped&^(0xff<<(8*i)) | b<<(8*i)
 	}
 	bumped &^= 0xff << (8 * w)
+	if bumped == ages {
+		// Steady-state hit: way w is already newest and the others are
+		// saturated. Skipping the store keeps repeated hits from writing
+		// a cache line that every core probing this set also reads.
+		return
+	}
 	s.lru.Store(bumped)
 }
 

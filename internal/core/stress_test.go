@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/memfs"
+	"dircache/internal/vfs"
+)
+
+// TestStressFastpathVsMutate races whole-path fastpath walkers against
+// rename/chmod/Shrink traffic on a fully optimized kernel. It is the
+// `make race` gate for the striped PCC counters, the racy PCC set-LRU
+// word, the invalidation epoch, and the sharded dentry LRU as seen
+// through the hooks. Walk results must stay correct throughout: stable
+// paths resolve, missing paths ENOENT.
+func TestStressFastpathVsMutate(t *testing.T) {
+	k := vfs.NewKernel(vfs.Config{
+		CacheCapacity:       128,
+		DirCompleteness:     true,
+		AggressiveNegatives: true,
+	}, memfs.New(memfs.Options{}))
+	c := Install(k, Config{Seed: 42, DeepNegatives: true, SymlinkAliases: true})
+	root := k.NewTask(cred.Root())
+
+	mk := func(p string) {
+		if err := root.Mkdir(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{"/a", "/a/b", "/a/b/c", "/mv", "/tmp"} {
+		mk(p)
+	}
+	if err := root.Create("/a/b/c/file", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := root.Create(fmt.Sprintf("/tmp/s%03d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	var wg sync.WaitGroup
+
+	// Fastpath walkers: same credential on every goroutine, so they all
+	// share one PCC (and its striped hit counters).
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			task := k.NewTask(cred.Root())
+			for i := 0; i < iters; i++ {
+				if _, err := task.Stat("/a/b/c/file"); err != nil {
+					panic(fmt.Sprintf("stable path vanished: %v", err))
+				}
+				task.Stat(fmt.Sprintf("/tmp/s%03d", (seed*17+i)%64))
+				if _, err := task.Stat("/a/b/c/enoent"); err == nil {
+					panic("missing path resolved")
+				}
+				task.Stat("/mv/dir") // flaps between ENOENT and hit
+			}
+		}(g)
+	}
+
+	// Mutators: rename swings a subtree in and out of /mv, chmod bumps
+	// the invalidation epoch over the walkers' prefix, and the shrinker
+	// churns the LRU under the DLHT.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		task := k.NewTask(cred.Root())
+		task.Mkdir("/mvsrc", 0o755)
+		for i := 0; i < iters; i++ {
+			task.Rename("/mvsrc", "/mv/dir")
+			task.Rename("/mv/dir", "/mvsrc")
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		task := k.NewTask(cred.Root())
+		for i := 0; i < iters; i++ {
+			task.Chmod("/a/b", fsapi.Mode(0o755))
+			task.Chmod("/a/b", fsapi.Mode(0o711))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			k.Shrink(8)
+		}
+	}()
+
+	wg.Wait()
+
+	st := c.Stats()
+	ks := k.Stats()
+	if ks.Lookups <= 0 || st.TryFast <= 0 {
+		t.Fatalf("stress lost traffic: kernel %+v core %+v", ks, st)
+	}
+	if _, err := root.Stat("/a/b/c/file"); err != nil {
+		t.Fatalf("tree damaged by stress run: %v", err)
+	}
+}

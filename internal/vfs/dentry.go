@@ -97,8 +97,9 @@ type Dentry struct {
 	// afterwards.
 	fast any
 
-	// lru bookkeeping (guarded by the kernel lru lock).
-	lruElem *lruEntry
+	// lastUsed is the LRU generation stamp: stored on every cache hit
+	// (lock-free), compared by the shrinker to pick cold victims.
+	lastUsed atomic.Uint64
 }
 
 // ID returns the dentry's unique, never-reused identity (the analogue of

@@ -6,6 +6,7 @@ import (
 
 	"dircache/internal/fsapi"
 	"dircache/internal/lsm"
+	"dircache/internal/stripe"
 )
 
 // Config selects the directory cache behaviour. The zero value is the
@@ -128,6 +129,7 @@ type Stats struct {
 	RetryWalks    int64 // optimistic walks that had to retry/fallback
 }
 
+// statsCell is one stripe's worth of counters; see stripedStats.
 type statsCell struct {
 	lookups, fastHits, fastNegHits, slowWalks, components, cacheHits,
 	fsLookups, hydrations, negativeHits, completeShort,
@@ -135,25 +137,47 @@ type statsCell struct {
 	retryWalks atomic.Int64
 }
 
-func (s *statsCell) snapshot() Stats {
-	return Stats{
-		Lookups:       s.lookups.Load(),
-		FastHits:      s.fastHits.Load(),
-		FastNegHits:   s.fastNegHits.Load(),
-		SlowWalks:     s.slowWalks.Load(),
-		Components:    s.components.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		FSLookups:     s.fsLookups.Load(),
-		Hydrations:    s.hydrations.Load(),
-		NegativeHits:  s.negativeHits.Load(),
-		CompleteShort: s.completeShort.Load(),
-		ReaddirCached: s.readdirCached.Load(),
-		ReaddirFS:     s.readdirFS.Load(),
-		Evictions:     s.evictions.Load(),
-		SymlinkJumps:  s.symlinkJumps.Load(),
-		DotDotSteps:   s.dotDotSteps.Load(),
-		RetryWalks:    s.retryWalks.Load(),
+// stripedStats spreads the counters over cache-line-separated cells so
+// concurrent walks on different cores don't serialize on shared counter
+// lines (the same false/true-sharing effect §6.5 measures for locks).
+// Writers bump one cell picked by a per-goroutine hash; snapshot() sums
+// them. The sums are racy but each counter is monotonic, so a snapshot is
+// a valid (if instantaneously slightly stale) cumulative total.
+type stripedStats struct {
+	cells [stripe.Stripes]struct {
+		statsCell
+		_ [64]byte // keep neighbouring cells off one another's lines
 	}
+}
+
+// cell returns the calling goroutine's stripe. Hot paths that bump several
+// counters per walk call it once and reuse the pointer.
+func (s *stripedStats) cell() *statsCell {
+	return &s.cells[stripe.Index()].statsCell
+}
+
+func (s *stripedStats) snapshot() Stats {
+	var out Stats
+	for i := range s.cells {
+		c := &s.cells[i].statsCell
+		out.Lookups += c.lookups.Load()
+		out.FastHits += c.fastHits.Load()
+		out.FastNegHits += c.fastNegHits.Load()
+		out.SlowWalks += c.slowWalks.Load()
+		out.Components += c.components.Load()
+		out.CacheHits += c.cacheHits.Load()
+		out.FSLookups += c.fsLookups.Load()
+		out.Hydrations += c.hydrations.Load()
+		out.NegativeHits += c.negativeHits.Load()
+		out.CompleteShort += c.completeShort.Load()
+		out.ReaddirCached += c.readdirCached.Load()
+		out.ReaddirFS += c.readdirFS.Load()
+		out.Evictions += c.evictions.Load()
+		out.SymlinkJumps += c.symlinkJumps.Load()
+		out.DotDotSteps += c.dotDotSteps.Load()
+		out.RetryWalks += c.retryWalks.Load()
+	}
+	return out
 }
 
 // Kernel owns the entire VFS state: the dentry cache, mount namespaces,
@@ -175,7 +199,7 @@ type Kernel struct {
 	renameSeq atomic.Uint64
 
 	idGen  atomic.Uint64 // dentries, mounts, namespaces, supers
-	stats  statsCell
+	stats  stripedStats
 	initNS *Namespace
 
 	// supers deduplicates superblocks so mounting the same FS instance
@@ -241,9 +265,10 @@ func (k *Kernel) Stats() Stats { return k.stats.snapshot() }
 
 // AddFastHit lets hooks account a fastpath hit (negative = ENOENT served).
 func (k *Kernel) AddFastHit(negative bool) {
-	k.stats.fastHits.Add(1)
+	sc := k.stats.cell()
+	sc.fastHits.Add(1)
 	if negative {
-		k.stats.fastNegHits.Add(1)
+		sc.fastNegHits.Add(1)
 	}
 }
 
@@ -303,7 +328,10 @@ func (k *Kernel) allocDentry(sb *Super, parent *Dentry, name string, ino *Inode)
 	return d
 }
 
-// maybeShrink enforces CacheCapacity by evicting cold leaf dentries.
+// maybeShrink enforces CacheCapacity by evicting cold leaf dentries. It
+// evicts in batches (a sliver beyond the overage) so that a cache
+// hovering at capacity amortizes the shrinker's candidate scan over many
+// inserts instead of paying a full scan per insert.
 func (k *Kernel) maybeShrink() {
 	if k.cfg.CacheCapacity <= 0 {
 		return
@@ -312,7 +340,11 @@ func (k *Kernel) maybeShrink() {
 	if over <= 0 {
 		return
 	}
-	k.Shrink(over)
+	slack := k.cfg.CacheCapacity / 16
+	if slack < 1 {
+		slack = 1
+	}
+	k.Shrink(over + slack)
 }
 
 // Shrink evicts up to n cold, unpinned leaf dentries and returns how many
@@ -327,7 +359,7 @@ func (k *Kernel) Shrink(n int) int {
 			pn.parent.detachChild(pn.name)
 			pn.parent.clearFlags(DComplete)
 		}
-		k.stats.evictions.Add(1)
+		k.stats.cell().evictions.Add(1)
 		if k.hooks != nil {
 			k.hooks.OnEvict(d)
 		}

@@ -1,130 +1,150 @@
 package vfs
 
-import "sync"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
-// lruEntry is an intrusive doubly-linked list node for the dentry LRU.
-type lruEntry struct {
-	d          *Dentry
-	prev, next *lruEntry
+// lruShardCount shards the dentry LRU's membership structures so that
+// concurrent allocations and removals do not serialize on one mutex.
+// Power of two (shard selection masks the dentry ID).
+const lruShardCount = 16
+
+// lruShard holds one slice of the cached-dentry set. Membership in the
+// map is the authoritative "is in the LRU" bit; recency lives in each
+// dentry's lastUsed stamp, not in any ordering here.
+type lruShard struct {
+	mu      sync.Mutex
+	entries map[*Dentry]struct{}
+	_       [cacheLinePad]byte
 }
 
-// lruList is the global dentry LRU used to shrink the cache under
-// pressure. Front = most recently used. Eviction only considers leaf
+const cacheLinePad = 64 - 16 // pad past the mutex+map header
+
+// lruList tracks every cached dentry for shrinking under pressure.
+//
+// The hot path never touches it with a lock: a cache hit stamps the
+// dentry's atomic lastUsed generation (lruList.touch — one uncontended
+// store) instead of splicing it to the front of a mutex-protected list,
+// the classic lazy-LRU trade: perfect recency ordering is given up for a
+// lock-free hit path, and victims() recovers an approximate ordering by
+// comparing stamps at eviction time. Eviction only considers leaf
 // dentries (no cached children) with no pins, preserving the invariant
 // that every cached dentry's parents are cached (§2.2) — eviction is
 // therefore bottom-up.
 type lruList struct {
-	mu         sync.Mutex
-	head, tail *lruEntry
-	count      int
+	shards [lruShardCount]lruShard
+
+	count atomic.Int64
+
+	// clock is the generation source for lastUsed stamps. It advances on
+	// allocation and eviction (slow-path events), so a hit only loads it —
+	// the line stays shared across cores instead of ping-ponging the way
+	// a per-hit increment would.
+	clock atomic.Uint64
 
 	// epoch increments on every eviction; directory-completeness
 	// bookkeeping uses it to detect "a child may have been evicted while
 	// I was reading this directory" (§5.1).
-	epoch uint64
+	epoch atomic.Uint64
 }
 
-func (l *lruList) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.count
+func (l *lruList) shardFor(d *Dentry) *lruShard {
+	return &l.shards[d.id&(lruShardCount-1)]
 }
 
-func (l *lruList) Epoch() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.epoch
-}
+func (l *lruList) Len() int { return int(l.count.Load()) }
 
-// add inserts d at the front.
+func (l *lruList) Epoch() uint64 { return l.epoch.Load() }
+
+// add registers d with the current generation.
 func (l *lruList) add(d *Dentry) {
-	e := &lruEntry{d: d}
-	l.mu.Lock()
-	d.lruElem = e
-	e.next = l.head
-	if l.head != nil {
-		l.head.prev = e
+	d.lastUsed.Store(l.clock.Add(1))
+	sh := l.shardFor(d)
+	sh.mu.Lock()
+	if sh.entries == nil {
+		sh.entries = make(map[*Dentry]struct{}, 32)
 	}
-	l.head = e
-	if l.tail == nil {
-		l.tail = e
-	}
-	l.count++
-	l.mu.Unlock()
+	sh.entries[d] = struct{}{}
+	sh.mu.Unlock()
+	l.count.Add(1)
 }
 
-// touch moves d to the front. Called on cache hits; cheap no-op if already
-// at front.
+// touch marks d recently used. Called on every cache hit: one atomic load
+// of the shared clock plus one store to d's own line, no lock, no RMW.
 func (l *lruList) touch(d *Dentry) {
-	l.mu.Lock()
-	e := d.lruElem
-	if e == nil || l.head == e {
-		l.mu.Unlock()
-		return
-	}
-	// unlink
-	if e.prev != nil {
-		e.prev.next = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	}
-	if l.tail == e {
-		l.tail = e.prev
-	}
-	// push front
-	e.prev = nil
-	e.next = l.head
-	l.head.prev = e
-	l.head = e
-	l.mu.Unlock()
+	d.lastUsed.Store(l.clock.Load())
 }
 
-// removeLocked unlinks e. Caller holds l.mu.
-func (l *lruList) removeLocked(e *lruEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else if l.head == e {
-		l.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else if l.tail == e {
-		l.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	l.count--
-}
-
-// remove detaches d from the list (unlink/eviction path).
+// remove detaches d from the LRU (unlink/eviction path).
 func (l *lruList) remove(d *Dentry) {
-	l.mu.Lock()
-	if d.lruElem != nil {
-		l.removeLocked(d.lruElem)
-		d.lruElem = nil
-		l.epoch++
+	sh := l.shardFor(d)
+	sh.mu.Lock()
+	_, ok := sh.entries[d]
+	if ok {
+		delete(sh.entries, d)
 	}
-	l.mu.Unlock()
+	sh.mu.Unlock()
+	if ok {
+		l.count.Add(-1)
+		l.epoch.Add(1)
+	}
 }
 
-// victims collects up to n evictable dentries from the cold end: unpinned
-// leaves. They are removed from the list; the caller completes the
-// eviction (table/parent/hook teardown) and must not re-add them.
+// victims collects up to n evictable dentries, coldest stamps first:
+// unpinned leaves. They are removed from the LRU; the caller completes
+// the eviction (table/parent/hook teardown) and must not re-add them.
+//
+// Selection is two-phase because candidates are gathered per shard: a
+// lock-free reader may pin or repopulate a candidate between the scan and
+// the removal, so eligibility is re-checked under the shard lock before a
+// dentry is actually claimed.
 func (l *lruList) victims(n int) []*Dentry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []*Dentry
-	e := l.tail
-	for e != nil && len(out) < n {
-		prev := e.prev
-		d := e.d
-		if d.refs.Load() == 0 && d.nkids.Load() == 0 {
-			l.removeLocked(e)
-			d.lruElem = nil
-			l.epoch++
-			out = append(out, d)
+	if n <= 0 {
+		return nil
+	}
+	l.clock.Add(1)
+	type candidate struct {
+		d     *Dentry
+		stamp uint64
+	}
+	cands := make([]candidate, 0, 64)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for d := range sh.entries {
+			if d.refs.Load() == 0 && d.nkids.Load() == 0 {
+				cands = append(cands, candidate{d, d.lastUsed.Load()})
+			}
 		}
-		e = prev
+		sh.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].stamp != cands[j].stamp {
+			return cands[i].stamp < cands[j].stamp
+		}
+		return cands[i].d.id < cands[j].d.id // deterministic tie-break
+	})
+	var out []*Dentry
+	for _, c := range cands {
+		if len(out) >= n {
+			break
+		}
+		sh := l.shardFor(c.d)
+		sh.mu.Lock()
+		_, ok := sh.entries[c.d]
+		if ok && c.d.refs.Load() == 0 && c.d.nkids.Load() == 0 {
+			delete(sh.entries, c.d)
+		} else {
+			ok = false
+		}
+		sh.mu.Unlock()
+		if ok {
+			l.count.Add(-1)
+			l.epoch.Add(1)
+			out = append(out, c.d)
+		}
 	}
 	return out
 }

@@ -12,10 +12,10 @@ import (
 // completeness shortcut applies.
 func (k *Kernel) lookupChild(parent PathRef, name string) (*Dentry, error) {
 	if d := k.table.lookup(parent.D.id, name); d != nil && !d.IsDead() {
-		k.stats.cacheHits.Add(1)
+		k.stats.cell().cacheHits.Add(1)
 		k.lru.touch(d)
 		if d.IsNegative() {
-			k.stats.negativeHits.Add(1)
+			k.stats.cell().negativeHits.Add(1)
 			return nil, fsapi.ENOENT
 		}
 		if d.Flags()&DUnhydrated != 0 {
@@ -26,7 +26,7 @@ func (k *Kernel) lookupChild(parent PathRef, name string) (*Dentry, error) {
 		return d, nil
 	}
 	if k.cfg.DirCompleteness && parent.D.Flags()&DComplete != 0 {
-		k.stats.completeShort.Add(1)
+		k.stats.cell().completeShort.Add(1)
 		return nil, fsapi.ENOENT
 	}
 	return k.missLookup(parent, name)
@@ -99,7 +99,7 @@ func (k *Kernel) killDentryKeepComplete(d *Dentry) {
 		pn.parent.detachChild(pn.name)
 	}
 	k.lru.remove(d)
-	k.stats.evictions.Add(1)
+	k.stats.cell().evictions.Add(1)
 	if k.hooks != nil {
 		k.hooks.OnEvict(d)
 	}

@@ -132,7 +132,7 @@ func (t *Task) Walk(path string, fl WalkFlags) (PathRef, error) {
 // start at the task root.
 func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) {
 	k := t.k
-	k.stats.lookups.Add(1)
+	k.stats.cell().lookups.Add(1)
 	if path == "" {
 		return PathRef{}, fsapi.ENOENT
 	}
@@ -154,7 +154,7 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 		}
 	}
 
-	k.stats.slowWalks.Add(1)
+	k.stats.cell().slowWalks.Add(1)
 	var token uint64
 	if k.hooks != nil {
 		token = k.hooks.BeginSlow()
@@ -175,6 +175,7 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 
 // walkSlow dispatches on the synchronization era.
 func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+	sc := k.stats.cell()
 	switch k.cfg.SyncMode {
 	case SyncBigLock:
 		k.big.Lock()
@@ -188,22 +189,22 @@ func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 		for try := 0; try < 4; try++ {
 			seq, even := k.readSeqBegin()
 			if !even {
-				k.stats.retryWalks.Add(1)
+				sc.retryWalks.Add(1)
 				continue
 			}
 			res, lex, err := k.walkOnce(t, start, path, fl)
 			if err == errSeqRetry {
-				k.stats.retryWalks.Add(1)
+				sc.retryWalks.Add(1)
 				continue
 			}
 			if !k.readSeqValid(seq) {
-				k.stats.retryWalks.Add(1)
+				sc.retryWalks.Add(1)
 				continue
 			}
 			return res, lex, err
 		}
 		// ref-walk fallback: block out structural changes and redo.
-		k.stats.retryWalks.Add(1)
+		sc.retryWalks.Add(1)
 		k.renameRW.RLock()
 		defer k.renameRW.RUnlock()
 		return k.walkOnce(t, start, path, fl)
@@ -222,6 +223,7 @@ type segment struct {
 // Linux's link_path_walk + walk_component, including the per-directory
 // permission checks that constitute the prefix check.
 func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+	sc := k.stats.cell()
 	var ph PhaseTimes
 	tracing := k.cfg.PhaseTrace && k.phases != nil
 	var t0 time.Time
@@ -300,13 +302,13 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 			continue
 		}
 		if comp == ".." {
-			k.stats.dotDotSteps.Add(1)
+			sc.dotDotSteps.Add(1)
 			aliasCur = PathRef{} // stop aliasing across parent references
 			cur = k.followDotDot(t, ns, root, cur)
 			continue
 		}
 
-		k.stats.components.Add(1)
+		sc.components.Add(1)
 
 		// Hash table probe.
 		if tracing {
@@ -330,10 +332,10 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 			if d.IsDead() {
 				return PathRef{}, PathRef{}, errSeqRetry
 			}
-			k.stats.cacheHits.Add(1)
+			sc.cacheHits.Add(1)
 			k.lru.touch(d)
 			if d.IsNegative() {
-				k.stats.negativeHits.Add(1)
+				sc.negativeHits.Add(1)
 				errno := fsapi.ENOENT
 				if d.Flags()&DNotDir != 0 {
 					errno = fsapi.ENOTDIR
@@ -352,7 +354,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 		} else {
 			// Miss: authoritative shortcut if the directory is complete.
 			if k.cfg.DirCompleteness && cur.D.Flags()&DComplete != 0 {
-				k.stats.completeShort.Add(1)
+				sc.completeShort.Add(1)
 				return PathRef{}, PathRef{}, &WalkFailure{
 					Errno:   fsapi.ENOENT,
 					Anchor:  cur,
@@ -399,7 +401,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 				if symDepth > k.cfg.MaxSymlinks {
 					return PathRef{}, PathRef{}, fsapi.ELOOP
 				}
-				k.stats.symlinkJumps.Add(1)
+				sc.symlinkJumps.Add(1)
 				target, err := k.readLinkBody(next.D)
 				if err != nil {
 					return PathRef{}, PathRef{}, err
@@ -526,7 +528,7 @@ func (k *Kernel) hydrate(d *Dentry) error {
 		// the dentry as stale.
 		return fsapi.ESTALE
 	}
-	k.stats.hydrations.Add(1)
+	k.stats.cell().hydrations.Add(1)
 	d.inode.Store(d.sb.inodeFor(info))
 	d.clearFlags(DUnhydrated)
 	return nil
@@ -551,7 +553,7 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 	if pIno == nil {
 		return nil, errSeqRetry
 	}
-	k.stats.fsLookups.Add(1)
+	k.stats.cell().fsLookups.Add(1)
 	info, err := parent.sb.fs.Lookup(pIno.ID(), comp)
 	switch {
 	case err == nil:

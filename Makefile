@@ -1,12 +1,24 @@
-# Build/test entry points. `make check` is the tier-1 gate; `make race`
-# is the concurrency gate (stress tests in internal/vfs and internal/core
-# run concurrent walks against rename/chmod/Shrink under the detector).
+# Build/test entry points. `make ci` is the tier-1 gate: vet + tests +
+# the race detector (stress tests in internal/vfs and internal/core run
+# concurrent walks against rename/chmod/Shrink under the detector, and
+# internal/telemetry races recording against export).
 
 GO ?= go
 
-.PHONY: all build check race stress bench bench-parallel dcbench
+.PHONY: all help build check vet race ci stress bench bench-parallel dcbench
 
-all: check race
+all: ci
+
+help:
+	@echo "targets:"
+	@echo "  ci             tier-1 gate: vet + check + race (run before every push)"
+	@echo "  check          go build + go test ./..."
+	@echo "  vet            go vet ./..."
+	@echo "  race           race-detector pass over the concurrent packages"
+	@echo "  stress         longer -race soak of the stress tests"
+	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
+	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
+	@echo "  dcbench        paper tables/figures + BENCH_parallel.json + BENCH_micro.json"
 
 build:
 	$(GO) build ./...
@@ -14,8 +26,14 @@ build:
 check: build
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
-	$(GO) test -race ./internal/vfs/... ./internal/core/...
+	$(GO) test -race ./internal/vfs/... ./internal/core/... ./internal/telemetry/...
+
+# The tier-1 gate, folded into one target.
+ci: vet check race
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:
@@ -28,6 +46,6 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkParallelWalk -count 3 .
 
-# Paper tables/figures plus the machine-readable perf trajectory file.
+# Paper tables/figures plus the machine-readable perf trajectory files.
 dcbench:
 	$(GO) run ./cmd/dcbench -scale small -json BENCH_parallel.json fig2 fig6 fig8

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	dcbench [-scale small|paper] [-list] [-json file] [experiment ...]
+//	dcbench [-scale small|paper] [-list] [-json file] [-telemetry]
+//	        [-trace-sample n] [-metrics-addr host:port] [experiment ...]
 //
 // With no experiment arguments, every experiment runs in paper order.
 // -json additionally writes every report's structured data to the named
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
-// across PRs to track the perf trajectory).
+// across PRs to track the perf trajectory) and a compact BENCH_micro.json
+// beside it (schema in EXPERIMENTS.md). -telemetry attaches one
+// process-wide telemetry subsystem to every system the experiments build;
+// -metrics-addr serves its histograms and walk traces live over HTTP
+// while the run progresses.
 // Experiment IDs: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2
 // table3 table4.
 package main
@@ -19,23 +24,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"dircache"
 	"dircache/internal/bench"
 )
 
 func main() {
 	scale := flag.String("scale", "paper", "experiment scale: small or paper")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.String("json", "", "write machine-readable results to this file (e.g. BENCH_parallel.json)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (e.g. BENCH_parallel.json); also writes BENCH_micro.json beside it")
+	telemetryOn := flag.Bool("telemetry", false, "attach one process-wide telemetry subsystem to every system the experiments build")
+	traceSample := flag.Int("trace-sample", 64, "with -telemetry, trace 1-in-N walks into the trace ring (0 disables tracing)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [-json file] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [experiment ...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
 		}
 	}
 	flag.Parse()
+
+	var tel *dircache.Telemetry
+	if *telemetryOn || *metricsAddr != "" {
+		tel = dircache.NewTelemetry(dircache.TelemetryOptions{TraceSample: *traceSample})
+		dircache.SetDefaultTelemetry(tel)
+		if *metricsAddr != "" {
+			srv, err := tel.Serve(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcbench: metrics endpoint: %v\n", err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry: serving metrics on http://%s/metrics (traces at /traces)\n\n", srv.Addr())
+		}
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -95,6 +120,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		microPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_micro.json")
+		if err := writeMicro(microPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("wrote %s and %s\n", *jsonOut, microPath)
+		}
+	}
+	if tel != nil {
+		if p50, p95, p99, ok := tel.HistogramQuantiles("walk"); ok {
+			fmt.Printf("telemetry: walk latency p50=%v p95=%v p99=%v over %d traced walk(s) retained\n",
+				p50, p95, p99, tel.TraceCount())
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
@@ -122,6 +160,32 @@ func writeJSON(path, scale string, results []jsonReport) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Scale:       scale,
 		Experiments: results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// microDoc is the BENCH_micro.json perf-trajectory schema: a flat
+// "series/point" → value map from bench.MicroTrajectory, diffed across
+// PRs (schema documented in EXPERIMENTS.md).
+type microDoc struct {
+	GeneratedAt string             `json:"generated_at"`
+	Scale       string             `json:"scale"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+func writeMicro(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.MicroTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	dcsh [-baseline]
+//	dcsh [-baseline] [-telemetry] [-trace-sample n] [-metrics-addr host:port]
+//
+// -telemetry attaches the observability subsystem (latency histograms and
+// a sampled walk trace ring, inspected with the 'lat' and 'traces'
+// commands); -metrics-addr additionally serves them over HTTP in
+// Prometheus text format and JSON, and implies -telemetry.
 //
 // Try:
 //
@@ -27,11 +32,17 @@ import (
 
 func main() {
 	baseline := flag.Bool("baseline", false, "run the unmodified baseline cache")
+	telemetryOn := flag.Bool("telemetry", false, "attach the telemetry subsystem (enables 'lat' and 'traces')")
+	traceSample := flag.Int("trace-sample", 32, "with -telemetry, trace 1-in-N walks (0 disables tracing)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	flag.Parse()
 
 	cfg := dircache.Optimized()
 	if *baseline {
 		cfg = dircache.Baseline()
+	}
+	if *telemetryOn || *metricsAddr != "" {
+		cfg.Telemetry = dircache.TelemetryOptions{Enabled: true, TraceSample: *traceSample}
 	}
 	sys := dircache.New(cfg)
 	p := sys.Start(dircache.RootCreds())
@@ -41,6 +52,15 @@ func main() {
 		mode = "baseline"
 	}
 	fmt.Printf("dcsh: simulated kernel with %s directory cache. Type 'help'.\n", mode)
+	if *metricsAddr != "" {
+		srv, err := sys.Telemetry().Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsh: metrics endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (traces at /traces)\n", srv.Addr())
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -79,6 +99,8 @@ mounts: mount mem|proc|disk|nfs DIR   bind SRC DST   umount DIR
 	unshare (private mount namespace)  chroot DIR
 ident:  su UID   id
 cache:  stats  buckets  dentries  dropcaches
+telem:  lat (walk latency quantiles)  traces (sampled walk traces)
+	(run dcsh with -telemetry; -metrics-addr serves both over HTTP)
 other:  help  exit
 `)
 	case "ls":
@@ -197,6 +219,33 @@ other:  help  exit
 			total, empty, one, two, more)
 	case "dentries":
 		fmt.Printf("%d dentries cached\n", sys.DentryCount())
+	case "lat":
+		tl := sys.Telemetry()
+		if tl == nil {
+			return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+		}
+		shown := 0
+		for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict"} {
+			p50, p95, p99, ok := tl.HistogramQuantiles(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-10s p50 %-10v p95 %-10v p99 %v\n", name, p50, p95, p99)
+			shown++
+		}
+		if shown == 0 {
+			fmt.Println("no latency observations yet (run some commands first)")
+		}
+	case "traces":
+		tl := sys.Telemetry()
+		if tl == nil {
+			return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+		}
+		if tl.TraceCount() == 0 {
+			fmt.Println("no sampled walk traces yet (sampling is 1-in-N; see -trace-sample)")
+			return nil
+		}
+		os.Stdout.Write(tl.TracesJSON())
 	case "dropcaches":
 		n := sys.DropCaches()
 		fmt.Printf("evicted %d dentries\n", n)

@@ -36,14 +36,15 @@ func main() {
 	fmt.Printf("todo.txt: %s, %d bytes, mode %04o\n", info.Type, info.Size, info.Perm)
 
 	// Second stat: a single fastpath hit — one signature hash, one DLHT
-	// probe, one PCC probe — regardless of path depth.
+	// probe, one PCC probe — regardless of path depth. CacheStats.Delta
+	// isolates what one workload did.
 	before := sys.Stats()
 	if _, err := root.Stat("/home/alice/notes/todo.txt"); err != nil {
 		log.Fatal(err)
 	}
-	after := sys.Stats()
-	fmt.Printf("second stat: fastpath hits %d -> %d, slow walks %d -> %d\n",
-		before.FastHits, after.FastHits, before.SlowWalks, after.SlowWalks)
+	d := sys.Stats().Delta(before)
+	fmt.Printf("second stat: +%d fastpath hit(s), +%d slow walk(s)\n",
+		d.FastHits, d.SlowWalks)
 
 	// Permission checks are memoized per credential: another user's first
 	// access re-verifies the whole prefix on the slow path.
@@ -55,9 +56,10 @@ func main() {
 	// Negative caching: a missing file costs the file system exactly one
 	// lookup, ever.
 	root.Stat("/home/alice/notes/missing.txt")
-	b := sys.Stats().FSLookups
+	before = sys.Stats()
 	root.Stat("/home/alice/notes/missing.txt")
-	fmt.Printf("repeated miss consulted the FS %d more time(s)\n", sys.Stats().FSLookups-b)
+	fmt.Printf("repeated miss consulted the FS %d more time(s)\n",
+		sys.Stats().Delta(before).FSLookups)
 
 	st := sys.Stats()
 	fmt.Printf("\ntotals: %d lookups, %.1f%% hit rate, %d dentries cached\n",

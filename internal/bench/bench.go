@@ -178,6 +178,7 @@ func Experiments() []Experiment {
 		{"table4", "lines of code by module", Table4},
 		{"ablate", "per-feature ablation on a warm metadata mix", AblateFeatures},
 		{"ablate-pcc", "PCC size sensitivity (updatedb)", AblatePCC},
+		{"lat", "warm stat latency distribution (mean + p50/p95/p99)", Lat},
 	}
 }
 

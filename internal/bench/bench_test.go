@@ -351,10 +351,48 @@ func TestTable4Counts(t *testing.T) {
 	}
 }
 
+func TestLatShape(t *testing.T) {
+	r := runExp(t, Lat)
+	for _, mode := range []string{"unmod", "opt"} {
+		for _, pt := range latPaths {
+			ns := r.Get("ns/" + pt.name + "/" + mode)
+			p50 := r.Get("p50/" + pt.name + "/" + mode)
+			p99 := r.Get("p99/" + pt.name + "/" + mode)
+			if ns <= 0 || p50 <= 0 {
+				t.Errorf("%s/%s: non-positive ns=%.0f p50=%.0f", pt.name, mode, ns, p50)
+			}
+			if p99 < p50 {
+				t.Errorf("%s/%s: p99 %.0f < p50 %.0f", pt.name, mode, p99, p50)
+			}
+		}
+	}
+}
+
+func TestMicroTrajectoryKeys(t *testing.T) {
+	m, err := MicroTrajectory(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"unmod", "opt"} {
+		for _, pt := range latPaths {
+			k := "stat/" + pt.name + "/" + mode
+			if m[k] <= 0 {
+				t.Errorf("missing or non-positive %s = %.0f", k, m[k])
+			}
+		}
+		for _, q := range []string{"p50", "p95", "p99"} {
+			k := "walkq/" + q + "/" + mode
+			if m[k] <= 0 {
+				t.Errorf("missing or non-positive %s = %.0f", k, m[k])
+			}
+		}
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

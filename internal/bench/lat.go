@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"dircache"
+)
+
+// latPaths is the subset of the Figure 6 fixture measured by the latency
+// distribution experiment and the micro perf-trajectory file: one shallow
+// hit, one deep hit, a symlink, and a cached negative.
+var latPaths = []struct{ name, path string }{
+	{"1-comp", "/FFF"},
+	{"4-comp", "/XXX/YYY/ZZZ/FFF"},
+	{"8-comp", "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"},
+	{"link-f", "/XXX/YYY/ZZZ/LLL"},
+	{"neg-f", "/XXX/YYY/ZZZ/NNN"},
+}
+
+// Lat reports the warm stat latency distribution per path pattern:
+// the timer-loop mean (ns/op, the figure-style datum) alongside
+// p50/p95/p99 from the telemetry walk histogram recorded over the same
+// loop. The mean answers "how fast", the tail quantiles answer "how
+// consistently" — a fastpath regression that only hurts the tail is
+// invisible to ns/op.
+func Lat(sc Scale) (*Report, error) {
+	r := newReport("lat", "warm stat latency distribution (ns)",
+		"path", "config", "ns/op", "p50", "p95", "p99")
+	for _, mode := range []string{"unmod", "opt"} {
+		cfg := dircache.Baseline()
+		if mode == "opt" {
+			cfg = dircache.Optimized()
+			cfg.SignatureSeed = 0x1a7
+		}
+		sys := dircache.New(cfg)
+		p := sys.Start(dircache.RootCreds())
+		if err := buildMicroTree(p); err != nil {
+			return nil, err
+		}
+		// Telemetry is attached for the whole measured loop, so ns/op here
+		// includes the (enabled) recording cost — self-consistent within
+		// the experiment, not comparable to fig6's detached numbers.
+		tl := sys.EnableTelemetry(dircache.TelemetryOptions{})
+		for _, pt := range latPaths {
+			tl.ResetHistograms()
+			ns := statLoop(sc, p, pt.path)
+			p50, p95, p99, ok := tl.HistogramQuantiles("walk")
+			if !ok {
+				return nil, fmt.Errorf("lat: empty walk histogram for %s/%s", pt.name, mode)
+			}
+			r.add(pt.name, mode, fmtNS(ns),
+				fmt.Sprintf("%d", p50.Nanoseconds()),
+				fmt.Sprintf("%d", p95.Nanoseconds()),
+				fmt.Sprintf("%d", p99.Nanoseconds()))
+			r.put(fmt.Sprintf("ns/%s/%s", pt.name, mode), ns)
+			r.put(fmt.Sprintf("p50/%s/%s", pt.name, mode), float64(p50.Nanoseconds()))
+			r.put(fmt.Sprintf("p95/%s/%s", pt.name, mode), float64(p95.Nanoseconds()))
+			r.put(fmt.Sprintf("p99/%s/%s", pt.name, mode), float64(p99.Nanoseconds()))
+		}
+		sys.DisableTelemetry()
+	}
+	r.note("quantiles come from the telemetry walk histogram over the measured loop; " +
+		"ns/op includes enabled-recording cost (compare within this table only)")
+	return r, nil
+}
+
+// MicroTrajectory runs the compact warm-path micro set whose numbers are
+// tracked across PRs in BENCH_micro.json: stat ns/op per path pattern for
+// the baseline and optimized caches (telemetry detached — the honest
+// hot-path number), plus walk p50/p95/p99 for the deep path with
+// telemetry attached. Keys follow the report convention "series/point":
+// "stat/<path>/<config>" and "walkq/<quantile>/<config>".
+func MicroTrajectory(sc Scale) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, mode := range []string{"unmod", "opt"} {
+		cfg := dircache.Baseline()
+		if mode == "opt" {
+			cfg = dircache.Optimized()
+			cfg.SignatureSeed = 0x31c40
+		}
+		sys := dircache.New(cfg)
+		p := sys.Start(dircache.RootCreds())
+		if err := buildMicroTree(p); err != nil {
+			return nil, err
+		}
+		for _, pt := range latPaths {
+			out[fmt.Sprintf("stat/%s/%s", pt.name, mode)] = statLoop(sc, p, pt.path)
+		}
+		tl := sys.EnableTelemetry(dircache.TelemetryOptions{})
+		statLoop(sc, p, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF")
+		p50, p95, p99, ok := tl.HistogramQuantiles("walk")
+		sys.DisableTelemetry()
+		if !ok {
+			return nil, fmt.Errorf("microtrajectory: empty walk histogram (%s)", mode)
+		}
+		out["walkq/p50/"+mode] = float64(p50.Nanoseconds())
+		out["walkq/p95/"+mode] = float64(p95.Nanoseconds())
+		out["walkq/p99/"+mode] = float64(p99.Nanoseconds())
+	}
+	return out, nil
+}

@@ -170,7 +170,9 @@ func (c *Core) pccFor(cr *cred.Cred) *PCC {
 	if v := cr.CacheLoad(); v != nil {
 		return v.(*PCC)
 	}
-	p := cr.CacheStoreIfAbsent(newPCC(c.cfg.PCCBytes, c.cfg.PCCMaxBytes)).(*PCC)
+	np := newPCC(c.cfg.PCCBytes, c.cfg.PCCMaxBytes)
+	np.tel = c.k.Telemetry
+	p := cr.CacheStoreIfAbsent(np).(*PCC)
 	c.pccsMu.Lock()
 	c.pccs = append(c.pccs, p)
 	c.pccsMu.Unlock()

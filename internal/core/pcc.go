@@ -9,8 +9,10 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"dircache/internal/stripe"
+	"dircache/internal/telemetry"
 )
 
 // PCC entry packing (one uint64, read/written atomically — the analogue of
@@ -89,6 +91,12 @@ type PCC struct {
 	// approximately monotonic between resets, which a striped counter is.
 	windowMiss stripe.Int64
 	resizes    atomic.Int64
+
+	// tel, when set, resolves the owning kernel's telemetry subsystem so
+	// the (rare) generation copy can be timed into HistPCCResize. Written
+	// once before the PCC is published to its credential; nil in unit
+	// tests that build a PCC directly.
+	tel func() *telemetry.Telemetry
 }
 
 // newPCC builds a PCC holding roughly bytes of entries (default 64 KiB,
@@ -148,6 +156,15 @@ func (p *PCC) noteMiss(t *pccTable) {
 	if cur != t || len(cur.sets) >= p.maxSets {
 		return
 	}
+	var tel *telemetry.Telemetry
+	var copyStart time.Time
+	if p.tel != nil {
+		if tel = p.tel(); tel.On() {
+			copyStart = time.Now()
+		} else {
+			tel = nil
+		}
+	}
 	bigger := newPCCTable(len(cur.sets) * pccWays * 2)
 	// Carry live entries over (rehash by ID bits reconstructed from the
 	// packed word's low 32 bits; sufficient because setFor only consumes
@@ -171,6 +188,9 @@ func (p *PCC) noteMiss(t *pccTable) {
 	p.table.Store(bigger)
 	p.windowMiss.Reset()
 	p.resizes.Add(1)
+	if tel != nil {
+		tel.Record(telemetry.HistPCCResize, time.Since(copyStart))
+	}
 }
 
 // Insert records a passed prefix check for (dentryID, seq), replacing a

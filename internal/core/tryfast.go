@@ -5,6 +5,7 @@ import (
 
 	"dircache/internal/fsapi"
 	"dircache/internal/sig"
+	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
 
@@ -47,8 +48,13 @@ func parentRef(t *vfs.Task, ref vfs.PathRef) vfs.PathRef {
 // stored state), performs a single DLHT probe, and authorizes the result
 // with one PCC probe — constant hash-table work regardless of path depth.
 // Any uncertainty returns handled=false, falling back to the slow walk.
-func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkFlags) (vfs.PathRef, error, bool) {
+func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkFlags, tr *telemetry.WalkTrace) (vfs.PathRef, error, bool) {
 	k := c.k
+
+	tel := k.Telemetry()
+	if !tel.On() {
+		tel = nil
+	}
 
 	tracing := k.PhaseTraceOn()
 	var ph vfs.PhaseTimes
@@ -161,8 +167,10 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	}
 	if d == nil {
 		c.stats.dlhtMiss.Add(1)
+		tr.Event(telemetry.EvDLHTMiss, path)
 		return vfs.PathRef{}, nil, false
 	}
+	tr.Event(telemetry.EvDLHTHit, path)
 
 	// Alias dentries redirect to the real dentry; the redirect is pinned
 	// to the target's version (a structural change to the target bumps
@@ -174,12 +182,15 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		real := d.Target()
 		if fd == nil || real == nil || real.IsDead() ||
 			fd.targetSeq.Load() != dentrySeq(real) {
+			tr.Event(telemetry.EvFastAbort, "stale alias")
 			return vfs.PathRef{}, nil, false
 		}
 		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
 			c.stats.pccMiss.Add(1)
+			tr.Event(telemetry.EvPCCMiss, "alias")
 			return vfs.PathRef{}, nil, false
 		}
+		tr.Event(telemetry.EvAlias, "")
 		d = real
 	}
 
@@ -189,8 +200,11 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	if d.IsNegative() {
 		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
 			c.stats.pccMiss.Add(1)
+			tr.Event(telemetry.EvPCCMiss, "negative")
 			return vfs.PathRef{}, nil, false
 		}
+		tr.Event(telemetry.EvPCCHit, "negative")
+		tr.Event(telemetry.EvNegative, path)
 		errno := fsapi.ENOENT
 		if d.Flags()&vfs.DNotDir != 0 {
 			errno = fsapi.ENOTDIR
@@ -202,6 +216,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	// Unhydrated dentries (readdir stubs) need an FS call; that belongs
 	// to the slow path.
 	if d.Flags()&vfs.DUnhydrated != 0 {
+		tr.Event(telemetry.EvFastAbort, "unhydrated")
 		return vfs.PathRef{}, nil, false
 	}
 
@@ -242,17 +257,27 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		return vfs.PathRef{}, nil, false
 	}
 	seq := fd.seq.Load()
+	var pccStart time.Time
+	if tel != nil {
+		pccStart = time.Now()
+	}
 	hit := pcc.Lookup(d.ID(), seq)
+	if tel != nil {
+		tel.Record(telemetry.HistPCC, time.Since(pccStart))
+	}
 	if tracing {
 		ph.PermCheck = time.Since(t0)
 		t0 = time.Now()
 	}
 	if !hit || c.cfg.ForcePCCMiss {
 		c.stats.pccMiss.Add(1)
+		tr.Event(telemetry.EvPCCMiss, "")
 		return vfs.PathRef{}, nil, false
 	}
+	tr.Event(telemetry.EvPCCHit, "")
 	mnt := fd.mntP.Load()
 	if mnt == nil || d.IsDead() || d.Super().Caps().Revalidate {
+		tr.Event(telemetry.EvFastAbort, "unusable dentry")
 		return vfs.PathRef{}, nil, false
 	}
 	if mustDir && !d.IsDir() {

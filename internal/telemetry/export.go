@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Handler returns the metrics endpoint:
+//
+//	/metrics       Prometheus text format (histograms + registered counters)
+//	/traces        JSON dump of the sampled walk trace ring
+//	/metrics.json  everything as one JSON document
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.WritePrometheus(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(t.TracesJSON())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(t.MetricsJSON())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "dircache telemetry: /metrics /traces /metrics.json\n")
+	})
+	return mux
+}
+
+// WritePrometheus renders every histogram and registered counter source
+// in the Prometheus text exposition format. Histogram buckets are emitted
+// in seconds (the Prometheus convention for latency), cumulative, with
+// the full fixed bucket set so series stay consistent across scrapes.
+func (t *Telemetry) WritePrometheus(w io.Writer) {
+	for id, s := range t.Snapshot() {
+		name := "dircache_" + s.Name + "_latency_seconds"
+		fmt.Fprintf(w, "# HELP %s %s\n", name, histHelp[id])
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for b := 0; b < NumBuckets-1; b++ {
+			cum += s.Counts[b]
+			le := strconv.FormatFloat(float64(BucketUpper(b))/1e9, 'g', -1, 64)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		cum += s.Counts[NumBuckets-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}
+
+	stats := t.statsSnapshot()
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "# HELP dircache_stat cumulative directory cache counters (CacheStats)\n")
+		fmt.Fprintf(w, "# TYPE dircache_stat gauge\n")
+		sources := make([]string, 0, len(stats))
+		for src := range stats {
+			sources = append(sources, src)
+		}
+		sort.Strings(sources)
+		for _, src := range sources {
+			counters := stats[src]
+			names := make([]string, 0, len(counters))
+			for n := range counters {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(w, "dircache_stat{source=%q,name=%q} %d\n", src, n, counters[n])
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP dircache_traces_retained sampled walk traces currently in the ring\n")
+	fmt.Fprintf(w, "# TYPE dircache_traces_retained gauge\n")
+	fmt.Fprintf(w, "dircache_traces_retained %d\n", t.TraceCount())
+}
+
+// traceDoc is the JSON shape of a trace dump.
+type traceDoc struct {
+	Dropped uint64       `json:"dropped"`
+	Traces  []*WalkTrace `json:"traces"`
+}
+
+// TracesJSON renders the trace ring as JSON (oldest trace first).
+func (t *Telemetry) TracesJSON() []byte {
+	traces, dropped := t.Traces()
+	if traces == nil {
+		traces = []*WalkTrace{}
+	}
+	buf, err := json.MarshalIndent(traceDoc{Dropped: dropped, Traces: traces}, "", "  ")
+	if err != nil {
+		return []byte(`{"error":"marshal failed"}`)
+	}
+	return append(buf, '\n')
+}
+
+// histJSON is the JSON shape of one histogram.
+type histJSON struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	SumNS   uint64  `json:"sum_ns"`
+	MeanNS  int64   `json:"mean_ns"`
+	P50NS   int64   `json:"p50_ns"`
+	P95NS   int64   `json:"p95_ns"`
+	P99NS   int64   `json:"p99_ns"`
+	Buckets []buckJ `json:"buckets,omitempty"` // non-empty buckets only
+}
+
+type buckJ struct {
+	LeNS  uint64 `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+type metricsDoc struct {
+	Histograms []histJSON                  `json:"histograms"`
+	Stats      map[string]map[string]int64 `json:"stats,omitempty"`
+	Traces     int                         `json:"traces_retained"`
+}
+
+// MetricsJSON renders histograms (with precomputed quantiles) and
+// registered counters as one JSON document.
+func (t *Telemetry) MetricsJSON() []byte {
+	doc := metricsDoc{Stats: t.statsSnapshot(), Traces: t.TraceCount()}
+	for _, s := range t.Snapshot() {
+		h := histJSON{
+			Name:   s.Name,
+			Count:  s.Count,
+			SumNS:  s.Sum,
+			MeanNS: s.Mean().Nanoseconds(),
+			P50NS:  s.Quantile(0.50).Nanoseconds(),
+			P95NS:  s.Quantile(0.95).Nanoseconds(),
+			P99NS:  s.Quantile(0.99).Nanoseconds(),
+		}
+		for b := 0; b < NumBuckets; b++ {
+			if s.Counts[b] != 0 {
+				h.Buckets = append(h.Buckets, buckJ{LeNS: BucketUpper(b), Count: s.Counts[b]})
+			}
+		}
+		doc.Histograms = append(doc.Histograms, h)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return []byte(`{"error":"marshal failed"}`)
+	}
+	return append(buf, '\n')
+}
+
+// Server is a live metrics endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP server for t's Handler on addr (e.g.
+// "localhost:9150" or ":0" for an ephemeral port). It returns once the
+// listener is bound; serving continues in a background goroutine.
+func (t *Telemetry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: t.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"dircache/internal/stripe"
+)
+
+// NumBuckets is the histogram resolution: log-bucketed with four
+// sub-buckets per power of two (~±12.5% relative error), covering 1 ns
+// through ~2 minutes before the overflow bucket absorbs the rest. Chosen
+// so one striped cell (counts + sum) stays near a kilobyte — small enough
+// that a Kernel can carry one histogram per cost center without moving
+// the dentry working set out of cache.
+const NumBuckets = 144
+
+// bucketOf maps a latency in nanoseconds to its bucket. Buckets 0..3 hold
+// the exact values 0..3 ns; from there each power of two splits into four
+// sub-buckets keyed by the two bits below the leading one.
+func bucketOf(ns uint64) int {
+	if ns < 4 {
+		return int(ns)
+	}
+	o := bits.Len64(ns) - 1 // floor(log2 ns), >= 2
+	b := (o-1)*4 + int((ns>>(uint(o)-2))&3)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// bucketLower returns the smallest nanosecond value landing in bucket b.
+func bucketLower(b int) uint64 {
+	if b < 4 {
+		return uint64(b)
+	}
+	o := b/4 + 1
+	sub := uint64(b % 4)
+	return (4 + sub) << (uint(o) - 2)
+}
+
+// BucketUpper returns the exclusive upper bound of bucket b in
+// nanoseconds (the Prometheus `le` boundary). The last bucket is open.
+func BucketUpper(b int) uint64 {
+	if b >= NumBuckets-1 {
+		return 1<<63 - 1
+	}
+	return bucketLower(b + 1)
+}
+
+// histCell is one stripe's worth of a histogram. Sized to a multiple of
+// the cache line so neighbouring cells never share a line; within a cell
+// the bucket counters may share lines, but only with counters written by
+// the same goroutine's stripe.
+type histCell struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+	_      [56]byte
+}
+
+// Histogram is a lock-free striped latency histogram in the spirit of
+// internal/stripe: recorders bump one cell picked by a per-goroutine
+// hash, readers sum all cells. Snapshots are racy the same way striped
+// counter sums are — each bucket is monotonic, so a snapshot is a valid,
+// instantaneously slightly stale distribution. The zero value is ready.
+type Histogram struct {
+	cells [stripe.Stripes]histCell
+}
+
+// Record adds one observation. Negative durations (clock steps) clamp to
+// zero rather than corrupting a bucket index.
+func (h *Histogram) Record(d time.Duration) {
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	c := &h.cells[stripe.Index()]
+	c.counts[bucketOf(ns)].Add(1)
+	c.sum.Add(ns)
+}
+
+// Reset zeroes every cell. Like stripe.Int64.Reset it is only approximate
+// under concurrent Records; callers use it to scope a measurement window,
+// not for accounting.
+func (h *Histogram) Reset() {
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := range c.counts {
+			c.counts[b].Store(0)
+		}
+		c.sum.Store(0)
+	}
+}
+
+// HistSnapshot is a merged point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Name   string
+	Counts [NumBuckets]uint64
+	Count  uint64 // total observations
+	Sum    uint64 // total nanoseconds
+}
+
+// Snapshot merges all stripes.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := range c.counts {
+			n := c.counts[b].Load()
+			s.Counts[b] += n
+			s.Count += n
+		}
+		s.Sum += c.sum.Load()
+	}
+	return s
+}
+
+// Quantile returns the q-th latency quantile (q in [0,1]), interpolating
+// linearly within the landing bucket. Zero observations yield zero.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for b := 0; b < NumBuckets; b++ {
+		n := float64(s.Counts[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := float64(bucketLower(b)), float64(BucketUpper(b))
+			if b == NumBuckets-1 {
+				hi = lo * 2 // open bucket: nominal width
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (target - cum) / n
+			}
+			return time.Duration(lo + (hi-lo)*frac)
+		}
+		cum += n
+	}
+	return time.Duration(bucketLower(NumBuckets - 1))
+}
+
+// Mean returns the average observed latency.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the directory cache's observability subsystem:
+// lock-free striped latency histograms for each lookup cost center, a
+// sampled per-walk trace ring, and an exporter that serves both (plus any
+// registered counter sources) in Prometheus text format and JSON.
+//
+// The contract with the hot path mirrors the paper's "measurement must
+// not perturb the measured system" discipline: a disabled Telemetry costs
+// the VFS a single atomic pointer load and branch per walk (the kernel
+// detaches the pointer entirely), and an enabled one records through
+// striped, cache-line-padded cells (internal/stripe) so concurrent
+// walkers never contend on a shared counter line. Traces are sampled
+// 1-in-N and assembled privately by the walking goroutine; only the final
+// push into the ring takes a (cold) mutex.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HistID names one latency histogram.
+type HistID int
+
+// The cost centers instrumented across the VFS and fastpath.
+const (
+	// HistWalk is end-to-end Walk latency (fast or slow, success or not).
+	HistWalk HistID = iota
+	// HistFastpath is the latency of walks answered by TryFast.
+	HistFastpath
+	// HistSlowpath is the latency of the component-at-a-time walk
+	// (including retries and the ref-walk fallback).
+	HistSlowpath
+	// HistFSLookup is the latency of low-level FS Lookup calls on a miss.
+	HistFSLookup
+	// HistPCC is the latency of the fastpath's final PCC authorization
+	// probe.
+	HistPCC
+	// HistPCCResize is the latency of a PCC generation copy (rare).
+	HistPCCResize
+	// HistEvict is the latency of one LRU victim scan+claim pass.
+	HistEvict
+
+	NumHistograms
+)
+
+var histNames = [NumHistograms]string{
+	"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
+}
+
+var histHelp = [NumHistograms]string{
+	"end-to-end path walk latency",
+	"latency of walks answered by the whole-path fastpath",
+	"latency of component-at-a-time slow walks",
+	"latency of low-level FS lookup calls",
+	"latency of the fastpath PCC authorization probe",
+	"latency of PCC table growth (generation copy)",
+	"latency of one LRU victim scan pass",
+}
+
+// Name returns the histogram's exporter name.
+func (id HistID) Name() string { return histNames[id] }
+
+// HistIDByName resolves an exporter name back to its ID.
+func HistIDByName(name string) (HistID, bool) {
+	for i, n := range histNames {
+		if n == name {
+			return HistID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Options configures a Telemetry instance.
+type Options struct {
+	// TraceSample records the full event sequence of 1-in-N walks.
+	// 0 disables tracing; 1 traces every walk.
+	TraceSample int
+	// TraceBuffer is the trace ring capacity (0 = 256). The ring drops
+	// oldest.
+	TraceBuffer int
+}
+
+// Telemetry owns the histograms, the trace ring, and the registered
+// counter sources. All methods are safe for concurrent use; Record and
+// SampleWalk are additionally nil-safe wherever noted so callers can keep
+// a possibly-nil pointer.
+type Telemetry struct {
+	enabled atomic.Bool
+	sampleN atomic.Int64
+	walkSeq atomic.Uint64 // sampling counter
+	traceID atomic.Uint64
+
+	hists [NumHistograms]Histogram
+	ring  *traceRing
+
+	statsMu sync.Mutex
+	stats   map[string]func() map[string]int64
+}
+
+// New builds a Telemetry (initially disabled — call Enable).
+func New(o Options) *Telemetry {
+	t := &Telemetry{
+		ring:  newTraceRing(o.TraceBuffer),
+		stats: make(map[string]func() map[string]int64),
+	}
+	t.sampleN.Store(int64(o.TraceSample))
+	return t
+}
+
+// Enable turns recording on.
+func (t *Telemetry) Enable() { t.enabled.Store(true) }
+
+// Disable turns recording off. Attached kernels additionally detach the
+// pointer so the walk hot path pays only the nil check.
+func (t *Telemetry) Disable() { t.enabled.Store(false) }
+
+// On reports whether recording is active. Nil-safe.
+func (t *Telemetry) On() bool { return t != nil && t.enabled.Load() }
+
+// SetTraceSample changes the 1-in-N trace sampling rate (0 disables).
+func (t *Telemetry) SetTraceSample(n int) { t.sampleN.Store(int64(n)) }
+
+// Record adds one latency observation to the histogram.
+func (t *Telemetry) Record(id HistID, d time.Duration) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.hists[id].Record(d)
+}
+
+// SampleWalk starts a trace for this walk if it falls in the sample, or
+// returns nil (the common case — every downstream trace call is nil-safe).
+func (t *Telemetry) SampleWalk(path string) *WalkTrace {
+	n := t.sampleN.Load()
+	if n <= 0 {
+		return nil
+	}
+	if n > 1 && t.walkSeq.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	return &WalkTrace{ID: t.traceID.Add(1), Path: path, Start: time.Now()}
+}
+
+// FinishWalk completes tr (nil-safe) and pushes it into the ring.
+func (t *Telemetry) FinishWalk(tr *WalkTrace, fastpath bool, err error, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Fastpath = fastpath
+	tr.DurNS = d.Nanoseconds()
+	if err == nil {
+		tr.Outcome = "ok"
+	} else {
+		tr.Outcome = err.Error()
+	}
+	t.ring.push(tr)
+}
+
+// Snapshot returns merged copies of every histogram.
+func (t *Telemetry) Snapshot() []HistSnapshot {
+	out := make([]HistSnapshot, NumHistograms)
+	for i := range out {
+		out[i] = t.hists[i].Snapshot()
+		out[i].Name = histNames[i]
+	}
+	return out
+}
+
+// SnapshotHist returns one histogram's merged snapshot.
+func (t *Telemetry) SnapshotHist(id HistID) HistSnapshot {
+	s := t.hists[id].Snapshot()
+	s.Name = histNames[id]
+	return s
+}
+
+// ResetHistograms zeroes every histogram (measurement windowing; see
+// Histogram.Reset for the concurrency caveat).
+func (t *Telemetry) ResetHistograms() {
+	for i := range t.hists {
+		t.hists[i].Reset()
+	}
+}
+
+// Traces returns the retained traces (oldest first) and how many were
+// dropped by the ring.
+func (t *Telemetry) Traces() ([]*WalkTrace, uint64) { return t.ring.dump() }
+
+// TraceCount returns how many traces the ring currently retains.
+func (t *Telemetry) TraceCount() int { return t.ring.count() }
+
+// RegisterStats adds a named counter source the exporter will include
+// (e.g. a System's CacheStats). Re-registering a source replaces it.
+func (t *Telemetry) RegisterStats(source string, fn func() map[string]int64) {
+	t.statsMu.Lock()
+	t.stats[source] = fn
+	t.statsMu.Unlock()
+}
+
+// UnregisterStats removes a counter source.
+func (t *Telemetry) UnregisterStats(source string) {
+	t.statsMu.Lock()
+	delete(t.stats, source)
+	t.statsMu.Unlock()
+}
+
+// statsSnapshot evaluates every registered source.
+func (t *Telemetry) statsSnapshot() map[string]map[string]int64 {
+	t.statsMu.Lock()
+	fns := make(map[string]func() map[string]int64, len(t.stats))
+	for k, v := range t.stats {
+		fns[k] = v
+	}
+	t.statsMu.Unlock()
+	out := make(map[string]map[string]int64, len(fns))
+	for k, fn := range fns {
+		out[k] = fn()
+	}
+	return out
+}
+
+// defaultTel is the process-wide instance: commands like dcbench install
+// one so that every System their experiments construct feeds a single
+// live exporter without threading a pointer through each config.
+var defaultTel atomic.Pointer[Telemetry]
+
+// SetDefault installs (or, with nil, clears) the process-wide default.
+func SetDefault(t *Telemetry) { defaultTel.Store(t) }
+
+// Default returns the process-wide default, or nil.
+func Default() *Telemetry { return defaultTel.Load() }

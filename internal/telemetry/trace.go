@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one step of a sampled walk: a component resolved, a hash
+// table probe, a negative-dentry answer, a seqlock retry, and so on.
+type TraceEvent struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	DurNS  int64  `json:"dur_ns,omitempty"`
+}
+
+// Event kinds recorded by the VFS and fastpath instrumentation.
+const (
+	EvComponent     = "component"      // slow walk resolved one component
+	EvHashHit       = "hash_hit"       // baseline (parent,name) table hit
+	EvNegative      = "negative"       // negative dentry answered the walk
+	EvCompleteShort = "complete_short" // DIR_COMPLETE authoritative miss
+	EvFSLookup      = "fs_lookup"      // miss consulted the low-level FS
+	EvHydrate       = "hydrate"        // readdir stub filled via GetNode
+	EvSymlink       = "symlink"        // symlink followed
+	EvDotDot        = "dotdot"         // ".." step
+	EvSeqRetry      = "seq_retry"      // optimistic walk retried
+	EvRefWalk       = "refwalk"        // fell back to the ref-walk lock
+	EvSlowWalk      = "slow_walk"      // entered the component-at-a-time path
+	EvDLHTHit       = "dlht_hit"       // fastpath signature probe hit
+	EvDLHTMiss      = "dlht_miss"      // fastpath signature probe missed
+	EvPCCHit        = "pcc_hit"        // prefix check memoized
+	EvPCCMiss       = "pcc_miss"       // prefix check not memoized/stale
+	EvAlias         = "alias"          // symlink alias dentry hit
+	EvFastAbort     = "fast_abort"     // fastpath bailed to the slow walk
+)
+
+// WalkTrace is the recorded event sequence of one sampled walk. It is
+// built by the walking goroutine alone and becomes immutable once pushed
+// into the ring, so readers need no synchronization beyond the ring's.
+type WalkTrace struct {
+	ID       uint64       `json:"id"`
+	Path     string       `json:"path"`
+	Start    time.Time    `json:"start"`
+	DurNS    int64        `json:"dur_ns"`
+	Outcome  string       `json:"outcome"` // "ok" or the errno text
+	Fastpath bool         `json:"fastpath"`
+	Events   []TraceEvent `json:"events"`
+}
+
+// Event appends a step. Nil-safe so instrumentation sites can call it
+// unconditionally on the (usually nil) trace pointer.
+func (tr *WalkTrace) Event(kind, detail string) {
+	if tr == nil {
+		return
+	}
+	tr.Events = append(tr.Events, TraceEvent{Kind: kind, Detail: detail})
+}
+
+// EventDur appends a step with its measured duration.
+func (tr *WalkTrace) EventDur(kind, detail string, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Events = append(tr.Events, TraceEvent{Kind: kind, Detail: detail, DurNS: d.Nanoseconds()})
+}
+
+// traceRing is a fixed-size drop-oldest buffer of completed traces.
+// Completed traces arrive at the trace sampling rate (1-in-N walks), so a
+// mutex here is far off the hot path.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []*WalkTrace // fixed capacity; slot = total % len(buf)
+	total uint64       // traces ever pushed; excess over len(buf) were dropped
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &traceRing{buf: make([]*WalkTrace, capacity)}
+}
+
+// push stores tr, overwriting the oldest trace once the ring is full.
+func (r *traceRing) push(tr *WalkTrace) {
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = tr
+	r.total++
+	r.mu.Unlock()
+}
+
+// dump returns the retained traces, oldest first, plus the count of
+// traces dropped to make room.
+func (r *traceRing) dump() (traces []*WalkTrace, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.total <= n {
+		return append([]*WalkTrace(nil), r.buf[:r.total]...), 0
+	}
+	traces = make([]*WalkTrace, 0, n)
+	start := r.total % n
+	traces = append(traces, r.buf[start:]...)
+	traces = append(traces, r.buf[:start]...)
+	return traces, r.total - n
+}
+
+// count returns how many traces are retained.
+func (r *traceRing) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}

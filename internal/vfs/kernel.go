@@ -7,6 +7,7 @@ import (
 	"dircache/internal/fsapi"
 	"dircache/internal/lsm"
 	"dircache/internal/stripe"
+	"dircache/internal/telemetry"
 )
 
 // Config selects the directory cache behaviour. The zero value is the
@@ -73,8 +74,10 @@ type Hooks interface {
 
 	// TryFast attempts a whole-path lookup from start. handled=false
 	// falls back to the slow walk. When handled, res/err are the final
-	// outcome (err may be ENOENT from a negative hit).
-	TryFast(t *Task, start PathRef, path string, fl WalkFlags) (res PathRef, err error, handled bool)
+	// outcome (err may be ENOENT from a negative hit). tr is the walk's
+	// sampled telemetry trace — nil on almost every call — to which the
+	// hooks append their probe events.
+	TryFast(t *Task, start PathRef, path string, fl WalkFlags, tr *telemetry.WalkTrace) (res PathRef, err error, handled bool)
 
 	// BeginSlow returns an invalidation-epoch token before a slow walk.
 	BeginSlow() uint64
@@ -129,6 +132,31 @@ type Stats struct {
 	RetryWalks    int64 // optimistic walks that had to retry/fallback
 }
 
+// Delta returns the field-by-field difference s - prev: the events that
+// happened between two snapshots. Because every field is monotonic, a
+// delta of snapshots taken around a workload is exact up to the walks in
+// flight at the two snapshot instants (see stripedStats on skew).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Lookups:       s.Lookups - prev.Lookups,
+		FastHits:      s.FastHits - prev.FastHits,
+		FastNegHits:   s.FastNegHits - prev.FastNegHits,
+		SlowWalks:     s.SlowWalks - prev.SlowWalks,
+		Components:    s.Components - prev.Components,
+		CacheHits:     s.CacheHits - prev.CacheHits,
+		FSLookups:     s.FSLookups - prev.FSLookups,
+		Hydrations:    s.Hydrations - prev.Hydrations,
+		NegativeHits:  s.NegativeHits - prev.NegativeHits,
+		CompleteShort: s.CompleteShort - prev.CompleteShort,
+		ReaddirCached: s.ReaddirCached - prev.ReaddirCached,
+		ReaddirFS:     s.ReaddirFS - prev.ReaddirFS,
+		Evictions:     s.Evictions - prev.Evictions,
+		SymlinkJumps:  s.SymlinkJumps - prev.SymlinkJumps,
+		DotDotSteps:   s.DotDotSteps - prev.DotDotSteps,
+		RetryWalks:    s.RetryWalks - prev.RetryWalks,
+	}
+}
+
 // statsCell is one stripe's worth of counters; see stripedStats.
 type statsCell struct {
 	lookups, fastHits, fastNegHits, slowWalks, components, cacheHits,
@@ -143,6 +171,17 @@ type statsCell struct {
 // Writers bump one cell picked by a per-goroutine hash; snapshot() sums
 // them. The sums are racy but each counter is monotonic, so a snapshot is
 // a valid (if instantaneously slightly stale) cumulative total.
+//
+// Snapshot skew, precisely: snapshot() reads field-by-field and
+// cell-by-cell with no cross-field atomicity, so a snapshot taken while
+// walks are in flight can be internally inconsistent — e.g. Components
+// already bumped for a walk whose Lookups increment lands in a cell read
+// earlier, making ratios like Components/Lookups transiently off by a few
+// counts. Each individual field is still a valid monotonic cumulative
+// total, so deltas of the same field across two snapshots are meaningful
+// (that is the contract Stats.Delta and dircache.CacheStats.Delta build
+// on); only instantaneous cross-field identities ("SlowWalks + FastHits
+// == Lookups") may be violated by the counts of in-flight walks.
 type stripedStats struct {
 	cells [stripe.Stripes]struct {
 		statsCell
@@ -214,7 +253,20 @@ type Kernel struct {
 
 	// phases receives per-walk PhaseTimes when Config.PhaseTrace is set.
 	phases func(PhaseTimes)
+
+	// tel is the attached telemetry subsystem, nil when observability is
+	// off. The walk hot path pays exactly one atomic load and branch on
+	// it; enabling/disabling at runtime attaches/detaches the pointer.
+	tel atomic.Pointer[telemetry.Telemetry]
 }
+
+// SetTelemetry attaches (or, with nil, detaches) the telemetry subsystem.
+// Safe to call at any time, including while walks are in flight: an
+// in-flight walk finishes against whichever instance it loaded at entry.
+func (k *Kernel) SetTelemetry(t *telemetry.Telemetry) { k.tel.Store(t) }
+
+// Telemetry returns the attached telemetry subsystem, or nil.
+func (k *Kernel) Telemetry() *telemetry.Telemetry { return k.tel.Load() }
 
 // AliasingEpoch reports how many alias-creating events (bind mounts,
 // namespace clones) have occurred; zero means single-view paths.
@@ -227,6 +279,7 @@ func NewKernel(cfg Config, rootFS fsapi.FileSystem) *Kernel {
 	}
 	k := &Kernel{cfg: cfg, supers: make(map[fsapi.FileSystem]*Super)}
 	k.table = newHashTable(cfg.SyncMode, cfg.HashBuckets)
+	k.lru.tel = &k.tel
 
 	sb := k.superFor(rootFS)
 	rootMount := &Mount{id: k.idGen.Add(1), sb: sb, root: sb.root}

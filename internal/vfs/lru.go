@@ -4,6 +4,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dircache/internal/telemetry"
 )
 
 // lruShardCount shards the dentry LRU's membership structures so that
@@ -48,6 +51,11 @@ type lruList struct {
 	// bookkeeping uses it to detect "a child may have been evicted while
 	// I was reading this directory" (§5.1).
 	epoch atomic.Uint64
+
+	// tel points at the owning kernel's telemetry pointer (nil for a
+	// zero-value lruList, as used by tests): victim scans are timed into
+	// HistEvict when a telemetry subsystem is attached and enabled.
+	tel *atomic.Pointer[telemetry.Telemetry]
 }
 
 func (l *lruList) shardFor(d *Dentry) *lruShard {
@@ -104,6 +112,15 @@ func (l *lruList) victims(n int) []*Dentry {
 	if n <= 0 {
 		return nil
 	}
+	var tel *telemetry.Telemetry
+	var scanStart time.Time
+	if l.tel != nil {
+		if tel = l.tel.Load(); tel.On() {
+			scanStart = time.Now()
+		} else {
+			tel = nil
+		}
+	}
 	l.clock.Add(1)
 	type candidate struct {
 		d     *Dentry
@@ -145,6 +162,9 @@ func (l *lruList) victims(n int) []*Dentry {
 			l.epoch.Add(1)
 			out = append(out, c.d)
 		}
+	}
+	if tel != nil {
+		tel.Record(telemetry.HistEvict, time.Since(scanStart))
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dircache/internal/fsapi"
+	"dircache/internal/telemetry"
 )
 
 // MaxPath bounds path lengths, matching Linux's PATH_MAX.
@@ -148,18 +149,38 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 		start = t.Cwd()
 	}
 
+	// Telemetry: when detached this is the entire cost — one atomic load
+	// and one branch. When attached but disabled, On() folds it to nil so
+	// the rest of the walk takes the same nil-pointer paths.
+	tel := k.tel.Load()
+	var walkStart time.Time
+	var tr *telemetry.WalkTrace
+	if !tel.On() {
+		tel = nil
+	} else {
+		walkStart = time.Now()
+		tr = tel.SampleWalk(path)
+	}
+
 	if k.hooks != nil && fl&WalkNoFast == 0 {
-		if res, err, handled := k.hooks.TryFast(t, start, path, fl); handled {
+		if res, err, handled := k.hooks.TryFast(t, start, path, fl, tr); handled {
+			if tel != nil {
+				d := time.Since(walkStart)
+				tel.Record(telemetry.HistFastpath, d)
+				tel.Record(telemetry.HistWalk, d)
+				tel.FinishWalk(tr, true, err, d)
+			}
 			return res, err
 		}
 	}
 
+	tr.Event(telemetry.EvSlowWalk, "")
 	k.stats.cell().slowWalks.Add(1)
 	var token uint64
 	if k.hooks != nil {
 		token = k.hooks.BeginSlow()
 	}
-	res, lexical, err := k.walkSlow(t, start, path, fl)
+	res, lexical, err := k.walkSlow(t, start, path, fl, tr)
 	if k.hooks != nil {
 		if err == nil {
 			k.hooks.EndSlowLookup(token, t, start, path, lexical, res)
@@ -170,44 +191,54 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 			}
 		}
 	}
+	if tel != nil {
+		d := time.Since(walkStart)
+		tel.Record(telemetry.HistSlowpath, d)
+		tel.Record(telemetry.HistWalk, d)
+		tel.FinishWalk(tr, false, err, d)
+	}
 	return res, err
 }
 
 // walkSlow dispatches on the synchronization era.
-func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags, tr *telemetry.WalkTrace) (PathRef, PathRef, error) {
 	sc := k.stats.cell()
 	switch k.cfg.SyncMode {
 	case SyncBigLock:
 		k.big.Lock()
 		defer k.big.Unlock()
-		return k.walkOnce(t, start, path, fl)
+		return k.walkOnce(t, start, path, fl, tr)
 	case SyncBucketLock:
 		k.renameRW.RLock()
 		defer k.renameRW.RUnlock()
-		return k.walkOnce(t, start, path, fl)
+		return k.walkOnce(t, start, path, fl, tr)
 	default: // SyncRCU
 		for try := 0; try < 4; try++ {
 			seq, even := k.readSeqBegin()
 			if !even {
 				sc.retryWalks.Add(1)
+				tr.Event(telemetry.EvSeqRetry, "writer active")
 				continue
 			}
-			res, lex, err := k.walkOnce(t, start, path, fl)
+			res, lex, err := k.walkOnce(t, start, path, fl, tr)
 			if err == errSeqRetry {
 				sc.retryWalks.Add(1)
+				tr.Event(telemetry.EvSeqRetry, "torn read")
 				continue
 			}
 			if !k.readSeqValid(seq) {
 				sc.retryWalks.Add(1)
+				tr.Event(telemetry.EvSeqRetry, "seq changed")
 				continue
 			}
 			return res, lex, err
 		}
 		// ref-walk fallback: block out structural changes and redo.
 		sc.retryWalks.Add(1)
+		tr.Event(telemetry.EvRefWalk, "")
 		k.renameRW.RLock()
 		defer k.renameRW.RUnlock()
-		return k.walkOnce(t, start, path, fl)
+		return k.walkOnce(t, start, path, fl, tr)
 	}
 }
 
@@ -222,7 +253,7 @@ type segment struct {
 // walkOnce performs one component-at-a-time traversal — the analogue of
 // Linux's link_path_walk + walk_component, including the per-directory
 // permission checks that constitute the prefix check.
-func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (PathRef, PathRef, error) {
+func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags, tr *telemetry.WalkTrace) (PathRef, PathRef, error) {
 	sc := k.stats.cell()
 	var ph PhaseTimes
 	tracing := k.cfg.PhaseTrace && k.phases != nil
@@ -303,12 +334,14 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 		}
 		if comp == ".." {
 			sc.dotDotSteps.Add(1)
+			tr.Event(telemetry.EvDotDot, "")
 			aliasCur = PathRef{} // stop aliasing across parent references
 			cur = k.followDotDot(t, ns, root, cur)
 			continue
 		}
 
 		sc.components.Add(1)
+		tr.Event(telemetry.EvComponent, comp)
 
 		// Hash table probe.
 		if tracing {
@@ -333,9 +366,11 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 				return PathRef{}, PathRef{}, errSeqRetry
 			}
 			sc.cacheHits.Add(1)
+			tr.Event(telemetry.EvHashHit, comp)
 			k.lru.touch(d)
 			if d.IsNegative() {
 				sc.negativeHits.Add(1)
+				tr.Event(telemetry.EvNegative, comp)
 				errno := fsapi.ENOENT
 				if d.Flags()&DNotDir != 0 {
 					errno = fsapi.ENOTDIR
@@ -347,6 +382,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 				}
 			}
 			if d.Flags()&DUnhydrated != 0 {
+				tr.Event(telemetry.EvHydrate, comp)
 				if err := k.hydrate(d); err != nil {
 					return PathRef{}, PathRef{}, err
 				}
@@ -355,6 +391,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 			// Miss: authoritative shortcut if the directory is complete.
 			if k.cfg.DirCompleteness && cur.D.Flags()&DComplete != 0 {
 				sc.completeShort.Add(1)
+				tr.Event(telemetry.EvCompleteShort, comp)
 				return PathRef{}, PathRef{}, &WalkFailure{
 					Errno:   fsapi.ENOENT,
 					Anchor:  cur,
@@ -362,7 +399,13 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 				}
 			}
 			var werr error
-			d, werr = k.missLookup(cur, comp)
+			if tr != nil {
+				fsStart := time.Now()
+				d, werr = k.missLookup(cur, comp)
+				tr.EventDur(telemetry.EvFSLookup, comp, time.Since(fsStart))
+			} else {
+				d, werr = k.missLookup(cur, comp)
+			}
 			if werr != nil {
 				if errno, ok := werr.(fsapi.Errno); ok && errno == fsapi.ENOENT {
 					anchor := cur
@@ -402,6 +445,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags) (Pa
 					return PathRef{}, PathRef{}, fsapi.ELOOP
 				}
 				sc.symlinkJumps.Add(1)
+				tr.Event(telemetry.EvSymlink, comp)
 				target, err := k.readLinkBody(next.D)
 				if err != nil {
 					return PathRef{}, PathRef{}, err
@@ -554,7 +598,15 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 		return nil, errSeqRetry
 	}
 	k.stats.cell().fsLookups.Add(1)
+	tel := k.tel.Load()
+	var fsStart time.Time
+	if tel.On() {
+		fsStart = time.Now()
+	}
 	info, err := parent.sb.fs.Lookup(pIno.ID(), comp)
+	if !fsStart.IsZero() {
+		tel.Record(telemetry.HistFSLookup, time.Since(fsStart))
+	}
 	switch {
 	case err == nil:
 		d := k.allocDentry(parent.sb, parent, comp, parent.sb.inodeFor(info))

@@ -1,12 +1,29 @@
 package dircache
 
 import (
+	"reflect"
+
 	"dircache/internal/lsm"
 )
 
 // CacheStats aggregates directory cache counters: the VFS-level counters
 // every configuration reports, plus fastpath counters when DirectLookup is
 // enabled.
+//
+// Snapshot consistency: counters are maintained in striped per-goroutine
+// cells and read without stopping the world, so a snapshot taken while
+// walks are in flight is racy in a precise, bounded way. Each individual
+// field is a valid point-in-time read of a monotonically non-decreasing
+// total (Dentries excepted — it is a gauge and can move both ways), so
+// subtracting two snapshots of the same field always yields the true
+// number of events between the two reads, give or take walks in flight at
+// the instants of the reads. What a snapshot does NOT promise is
+// cross-field consistency: fields are read one after another, so
+// identities that relate two fields ("SlowWalks + FastHits == Lookups",
+// "CacheHits + FSLookups ≈ Components") can be transiently violated by
+// walks that completed between reading one field and the next. Use Delta
+// for before/after measurements and treat cross-field arithmetic on a
+// single live snapshot as approximate.
 type CacheStats struct {
 	// Path resolution.
 	Lookups   int64 // path walks requested
@@ -40,6 +57,42 @@ type CacheStats struct {
 	Invalidations   int64
 	AliasDentries   int64
 	DeepNegDentries int64
+}
+
+// Delta returns the events counted between prev and s: every cumulative
+// field becomes s.field - prev.field. Because each field is individually
+// monotonic (see the type comment), the result is exact per field even
+// when both snapshots were taken on a live system. Dentries is a gauge,
+// not a counter, so Delta carries s's current value through unchanged.
+//
+// Typical use replaces hand-rolled subtraction around a workload:
+//
+//	before := sys.Stats()
+//	runWorkload()
+//	d := sys.Stats().Delta(before)
+//	fmt.Println("FS lookups during workload:", d.FSLookups)
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	out := s
+	sv := reflect.ValueOf(&out).Elem()
+	pv := reflect.ValueOf(prev)
+	for i := 0; i < sv.NumField(); i++ {
+		if sv.Type().Field(i).Name == "Dentries" {
+			continue // gauge: keep the current value
+		}
+		sv.Field(i).SetInt(sv.Field(i).Int() - pv.Field(i).Int())
+	}
+	return out
+}
+
+// counters flattens the snapshot into a name → value map for telemetry
+// export. Field names become metric label values verbatim.
+func (s CacheStats) counters() map[string]int64 {
+	out := make(map[string]int64)
+	v := reflect.ValueOf(s)
+	for i := 0; i < v.NumField(); i++ {
+		out[v.Type().Field(i).Name] = v.Field(i).Int()
+	}
+	return out
 }
 
 // HitRate returns the fraction of lookups that never reached the

@@ -1,0 +1,136 @@
+package dircache
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"dircache/internal/telemetry"
+)
+
+// TelemetryOptions configures the observability subsystem (latency
+// histograms, sampled walk traces, and the metrics exporter). The zero
+// value leaves telemetry off entirely: the walk hot path then pays one
+// atomic pointer load and one branch, nothing else.
+type TelemetryOptions struct {
+	// Enabled attaches a telemetry subsystem to the System at
+	// construction and starts recording.
+	Enabled bool
+	// TraceSample records the full event sequence of 1-in-N walks into
+	// the trace ring (0 disables tracing, 1 traces every walk). Only
+	// meaningful with Enabled.
+	TraceSample int
+	// TraceBuffer is the trace ring capacity (0 = 256); the ring drops
+	// its oldest trace when full.
+	TraceBuffer int
+}
+
+// Telemetry is a System's attached observability subsystem: latency
+// histograms for each lookup cost center, a sampled walk trace ring, and
+// exporters in Prometheus text format and JSON. Obtain one from
+// System.Telemetry or System.EnableTelemetry.
+type Telemetry struct {
+	t *telemetry.Telemetry
+}
+
+// MetricsServer is a live HTTP metrics endpoint started by Telemetry.Serve.
+type MetricsServer = telemetry.Server
+
+// NewTelemetry builds a standalone telemetry subsystem, already
+// recording, not yet attached to any System. Pair with
+// SetDefaultTelemetry to share one exporter across many Systems.
+func NewTelemetry(o TelemetryOptions) *Telemetry {
+	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer})
+	t.Enable()
+	return &Telemetry{t: t}
+}
+
+// SetDefaultTelemetry installs tl (nil clears) as the process-wide
+// default: every System built afterwards whose own Config.Telemetry is
+// not enabled attaches to it, so one live exporter observes them all.
+// Tools like dcbench use this to expose metrics for the Systems their
+// experiments construct.
+func SetDefaultTelemetry(tl *Telemetry) {
+	if tl == nil {
+		telemetry.SetDefault(nil)
+		return
+	}
+	telemetry.SetDefault(tl.t)
+}
+
+// Telemetry returns the System's attached telemetry subsystem, or nil
+// when none is attached.
+func (s *System) Telemetry() *Telemetry {
+	if t := s.k.Telemetry(); t != nil {
+		return &Telemetry{t: t}
+	}
+	return nil
+}
+
+// EnableTelemetry attaches a freshly built telemetry subsystem to the
+// System (replacing any previous one) and starts recording. The System's
+// CacheStats are registered with the exporter under source "system".
+func (s *System) EnableTelemetry(o TelemetryOptions) *Telemetry {
+	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer})
+	t.RegisterStats("system", func() map[string]int64 { return s.Stats().counters() })
+	t.Enable()
+	s.k.SetTelemetry(t)
+	return &Telemetry{t: t}
+}
+
+// DisableTelemetry detaches the System's telemetry subsystem, restoring
+// the zero-cost hot path. In-flight walks finish against the instance
+// they observed at entry; its accumulated data remains readable through
+// any retained *Telemetry handle.
+func (s *System) DisableTelemetry() {
+	if t := s.k.Telemetry(); t != nil {
+		t.Disable()
+	}
+	s.k.SetTelemetry(nil)
+}
+
+// Handler returns the metrics HTTP handler: /metrics (Prometheus text
+// format), /traces (JSON trace dump), and /metrics.json.
+func (tl *Telemetry) Handler() http.Handler { return tl.t.Handler() }
+
+// Serve starts an HTTP metrics endpoint on addr (e.g. "localhost:9150",
+// or ":0" for an ephemeral port — read it back from MetricsServer.Addr).
+func (tl *Telemetry) Serve(addr string) (*MetricsServer, error) { return tl.t.Serve(addr) }
+
+// WritePrometheus renders every histogram and registered counter in the
+// Prometheus text exposition format.
+func (tl *Telemetry) WritePrometheus(w io.Writer) { tl.t.WritePrometheus(w) }
+
+// MetricsJSON renders histograms (with precomputed p50/p95/p99) and
+// counters as one JSON document.
+func (tl *Telemetry) MetricsJSON() []byte { return tl.t.MetricsJSON() }
+
+// TracesJSON renders the sampled walk trace ring as JSON, oldest first.
+func (tl *Telemetry) TracesJSON() []byte { return tl.t.TracesJSON() }
+
+// TraceCount reports how many sampled walk traces the ring retains.
+func (tl *Telemetry) TraceCount() int { return tl.t.TraceCount() }
+
+// SetTraceSample changes the 1-in-N walk trace sampling rate (0 disables).
+func (tl *Telemetry) SetTraceSample(n int) { tl.t.SetTraceSample(n) }
+
+// ResetHistograms zeroes every latency histogram, starting a fresh
+// measurement window. Observations racing the reset may be partially
+// lost; the trace ring and registered counters are unaffected.
+func (tl *Telemetry) ResetHistograms() { tl.t.ResetHistograms() }
+
+// HistogramQuantiles reports the estimated p50/p95/p99 of the named
+// latency histogram. Names: "walk", "fastpath", "slowpath", "fs_lookup",
+// "pcc_probe", "pcc_resize", "evict". ok is false for an unknown name or
+// an empty histogram.
+func (tl *Telemetry) HistogramQuantiles(name string) (p50, p95, p99 time.Duration, ok bool) {
+	id, ok := telemetry.HistIDByName(name)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	s := tl.t.SnapshotHist(id)
+	if s.Count == 0 {
+		return 0, 0, 0, false
+	}
+	return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), true
+}

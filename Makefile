@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all help build check vet race ci stress bench bench-parallel dcbench
+.PHONY: all help build check vet race audit ci stress bench bench-parallel dcbench
 
 all: ci
 
@@ -15,6 +15,7 @@ help:
 	@echo "  check          go build + go test ./..."
 	@echo "  vet            go vet ./..."
 	@echo "  race           race-detector pass over the concurrent packages"
+	@echo "  audit          invariant-auditor tests (concurrent + injected-bug) under -race"
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
@@ -32,8 +33,13 @@ vet:
 race:
 	$(GO) test -race ./internal/vfs/... ./internal/core/... ./internal/telemetry/...
 
+# The invariant auditor under fire: the concurrent audit stress tests and
+# the injected-bug detection test, all under the race detector.
+audit:
+	$(GO) test -run 'Audit|Invariant' -race ./...
+
 # The tier-1 gate, folded into one target.
-ci: vet check race
+ci: vet check race audit
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:

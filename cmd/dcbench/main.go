@@ -38,8 +38,9 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "attach one process-wide telemetry subsystem to every system the experiments build")
 	traceSample := flag.Int("trace-sample", 64, "with -telemetry, trace 1-in-N walks into the trace ring (0 disables tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [-json file] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [-json file] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof] [experiment ...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
@@ -47,18 +48,29 @@ func main() {
 	}
 	flag.Parse()
 
+	if *pprofOn && *metricsAddr == "" {
+		*metricsAddr = "localhost:0"
+	}
 	var tel *dircache.Telemetry
 	if *telemetryOn || *metricsAddr != "" {
 		tel = dircache.NewTelemetry(dircache.TelemetryOptions{TraceSample: *traceSample})
 		dircache.SetDefaultTelemetry(tel)
 		if *metricsAddr != "" {
-			srv, err := tel.Serve(*metricsAddr)
+			serve := tel.Serve
+			if *pprofOn {
+				serve = tel.ServeDebug
+			}
+			srv, err := serve(*metricsAddr)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dcbench: metrics endpoint: %v\n", err)
 				os.Exit(2)
 			}
 			defer srv.Close()
-			fmt.Printf("telemetry: serving metrics on http://%s/metrics (traces at /traces)\n\n", srv.Addr())
+			fmt.Printf("telemetry: serving metrics on http://%s/metrics (traces at /traces, events at /events)\n", srv.Addr())
+			if *pprofOn {
+				fmt.Printf("telemetry: pprof on http://%s/debug/pprof/\n", srv.Addr())
+			}
+			fmt.Println()
 		}
 	}
 

@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	dcsh [-baseline] [-telemetry] [-trace-sample n] [-metrics-addr host:port]
+//	dcsh [-baseline] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof]
 //
-// -telemetry attaches the observability subsystem (latency histograms and
-// a sampled walk trace ring, inspected with the 'lat' and 'traces'
-// commands); -metrics-addr additionally serves them over HTTP in
-// Prometheus text format and JSON, and implies -telemetry.
+// -telemetry attaches the observability subsystem (latency histograms, a
+// sampled walk trace ring, and the coherence event journal, inspected
+// with the 'lat', 'traces', 'events', 'inspect', and 'doctor' commands);
+// -metrics-addr additionally serves them over HTTP in Prometheus text
+// format and JSON, and implies -telemetry. -pprof upgrades the HTTP
+// endpoint with net/http/pprof under /debug/pprof/ and Go runtime
+// metrics (goroutines, heap, GC pauses) folded into /metrics.
 //
 // Try:
 //
@@ -35,8 +38,12 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "attach the telemetry subsystem (enables 'lat' and 'traces')")
 	traceSample := flag.Int("trace-sample", 32, "with -telemetry, trace 1-in-N walks (0 disables tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
 	flag.Parse()
 
+	if *pprofOn && *metricsAddr == "" {
+		*metricsAddr = "localhost:0"
+	}
 	cfg := dircache.Optimized()
 	if *baseline {
 		cfg = dircache.Baseline()
@@ -53,13 +60,20 @@ func main() {
 	}
 	fmt.Printf("dcsh: simulated kernel with %s directory cache. Type 'help'.\n", mode)
 	if *metricsAddr != "" {
-		srv, err := sys.Telemetry().Serve(*metricsAddr)
+		serve := sys.Telemetry().Serve
+		if *pprofOn {
+			serve = sys.Telemetry().ServeDebug
+		}
+		srv, err := serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcsh: metrics endpoint: %v\n", err)
 			os.Exit(2)
 		}
 		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics (traces at /traces)\n", srv.Addr())
+		fmt.Printf("serving metrics on http://%s/metrics (traces at /traces, events at /events)\n", srv.Addr())
+		if *pprofOn {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", srv.Addr())
+		}
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -99,8 +113,12 @@ mounts: mount mem|proc|disk|nfs DIR   bind SRC DST   umount DIR
 	unshare (private mount namespace)  chroot DIR
 ident:  su UID   id
 cache:  stats  buckets  dentries  dropcaches
+	inspect (occupancy snapshot: dcache, DLHT, PCC)
+	doctor (online invariant audit; reports violations)
 telem:  lat (walk latency quantiles)  traces (sampled walk traces)
-	(run dcsh with -telemetry; -metrics-addr serves both over HTTP)
+	events (coherence event journal: seq bumps, shootdowns, evictions)
+	(run dcsh with -telemetry; -metrics-addr serves them over HTTP,
+	-pprof adds /debug/pprof and runtime metrics)
 other:  help  exit
 `)
 	case "ls":
@@ -225,7 +243,8 @@ other:  help  exit
 			return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
 		}
 		shown := 0
-		for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict"} {
+		for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
+			"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove"} {
 			p50, p95, p99, ok := tl.HistogramQuantiles(name)
 			if !ok {
 				continue
@@ -249,6 +268,29 @@ other:  help  exit
 	case "dropcaches":
 		n := sys.DropCaches()
 		fmt.Printf("evicted %d dentries\n", n)
+	case "inspect":
+		in := sys.Inspect()
+		os.Stdout.Write(in.JSON())
+		fmt.Println()
+	case "events":
+		tl := sys.Telemetry()
+		if tl == nil {
+			return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+		}
+		events, dropped := tl.Events()
+		if len(events) == 0 {
+			fmt.Println("no coherence events yet (mutate something: mkdir, mv, chmod, rm)")
+			return nil
+		}
+		for _, e := range events {
+			fmt.Printf("%8d %-14s ref=%-6d aux=%-6d %s\n", e.ID, e.Kind.String(), e.Ref, e.Aux, e.Note)
+		}
+		if dropped > 0 {
+			fmt.Printf("(%d older events dropped)\n", dropped)
+		}
+	case "doctor":
+		r := sys.Doctor()
+		fmt.Println(r.Summary())
 	case "find":
 		dir, substr := ".", ""
 		switch len(args) {

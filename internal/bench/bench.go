@@ -179,6 +179,7 @@ func Experiments() []Experiment {
 		{"ablate", "per-feature ablation on a warm metadata mix", AblateFeatures},
 		{"ablate-pcc", "PCC size sensitivity (updatedb)", AblatePCC},
 		{"lat", "warm stat latency distribution (mean + p50/p95/p99)", Lat},
+		{"coherence", "coherence event rates, journal health, invariant audit", Coherence},
 	}
 }
 

@@ -389,10 +389,37 @@ func TestMicroTrajectoryKeys(t *testing.T) {
 	}
 }
 
+func TestCoherenceShape(t *testing.T) {
+	r := runExp(t, Coherence)
+	// The storm must actually exercise coherence machinery: renames and
+	// chmods bump seqs and the epoch, churn inserts and removes DLHT
+	// entries.
+	for _, k := range []string{"events/seq_bump", "events/epoch_bump",
+		"events/dlht_insert", "events/dlht_remove"} {
+		if r.Get(k) <= 0 {
+			t.Errorf("missing or non-positive %s = %.0f", k, r.Get(k))
+		}
+	}
+	if r.Get("journal/total") < r.Get("journal/dropped") {
+		t.Errorf("dropped %.0f exceeds total %.0f", r.Get("journal/dropped"), r.Get("journal/total"))
+	}
+	// The acceptance gate: the auditor never reports a violation on a
+	// valid pass, and the quiescent verdict is a clean PASS.
+	if v := r.Get("audit/violations"); v != 0 {
+		t.Errorf("auditor reported %.0f violations during the storm", v)
+	}
+	if r.Get("audit/final_valid") != 1 {
+		t.Error("no valid audit pass at quiescence")
+	}
+	if v := r.Get("audit/final_violations"); v != 0 {
+		t.Errorf("quiescent audit reported %.0f violations", v)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

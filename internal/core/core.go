@@ -3,10 +3,12 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dircache/internal/cred"
 	"dircache/internal/sig"
 	"dircache/internal/stripe"
+	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
 
@@ -49,6 +51,10 @@ type Stats struct {
 	StaleTokens    int64 // populations skipped due to concurrent mutation
 	AliasCreated   int64
 	DeepNegCreated int64
+	SeqBumps       int64 // per-dentry version bumps (roots + descendants)
+	DLHTSweeps     int64 // dead nodes reclaimed by DLHT inserts
+	PCCFlushes     int64 // whole-PCC invalidations
+	PCCResizes     int64 // PCC generation copies
 }
 
 // statsCell holds the fastpath counters. The miss counters sit on the
@@ -59,7 +65,7 @@ type statsCell struct {
 	dlhtMiss, pccMiss, dotDotChecks stripe.Int64
 
 	populations, invalidations, staleTokens, aliasCreated,
-	deepNegCreated atomic.Int64
+	deepNegCreated, seqBumps atomic.Int64
 }
 
 // fastDentry is the per-dentry fastpath state — the paper's struct
@@ -91,6 +97,13 @@ type fastDentry struct {
 	// permission change to the target bumps its seq and stales this).
 	target    atomic.Pointer[vfs.Dentry]
 	targetSeq atomic.Uint64
+
+	// pubSeq records seq as of the moment the current table entry was
+	// published. The coherence invariant the auditor checks: a live
+	// dentry in a DLHT has pubSeq == seq — every seq bump either removes
+	// the entry (shootdown, under mu) or marks the dentry dead (evict).
+	// Audit-only, so it sits at the tail, off TryFast's cache lines.
+	pubSeq uint64 // guarded by mu
 }
 
 // Core implements vfs.Hooks.
@@ -104,14 +117,30 @@ type Core struct {
 	// only cached if it is even and unchanged across the walk.
 	epoch atomic.Uint64
 
-	// pccs registers every live PCC so that a per-dentry version counter
+	// regMu guards the registries below. pccs registers every live PCC
+	// (with its owning credential) so that a per-dentry version counter
 	// wrapping its truncated width can invalidate all of them — the
 	// paper's §3.1 wraparound rule ("our design currently handles
-	// wrap-around by invalidating all active PCCs").
-	pccsMu sync.Mutex
-	pccs   []*PCC
+	// wrap-around by invalidating all active PCCs") — and so the auditor
+	// can re-verify memoized prefix checks per credential. dlhts registers
+	// every per-namespace DLHT for introspection and auditing.
+	regMu sync.Mutex
+	pccs  []pccReg
+	dlhts []*DLHT
 
 	stats statsCell
+
+	// testSkipShootdown, when set, makes invalidateSubtree bump version
+	// counters WITHOUT removing DLHT entries — deliberately breaking the
+	// pubSeq invariant. Test-only: it exists so the audit tests can prove
+	// the auditor catches a real stale-DLHT bug.
+	testSkipShootdown bool
+}
+
+// pccReg pairs a registered PCC with the credential it caches for.
+type pccReg struct {
+	cr *cred.Cred
+	p  *PCC
 }
 
 var seedCounter atomic.Uint64
@@ -143,7 +172,43 @@ func (c *Core) Stats() Stats {
 		StaleTokens:    c.stats.staleTokens.Load(),
 		AliasCreated:   c.stats.aliasCreated.Load(),
 		DeepNegCreated: c.stats.deepNegCreated.Load(),
+		SeqBumps:       c.stats.seqBumps.Load(),
+		DLHTSweeps:     c.sumDLHTSweeps(),
+		PCCFlushes:     c.sumPCC(func(p *PCC) int64 { return p.flushes.Load() }),
+		PCCResizes:     c.sumPCC(func(p *PCC) int64 { return p.resizes.Load() }),
 	}
+}
+
+func (c *Core) sumDLHTSweeps() int64 {
+	c.regMu.Lock()
+	dlhts := append([]*DLHT(nil), c.dlhts...)
+	c.regMu.Unlock()
+	var n int64
+	for _, dl := range dlhts {
+		n += dl.sweeps.Load()
+	}
+	return n
+}
+
+func (c *Core) sumPCC(f func(*PCC) int64) int64 {
+	c.regMu.Lock()
+	regs := append([]pccReg(nil), c.pccs...)
+	c.regMu.Unlock()
+	var n int64
+	for _, r := range regs {
+		n += f(r.p)
+	}
+	return n
+}
+
+// tele returns the kernel's telemetry sink iff it is enabled, nil
+// otherwise — the usual one-load-one-branch detachment pattern.
+func (c *Core) tele() *telemetry.Telemetry {
+	tel := c.k.Telemetry()
+	if !tel.On() {
+		return nil
+	}
+	return tel
 }
 
 // fast extracts the fastDentry attached at allocation.
@@ -161,7 +226,22 @@ func (c *Core) dlhtFor(ns *vfs.Namespace) *DLHT {
 	if v := ns.FastLoad(); v != nil {
 		return v.(*DLHT)
 	}
-	return ns.FastStoreIfAbsent(newDLHT()).(*DLHT)
+	fresh := newDLHT()
+	fresh.tel = c.k.Telemetry
+	dl := ns.FastStoreIfAbsent(fresh).(*DLHT)
+	c.regMu.Lock()
+	registered := false
+	for _, have := range c.dlhts {
+		if have == dl {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		c.dlhts = append(c.dlhts, dl)
+	}
+	c.regMu.Unlock()
+	return dl
 }
 
 // pccFor returns the credential's PCC, creating it on first use (§4.1:
@@ -172,21 +252,31 @@ func (c *Core) pccFor(cr *cred.Cred) *PCC {
 	}
 	np := newPCC(c.cfg.PCCBytes, c.cfg.PCCMaxBytes)
 	np.tel = c.k.Telemetry
+	np.credID = cr.ID()
 	p := cr.CacheStoreIfAbsent(np).(*PCC)
-	c.pccsMu.Lock()
-	c.pccs = append(c.pccs, p)
-	c.pccsMu.Unlock()
+	c.regMu.Lock()
+	registered := false
+	for _, have := range c.pccs {
+		if have.p == p {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		c.pccs = append(c.pccs, pccReg{cr: cr, p: p})
+	}
+	c.regMu.Unlock()
 	return p
 }
 
 // invalidateAllPCCs wipes every registered prefix check cache (version
 // counter wraparound, §3.1).
 func (c *Core) invalidateAllPCCs() {
-	c.pccsMu.Lock()
-	pccs := append([]*PCC(nil), c.pccs...)
-	c.pccsMu.Unlock()
-	for _, p := range pccs {
-		p.Invalidate()
+	c.regMu.Lock()
+	regs := append([]pccReg(nil), c.pccs...)
+	c.regMu.Unlock()
+	for _, r := range regs {
+		r.p.Invalidate()
 	}
 }
 
@@ -202,19 +292,51 @@ func (c *Core) tokenValid(token uint64) bool {
 
 // BeginMutation implements vfs.Hooks (§3.2): bump the invalidation epoch,
 // shoot down the subtree's fastpath state, and return the closure that
-// re-bumps the epoch when the mutation completes.
+// re-bumps the epoch when the mutation completes. The shootdown is timed
+// into the reason's mutation-side histogram and journaled: one epoch_bump
+// per edge, one seq_bump at the root carrying the subtree size.
 func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
-	c.epoch.Add(1)
+	tel := c.tele()
+	epoch := c.epoch.Add(1)
 	c.stats.invalidations.Add(1)
-	c.invalidateSubtree(d)
-	return func() { c.epoch.Add(1) }
+	var start time.Time
+	if tel != nil {
+		tel.Emit(telemetry.JEpochBump, d.ID(), int64(epoch), why.String())
+		start = time.Now()
+	}
+	n := c.invalidateSubtree(d, tel)
+	c.stats.seqBumps.Add(int64(n))
+	if tel != nil {
+		tel.Record(invalHist(why), time.Since(start))
+		tel.Emit(telemetry.JSeqBump, d.ID(), int64(n), why.String())
+	}
+	return func() {
+		end := c.epoch.Add(1)
+		if tel != nil {
+			tel.Emit(telemetry.JEpochBump, d.ID(), int64(end), why.String()+"-end")
+		}
+	}
+}
+
+// invalHist maps an invalidation reason to its latency histogram.
+func invalHist(why vfs.Invalidation) telemetry.HistID {
+	switch why {
+	case vfs.InvalPerm:
+		return telemetry.HistChmodBump
+	case vfs.InvalUnlink:
+		return telemetry.HistUnlinkInval
+	default: // rename and mount-topology changes share an envelope
+		return telemetry.HistRenameInval
+	}
 }
 
 // invalidateSubtree recursively bumps every cached descendant's version
 // counter (killing its PCC entries without touching any PCC) and evicts it
 // from whatever DLHT currently holds it — the paper's pre-mutation
-// shootdown.
-func (c *Core) invalidateSubtree(d *vfs.Dentry) {
+// shootdown. Returns the number of dentries visited (the subtree size the
+// root's seq_bump event reports).
+func (c *Core) invalidateSubtree(d *vfs.Dentry, tel *telemetry.Telemetry) int {
+	n := 1
 	fd := fast(d)
 	if fd != nil {
 		if fd.seq.Add(1)&pccSeqMask == 0 {
@@ -223,19 +345,37 @@ func (c *Core) invalidateSubtree(d *vfs.Dentry) {
 			// PCCs, as the paper does for its 32-bit counters.
 			c.invalidateAllPCCs()
 		}
-		fd.mu.Lock()
-		if fd.inTable != nil {
-			fd.inTable.Remove(fd.idx, fd.sg, d)
-			fd.inTable = nil
+		if !c.testSkipShootdown {
+			fd.mu.Lock()
+			if fd.inTable != nil {
+				removeTimed(tel, fd.inTable, fd.idx, fd.sg, d)
+				fd.inTable = nil
+				if tel != nil {
+					tel.Emit(telemetry.JDLHTRemove, d.ID(), int64(fd.idx), "shootdown")
+				}
+			}
+			// The path (or its permission context) is changing: recompute
+			// signature state lazily on next population.
+			fd.hasState = false
+			fd.statePtr.Store(nil)
+			fd.target.Store(nil)
+			fd.mu.Unlock()
 		}
-		// The path (or its permission context) is changing: recompute
-		// signature state lazily on next population.
-		fd.hasState = false
-		fd.statePtr.Store(nil)
-		fd.target.Store(nil)
-		fd.mu.Unlock()
 	}
-	d.EachChild(c.invalidateSubtree)
+	d.EachChild(func(ch *vfs.Dentry) { n += c.invalidateSubtree(ch, tel) })
+	return n
+}
+
+// removeTimed is DLHT.Remove timed into HistDLHTRemove when telemetry is
+// enabled (tel non-nil).
+func removeTimed(tel *telemetry.Telemetry, dl *DLHT, idx uint16, sg sig.Signature, d *vfs.Dentry) {
+	if tel == nil {
+		dl.Remove(idx, sg, d)
+		return
+	}
+	start := time.Now()
+	dl.Remove(idx, sg, d)
+	tel.Record(telemetry.HistDLHTRemove, time.Since(start))
 }
 
 // OnEvict implements vfs.Hooks. The dentry is dead, and DLHT lookups skip
@@ -317,7 +457,16 @@ func (c *Core) ensureState(ref vfs.PathRef) (sig.State, bool) {
 // under a different signature, the old entry is removed, the version
 // counter bumped (aliased paths may have different prefix check results),
 // and the new signature takes over.
-func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State) {
+//
+// token is the walk's invalidation-epoch token: it is re-validated under
+// fd.mu, closing the window between a caller's tokenValid check and the
+// insert. Without it, a mutation landing in that window could shoot down
+// the (not yet present) entry and then have publish install a signature
+// computed from the pre-mutation path — a stale DLHT entry. The shootdown
+// bumps the epoch before taking fd.mu, so whichever critical section runs
+// second sees the other's work: either the shootdown removes our entry, or
+// we observe the odd/advanced epoch and decline to insert.
+func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State, token uint64) {
 	fd := fast(ref.D)
 	if fd == nil || ref.D.IsDead() {
 		return
@@ -327,9 +476,14 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State) {
 		// component at the server; a whole-path hit would skip that.
 		return
 	}
+	tel := c.tele()
 	idx, sg := st.Sum()
 	fd.mu.Lock()
 	defer fd.mu.Unlock()
+	if !c.tokenValid(token) {
+		c.stats.staleTokens.Add(1)
+		return
+	}
 	if fd.inTable != nil {
 		if fd.inTable == dl && fd.sg == sg {
 			fd.mntP.Store(ref.Mnt)
@@ -340,7 +494,10 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State) {
 			return // already published under this signature
 		}
 		// Aliased path or namespace switch: most recent wins.
-		fd.inTable.Remove(fd.idx, fd.sg, ref.D)
+		removeTimed(tel, fd.inTable, fd.idx, fd.sg, ref.D)
+		if tel != nil {
+			tel.Emit(telemetry.JDLHTRemove, ref.D.ID(), int64(fd.idx), "resign")
+		}
 		fd.inTable = nil
 		fd.seq.Add(1)
 	}
@@ -350,9 +507,13 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State) {
 	fd.mntP.Store(ref.Mnt)
 	snap := st
 	fd.statePtr.Store(&snap)
+	fd.pubSeq = fd.seq.Load()
 	dl.Insert(idx, sg, ref.D)
 	fd.inTable = dl
 	c.stats.populations.Add(1)
+	if tel != nil {
+		tel.Emit(telemetry.JDLHTInsert, ref.D.ID(), int64(idx), "")
+	}
 }
 
 // Seq returns d's current fastpath version (for PCC entries).

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dircache/internal/sig"
+	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
 
@@ -27,6 +28,12 @@ type DLHT struct {
 	locks   []sync.Mutex // writer locks, sharded
 
 	entries atomic.Int64
+	sweeps  atomic.Int64 // dead nodes reclaimed by inserts
+
+	// tel, when set, resolves the owning kernel's telemetry subsystem so
+	// inserts can journal the dead-node sweeps they perform. Written once
+	// before the table is published to its namespace; nil in unit tests.
+	tel func() *telemetry.Telemetry
 }
 
 const dlhtLockShards = 256
@@ -86,6 +93,14 @@ func (h *DLHT) Insert(idx uint16, sg sig.Signature, d *vfs.Dentry) {
 	h.buckets[idx].Store(n)
 	mu.Unlock()
 	h.entries.Add(int64(1 - swept))
+	if swept > 0 {
+		h.sweeps.Add(int64(swept))
+		if h.tel != nil {
+			if t := h.tel(); t.On() {
+				t.Emit(telemetry.JDLHTSweep, uint64(idx), int64(swept), "")
+			}
+		}
+	}
 }
 
 // Remove deletes the entry for (idx, sg, d), rebuilding the chain prefix
@@ -126,3 +141,72 @@ func (h *DLHT) Remove(idx uint16, sg sig.Signature, d *vfs.Dentry) {
 
 // Len returns the number of live entries (approximate under concurrency).
 func (h *DLHT) Len() int { return int(h.entries.Load()) }
+
+// Sweeps reports how many dead nodes inserts have reclaimed.
+func (h *DLHT) Sweeps() int64 { return h.sweeps.Load() }
+
+// DLHTStats snapshots one table's occupancy and chain shape: the
+// probe-length distribution (Chain1/2/Longer count used buckets by chain
+// length) and how many live entries share a bucket with another live
+// entry — the 16-bit-index collisions the paper's signature budget
+// accepts. Gathered lock-free; approximate under concurrency.
+type DLHTStats struct {
+	Entries     int   `json:"entries"`      // live entries seen by the scan
+	Dead        int   `json:"dead"`         // lazily-reclaimed dead nodes still chained
+	UsedBuckets int   `json:"used_buckets"` // buckets with >= 1 live entry
+	Chain1      int   `json:"chain_1"`      // used buckets with exactly 1 live entry
+	Chain2      int   `json:"chain_2"`
+	ChainLonger int   `json:"chain_longer"`
+	MaxChain    int   `json:"max_chain"`
+	Collisions  int   `json:"collisions"` // live entries sharing a bucket
+	Sweeps      int64 `json:"sweeps"`     // cumulative dead-node reclaims
+}
+
+// Introspect scans the table and returns its occupancy statistics.
+func (h *DLHT) Introspect() DLHTStats {
+	var s DLHTStats
+	for i := range h.buckets {
+		live := 0
+		for n := h.buckets[i].Load(); n != nil; n = n.next.Load() {
+			if n.d.IsDead() {
+				s.Dead++
+				continue
+			}
+			live++
+		}
+		if live == 0 {
+			continue
+		}
+		s.UsedBuckets++
+		s.Entries += live
+		switch live {
+		case 1:
+			s.Chain1++
+		case 2:
+			s.Chain2++
+		default:
+			s.ChainLonger++
+		}
+		if live > s.MaxChain {
+			s.MaxChain = live
+		}
+		if live > 1 {
+			s.Collisions += live
+		}
+	}
+	s.Sweeps = h.sweeps.Load()
+	return s
+}
+
+// forEachEntry calls fn for every live (bucket, signature, dentry) entry.
+// Lock-free: concurrent writers may add or remove entries around the scan.
+func (h *DLHT) forEachEntry(fn func(idx uint16, sg sig.Signature, d *vfs.Dentry)) {
+	for i := range h.buckets {
+		for n := h.buckets[i].Load(); n != nil; n = n.next.Load() {
+			if n.d.IsDead() {
+				continue
+			}
+			fn(uint16(i), n.sg, n.d)
+		}
+	}
+}

@@ -91,6 +91,12 @@ type PCC struct {
 	// approximately monotonic between resets, which a striped counter is.
 	windowMiss stripe.Int64
 	resizes    atomic.Int64
+	flushes    atomic.Int64
+
+	// credID is the owning credential's ID — the subject under which
+	// flush/resize events are journaled. Zero for unattached unit-test
+	// PCCs.
+	credID uint64
 
 	// tel, when set, resolves the owning kernel's telemetry subsystem so
 	// the (rare) generation copy can be timed into HistPCCResize. Written
@@ -190,6 +196,7 @@ func (p *PCC) noteMiss(t *pccTable) {
 	p.resizes.Add(1)
 	if tel != nil {
 		tel.Record(telemetry.HistPCCResize, time.Since(copyStart))
+		tel.Emit(telemetry.JPCCResize, p.credID, int64(len(bigger.sets)*pccWays), "")
 	}
 }
 
@@ -261,12 +268,39 @@ func (p *PCC) Entries() int { return len(p.table.Load().sets) * pccWays }
 // Resizes reports how many times the table grew.
 func (p *PCC) Resizes() int64 { return p.resizes.Load() }
 
+// Flushes reports how many times the whole cache was invalidated.
+func (p *PCC) Flushes() int64 { return p.flushes.Load() }
+
+// Occupancy counts the currently valid entries (approximate under
+// concurrent inserts).
+func (p *PCC) Occupancy() int {
+	t := p.table.Load()
+	n := 0
+	for i := range t.sets {
+		for w := 0; w < pccWays; w++ {
+			if t.sets[i].ways[w].Load()&pccValid != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Invalidate clears every entry (used on seq wraparound and in tests).
 func (p *PCC) Invalidate() {
 	t := p.table.Load()
+	cleared := int64(0)
 	for i := range t.sets {
 		for w := 0; w < pccWays; w++ {
-			t.sets[i].ways[w].Store(0)
+			if t.sets[i].ways[w].Swap(0)&pccValid != 0 {
+				cleared++
+			}
+		}
+	}
+	p.flushes.Add(1)
+	if p.tel != nil {
+		if tel := p.tel(); tel.On() {
+			tel.Emit(telemetry.JPCCFlush, p.credID, cleared, "")
 		}
 	}
 }

@@ -36,7 +36,7 @@ func (c *Core) EndSlowLookup(token uint64, t *vfs.Task, start vfs.PathRef, path 
 	var st sig.State
 	var ok bool
 	if hasDotComponents(path) || c.k.AliasingEpoch() != 0 {
-		st, ok = c.lexicalHash(t, ns, dl, pcc, start, path)
+		st, ok = c.lexicalHash(t, ns, dl, pcc, start, path, token)
 	} else {
 		st, ok = c.ensureState(lexical)
 	}
@@ -44,7 +44,7 @@ func (c *Core) EndSlowLookup(token uint64, t *vfs.Task, start vfs.PathRef, path 
 		return
 	}
 
-	c.publish(dl, lexical, st)
+	c.publish(dl, lexical, st, token)
 	pcc.Insert(lexical.D.ID(), dentrySeq(lexical.D))
 
 	if res.D != lexical.D {
@@ -89,7 +89,7 @@ func hasDotComponents(path string) bool {
 // the final signature state. Along the way it opportunistically publishes
 // the directories ".." pops out of (they were just verified by the slow
 // walk, and the Linux-mode fastpath will need them, §4.2).
-func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, start vfs.PathRef, path string) (sig.State, bool) {
+func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, start vfs.PathRef, path string, token uint64) (sig.State, bool) {
 	st, ok := c.ensureState(start)
 	if !ok {
 		return sig.State{}, false
@@ -120,7 +120,7 @@ func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, s
 			// per-dot-dot check can hit (cursor permitting).
 			if cursor.D != nil && !cursor.D.IsDead() && cursor.D.Inode() != nil &&
 				cursor.D.IsDir() && len(stack) > 0 {
-				c.publish(dl, cursor, st)
+				c.publish(dl, cursor, st, token)
 				pcc.Insert(cursor.D.ID(), dentrySeq(cursor.D))
 			}
 			if len(stack) > 0 {
@@ -194,7 +194,7 @@ func (c *Core) EndSlowNegative(token uint64, t *vfs.Task, start vfs.PathRef, pat
 		return
 	}
 	if f.Anchor.D.IsNegative() {
-		c.publish(dl, f.Anchor, anchorSt)
+		c.publish(dl, f.Anchor, anchorSt, token)
 		pcc.Insert(f.Anchor.D.ID(), dentrySeq(f.Anchor.D))
 	}
 	if !c.cfg.DeepNegatives || len(f.Missing) == 0 {
@@ -212,7 +212,7 @@ func (c *Core) EndSlowNegative(token uint64, t *vfs.Task, start vfs.PathRef, pat
 			return
 		}
 		st = st.AppendString("/").AppendString(name)
-		c.publish(dl, vfs.PathRef{Mnt: f.Anchor.Mnt, D: child}, st)
+		c.publish(dl, vfs.PathRef{Mnt: f.Anchor.Mnt, D: child}, st, token)
 		pcc.Insert(child.ID(), dentrySeq(child))
 		c.stats.deepNegCreated.Add(1)
 		cur = child
@@ -249,7 +249,9 @@ func (c *Core) AliasStep(t *vfs.Task, aliasParent vfs.PathRef, name string, real
 		fd.targetSeq.Store(dentrySeq(real.D))
 	}
 	st := pst.AppendString("/").AppendString(name)
-	c.publish(c.dlhtFor(t.Namespace()), vfs.PathRef{Mnt: aliasParent.Mnt, D: alias}, st)
+	// AliasStep runs mid-walk without the walk's epoch token; a fresh one
+	// still lets publish refuse inserts that race a mutation.
+	c.publish(c.dlhtFor(t.Namespace()), vfs.PathRef{Mnt: aliasParent.Mnt, D: alias}, st, c.epoch.Load())
 	// Deliberately no PCC insert here: the alias's fastpath hit checks
 	// the target's PCC entry, which EndSlowLookup inserts under the
 	// directory-reference guard (§3.2) — inserting mid-walk could launder

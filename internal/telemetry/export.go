@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -15,9 +19,32 @@ import (
 //
 //	/metrics       Prometheus text format (histograms + registered counters)
 //	/traces        JSON dump of the sampled walk trace ring
+//	/events        JSON dump of the coherence event journal
 //	/metrics.json  everything as one JSON document
 func (t *Telemetry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	t.mountHandlers(mux)
+	return mux
+}
+
+// DebugHandler returns Handler plus the net/http/pprof endpoints under
+// /debug/pprof/, and registers the Go runtime metrics (GC pauses, heap,
+// goroutines) as a counter source so they ride /metrics like everything
+// else. Profiling endpoints expose internals; serve them only where you
+// would serve pprof.
+func (t *Telemetry) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	t.mountHandlers(mux)
+	t.RegisterRuntimeMetrics()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (t *Telemetry) mountHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		t.WritePrometheus(w)
@@ -25,6 +52,10 @@ func (t *Telemetry) Handler() http.Handler {
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(t.TracesJSON())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(t.EventsJSON())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -35,9 +66,84 @@ func (t *Telemetry) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "dircache telemetry: /metrics /traces /metrics.json\n")
+		io.WriteString(w, "dircache telemetry: /metrics /traces /events /metrics.json\n")
 	})
-	return mux
+}
+
+// RegisterRuntimeMetrics registers the Go runtime as a counter source
+// named "runtime": goroutine count, heap bytes, GC cycle count, and GC
+// pause totals/p99, read through runtime/metrics on each scrape.
+func (t *Telemetry) RegisterRuntimeMetrics() {
+	names := []string{
+		"/sched/goroutines:goroutines",
+		"/memory/classes/heap/objects:bytes",
+		"/memory/classes/total:bytes",
+		"/gc/cycles/total:gc-cycles",
+		"/sched/pauses/total/gc:seconds",
+	}
+	t.RegisterStats("runtime", func() map[string]int64 {
+		samples := make([]metrics.Sample, len(names))
+		for i, n := range names {
+			samples[i].Name = n
+		}
+		metrics.Read(samples)
+		out := make(map[string]int64, len(samples)+1)
+		for _, s := range samples {
+			key := runtimeMetricKey(s.Name)
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				out[key] = int64(s.Value.Uint64())
+			case metrics.KindFloat64:
+				out[key+"_ns"] = int64(s.Value.Float64() * 1e9)
+			case metrics.KindFloat64Histogram:
+				h := s.Value.Float64Histogram()
+				var count uint64
+				for _, c := range h.Counts {
+					count += c
+				}
+				out[key+"_count"] = int64(count)
+				out[key+"_p99_ns"] = int64(float64HistQuantile(h, 0.99) * 1e9)
+			}
+		}
+		return out
+	})
+}
+
+// runtimeMetricKey flattens "/sched/pauses/total/gc:seconds" to
+// "sched_pauses_total_gc" for the flat counter namespace.
+func runtimeMetricKey(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	return strings.ReplaceAll(strings.TrimPrefix(name, "/"), "/", "_")
+}
+
+// float64HistQuantile returns the upper bound of the bucket holding the
+// q-quantile of a runtime/metrics histogram (0 if empty).
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i+1] is this bucket's upper bound; the last
+			// bucket's bound may be +Inf, in which case report its
+			// (finite) lower bound.
+			up := h.Buckets[i+1]
+			if math.IsInf(up, 1) {
+				up = h.Buckets[i]
+			}
+			return up
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 // WritePrometheus renders every histogram and registered counter source
@@ -86,6 +192,35 @@ func (t *Telemetry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP dircache_traces_retained sampled walk traces currently in the ring\n")
 	fmt.Fprintf(w, "# TYPE dircache_traces_retained gauge\n")
 	fmt.Fprintf(w, "dircache_traces_retained %d\n", t.TraceCount())
+
+	perKind, _ := t.EventCounts()
+	fmt.Fprintf(w, "# HELP dircache_journal_events_total coherence events emitted, by kind\n")
+	fmt.Fprintf(w, "# TYPE dircache_journal_events_total counter\n")
+	for k, n := range perKind {
+		fmt.Fprintf(w, "dircache_journal_events_total{kind=%q} %d\n", JournalKind(k).String(), n)
+	}
+	fmt.Fprintf(w, "# HELP dircache_journal_dropped_total coherence events dropped from the ring\n")
+	fmt.Fprintf(w, "# TYPE dircache_journal_dropped_total counter\n")
+	fmt.Fprintf(w, "dircache_journal_dropped_total %d\n", t.EventsDropped())
+}
+
+// eventsDoc is the JSON shape of a journal dump.
+type eventsDoc struct {
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// EventsJSON renders the coherence event journal as JSON (ID order).
+func (t *Telemetry) EventsJSON() []byte {
+	events, dropped := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	buf, err := json.MarshalIndent(eventsDoc{Dropped: dropped, Events: events}, "", "  ")
+	if err != nil {
+		return []byte(`{"error":"marshal failed"}`)
+	}
+	return append(buf, '\n')
 }
 
 // traceDoc is the JSON shape of a trace dump.
@@ -124,16 +259,27 @@ type buckJ struct {
 	Count uint64 `json:"count"`
 }
 
+type journalJSON struct {
+	Emitted map[string]uint64 `json:"emitted"` // per kind, incl. dropped
+	Dropped uint64            `json:"dropped"`
+}
+
 type metricsDoc struct {
 	Histograms []histJSON                  `json:"histograms"`
 	Stats      map[string]map[string]int64 `json:"stats,omitempty"`
 	Traces     int                         `json:"traces_retained"`
+	Journal    journalJSON                 `json:"journal"`
 }
 
 // MetricsJSON renders histograms (with precomputed quantiles) and
 // registered counters as one JSON document.
 func (t *Telemetry) MetricsJSON() []byte {
 	doc := metricsDoc{Stats: t.statsSnapshot(), Traces: t.TraceCount()}
+	perKind, _ := t.EventCounts()
+	doc.Journal = journalJSON{Emitted: make(map[string]uint64, len(perKind)), Dropped: t.EventsDropped()}
+	for k, n := range perKind {
+		doc.Journal.Emitted[JournalKind(k).String()] = n
+	}
 	for _, s := range t.Snapshot() {
 		h := histJSON{
 			Name:   s.Name,
@@ -174,11 +320,21 @@ func (s *Server) Close() error { return s.srv.Close() }
 // "localhost:9150" or ":0" for an ephemeral port). It returns once the
 // listener is bound; serving continues in a background goroutine.
 func (t *Telemetry) Serve(addr string) (*Server, error) {
+	return serveHandler(addr, t.Handler())
+}
+
+// ServeDebug is Serve with DebugHandler: the same endpoints plus
+// /debug/pprof/ and runtime metrics (dcbench/dcsh -pprof).
+func (t *Telemetry) ServeDebug(addr string) (*Server, error) {
+	return serveHandler(addr, t.DebugHandler())
+}
+
+func serveHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: t.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -41,11 +41,30 @@ const (
 	// HistEvict is the latency of one LRU victim scan+claim pass.
 	HistEvict
 
+	// The mutation-side cost centers: how long coherence work takes, the
+	// write-path mirror of the read-path histograms above. These time the
+	// recursive seq-bump + DLHT shootdown of §3.2 by reason, and the
+	// individual DLHT chain-rebuild removals underneath it.
+
+	// HistRenameInval is the subtree invalidation latency of renames
+	// (and mount-topology changes, which use the same envelope).
+	HistRenameInval
+	// HistChmodBump is the subtree seq-bump latency of permission
+	// changes (chmod/chown/label).
+	HistChmodBump
+	// HistUnlinkInval is the (non-recursive) invalidation latency of
+	// unlink/rmdir.
+	HistUnlinkInval
+	// HistDLHTRemove is the latency of one DLHT entry removal (bucket
+	// chain rebuild).
+	HistDLHTRemove
+
 	NumHistograms
 )
 
 var histNames = [NumHistograms]string{
 	"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
+	"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove",
 }
 
 var histHelp = [NumHistograms]string{
@@ -56,6 +75,10 @@ var histHelp = [NumHistograms]string{
 	"latency of the fastpath PCC authorization probe",
 	"latency of PCC table growth (generation copy)",
 	"latency of one LRU victim scan pass",
+	"subtree invalidation latency of rename/mount mutations",
+	"subtree seq-bump latency of chmod/chown/label mutations",
+	"invalidation latency of unlink/rmdir mutations",
+	"latency of one DLHT entry removal",
 }
 
 // Name returns the histogram's exporter name.
@@ -79,6 +102,9 @@ type Options struct {
 	// TraceBuffer is the trace ring capacity (0 = 256). The ring drops
 	// oldest.
 	TraceBuffer int
+	// JournalBuffer is the coherence event journal capacity (0 = 4096),
+	// split across its stripes. The journal drops oldest per stripe.
+	JournalBuffer int
 }
 
 // Telemetry owns the histograms, the trace ring, and the registered
@@ -91,8 +117,9 @@ type Telemetry struct {
 	walkSeq atomic.Uint64 // sampling counter
 	traceID atomic.Uint64
 
-	hists [NumHistograms]Histogram
-	ring  *traceRing
+	hists   [NumHistograms]Histogram
+	ring    *traceRing
+	journal *Journal
 
 	statsMu sync.Mutex
 	stats   map[string]func() map[string]int64
@@ -101,8 +128,9 @@ type Telemetry struct {
 // New builds a Telemetry (initially disabled — call Enable).
 func New(o Options) *Telemetry {
 	t := &Telemetry{
-		ring:  newTraceRing(o.TraceBuffer),
-		stats: make(map[string]func() map[string]int64),
+		ring:    newTraceRing(o.TraceBuffer),
+		journal: newJournal(o.JournalBuffer),
+		stats:   make(map[string]func() map[string]int64),
 	}
 	t.sampleN.Store(int64(o.TraceSample))
 	return t
@@ -181,6 +209,29 @@ func (t *Telemetry) ResetHistograms() {
 		t.hists[i].Reset()
 	}
 }
+
+// Emit records one coherence event in the journal. Nil-safe and gated on
+// Enable like Record, so mutation paths can call it unconditionally on a
+// possibly-nil pointer.
+func (t *Telemetry) Emit(kind JournalKind, ref uint64, aux int64, note string) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.journal.emit(kind, ref, aux, note)
+}
+
+// Events returns the retained journal events merged into ID order, plus
+// how many were dropped to make room.
+func (t *Telemetry) Events() ([]Event, uint64) { return t.journal.dump() }
+
+// EventCounts returns how many events have been emitted per kind (the
+// counts include events since dropped from the ring) and the total.
+func (t *Telemetry) EventCounts() (perKind [NumJournalKinds]uint64, total uint64) {
+	return t.journal.countsSnapshot()
+}
+
+// EventsDropped returns how many journal events have been dropped.
+func (t *Telemetry) EventsDropped() uint64 { return t.journal.droppedCount() }
 
 // Traces returns the retained traces (oldest first) and how many were
 // dropped by the ring.

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dircache/internal/fsapi"
+	"dircache/internal/telemetry"
 )
 
 // File is an open file description: position, flags, and — for
@@ -214,7 +215,12 @@ func (f *File) ReadDir(n int) ([]fsapi.DirEntry, error) {
 	if eof {
 		f.dirEOF = true
 		if k.cfg.DirCompleteness && !f.dirSeeked && k.lru.Epoch() == f.startEpoch {
+			k.cacheMutBegin()
 			d.setFlags(DComplete)
+			k.cacheMutEnd()
+			if tel := k.journal(); tel != nil {
+				tel.Emit(telemetry.JDirComplete, d.ID(), 0, "readdir")
+			}
 		}
 	}
 	return ents, nil
@@ -265,6 +271,8 @@ func (k *Kernel) addReaddirChild(parent *Dentry, e fsapi.DirEntry) {
 	}
 	parent.mu.Unlock()
 
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
 	d.pn.Store(&parentName{parent: parent, name: e.Name})
 	d.setFlags(DUnhydrated)

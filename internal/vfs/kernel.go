@@ -64,6 +64,21 @@ const (
 	InvalMount
 )
 
+// String names the invalidation reason (journal and histogram labels).
+func (i Invalidation) String() string {
+	switch i {
+	case InvalRename:
+		return "rename"
+	case InvalPerm:
+		return "perm"
+	case InvalUnlink:
+		return "unlink"
+	case InvalMount:
+		return "mount"
+	}
+	return "unknown"
+}
+
 // Hooks is the seam through which internal/core installs the paper's §3/§4
 // fastpath. All methods must be safe for concurrent use. A nil Hooks means
 // the unmodified baseline.
@@ -258,6 +273,22 @@ type Kernel struct {
 	// off. The walk hot path pays exactly one atomic load and branch on
 	// it; enabling/disabling at runtime attaches/detaches the pointer.
 	tel atomic.Pointer[telemetry.Telemetry]
+
+	// cacheMutSeq / cacheMutActive are the cache-structure stamp the
+	// invariant auditor validates its passes against: every multi-step
+	// structural change to the dentry cache (insert, teardown, rename
+	// move, eviction, completeness transition) runs inside a
+	// cacheMutBegin/cacheMutEnd bracket. A pass that reads an equal seq
+	// with zero active mutators on both edges observed no concurrent
+	// structural change. See introspect.go. (Audit-only fields sit at the
+	// struct tail, off the walk path's cache lines.)
+	cacheMutSeq    atomic.Uint64
+	cacheMutActive atomic.Int64
+
+	// chrootCount counts Chroot calls; while zero every task's root is the
+	// initial namespace root, which lets the auditor re-verify PCC prefix
+	// checks against the global root (see internal/audit).
+	chrootCount atomic.Uint64
 }
 
 // SetTelemetry attaches (or, with nil, detaches) the telemetry subsystem.
@@ -404,15 +435,28 @@ func (k *Kernel) maybeShrink() {
 // were evicted.
 func (k *Kernel) Shrink(n int) int {
 	victims := k.lru.victims(n)
+	if len(victims) == 0 {
+		return 0
+	}
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
+	tel := k.journal()
 	for _, d := range victims {
 		pn := d.pn.Load()
 		d.setFlags(DDead)
 		if pn.parent != nil {
 			k.table.remove(pn.parent.id, pn.name, d)
 			pn.parent.detachChild(pn.name)
+			wasComplete := pn.parent.Flags()&DComplete != 0
 			pn.parent.clearFlags(DComplete)
+			if wasComplete && tel != nil {
+				tel.Emit(telemetry.JDirIncomplete, pn.parent.ID(), 0, "evict-child")
+			}
 		}
 		k.stats.cell().evictions.Add(1)
+		if tel != nil {
+			tel.Emit(telemetry.JEvict, d.ID(), 0, "shrink")
+		}
 		if k.hooks != nil {
 			k.hooks.OnEvict(d)
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"dircache/internal/fsapi"
+	"dircache/internal/telemetry"
 )
 
 // lookupChild resolves one component under parent through the cache,
@@ -46,6 +47,8 @@ func (k *Kernel) childDentryForCreate(parent *Dentry, name string) *Dentry {
 // creation at its path. Per §5.2, negative children are evicted unless the
 // new object is a (fresh, hence empty and complete) directory.
 func (k *Kernel) positivize(d *Dentry, ino *Inode) {
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	isDir := ino.Mode().IsDir()
 	if d.Flags()&DDeepNegative != 0 || d.nkids.Load() > 0 {
 		// A deep negative's memoized prefix checks (and those of kept
@@ -79,6 +82,9 @@ func (k *Kernel) positivize(d *Dentry, ino *Inode) {
 	d.clearFlags(DNegative | DDeepNegative | DNotDir)
 	if isDir && k.cfg.DirCompleteness {
 		d.setFlags(DComplete)
+		if tel := k.journal(); tel != nil {
+			tel.Emit(telemetry.JDirComplete, d.ID(), 0, "create")
+		}
 	}
 	if p := d.Parent(); p != nil {
 		p.invalidateList()
@@ -89,6 +95,8 @@ func (k *Kernel) positivize(d *Dentry, ino *Inode) {
 // parent's completeness (used when the removal mirrors a real FS change,
 // so the cache remains an exact view).
 func (k *Kernel) killDentryKeepComplete(d *Dentry) {
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	// Deep-negative children first (unlink of a file with cached ENOTDIR
 	// children, alias children of a symlink).
 	d.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
@@ -100,6 +108,9 @@ func (k *Kernel) killDentryKeepComplete(d *Dentry) {
 	}
 	k.lru.remove(d)
 	k.stats.cell().evictions.Add(1)
+	if tel := k.journal(); tel != nil {
+		tel.Emit(telemetry.JEvict, d.ID(), 0, "teardown")
+	}
 	if k.hooks != nil {
 		k.hooks.OnEvict(d)
 	}
@@ -118,11 +129,19 @@ func (k *Kernel) installNewChild(parent PathRef, name string, info fsapi.NodeInf
 		}
 		return d // concurrent creation already installed it
 	}
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	d := k.allocDentry(sb, parent.D, name, ino)
 	if info.Mode.IsDir() && k.cfg.DirCompleteness {
 		d.setFlags(DComplete)
 	}
-	return k.installDedup(parent.D, name, d)
+	res := k.installDedup(parent.D, name, d)
+	if res == d && info.Mode.IsDir() && k.cfg.DirCompleteness {
+		if tel := k.journal(); tel != nil {
+			tel.Emit(telemetry.JDirComplete, d.ID(), 0, "create")
+		}
+	}
+	return res
 }
 
 // Create makes a regular file (open(O_CREAT|O_EXCL) without the handle).
@@ -323,6 +342,8 @@ func (t *Task) Rmdir(path string) error {
 // dentry either becomes a negative (aggressive mode, or idle in baseline
 // per Linux behaviour) or leaves the cache.
 func (k *Kernel) dentryGone(d *Dentry, ino *Inode) {
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	keepNegative := k.cfg.AggressiveNegatives ||
 		(!k.cfg.DisableNegatives && d.refs.Load() == 0 && d.nkids.Load() == 0)
 	if keepNegative && !k.negativesAllowed(d.sb) {
@@ -332,11 +353,17 @@ func (k *Kernel) dentryGone(d *Dentry, ino *Inode) {
 		// Drop (deep-negative / alias) children: their anchor semantics
 		// change with the node gone.
 		d.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
+		wasComplete := d.Flags()&DComplete != 0
 		d.mu.Lock()
 		d.inode.Store(nil)
 		d.setFlags(DNegative)
 		d.clearFlags(DComplete | DUnhydrated)
 		d.mu.Unlock()
+		if wasComplete {
+			if tel := k.journal(); tel != nil {
+				tel.Emit(telemetry.JDirIncomplete, d.ID(), 0, "gone")
+			}
+		}
 		// The dentry flips negative in place: the parent's cached
 		// listing no longer reflects its children.
 		if p := d.Parent(); p != nil {
@@ -443,6 +470,8 @@ func (t *Task) Rename(oldpath, newpath string) error {
 	}
 
 	// Cache side. Tear down the replaced target first.
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	if target != nil {
 		tIno := target.Inode()
 		target.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
@@ -450,6 +479,9 @@ func (t *Task) Rename(oldpath, newpath string) error {
 		k.table.remove(newParent.D.id, newName, target)
 		newParent.D.detachChild(newName)
 		k.lru.remove(target)
+		if tel := k.journal(); tel != nil {
+			tel.Emit(telemetry.JEvict, target.ID(), 0, "rename-target")
+		}
 		if k.hooks != nil {
 			k.hooks.OnEvict(target)
 		}

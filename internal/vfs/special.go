@@ -24,6 +24,8 @@ func (k *Kernel) AddSpecialNegative(parent *Dentry, name string, notDir bool) *D
 
 	deep := parent.IsNegative() || !parent.IsDir()
 
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
 	d.pn.Store(&parentName{parent: parent, name: name})
 	d.setFlags(DNegative)
@@ -60,6 +62,8 @@ func (k *Kernel) AddAlias(parent *Dentry, name string, target *Dentry) *Dentry {
 	}
 	parent.mu.Unlock()
 
+	k.cacheMutBegin()
+	defer k.cacheMutEnd()
 	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
 	d.pn.Store(&parentName{parent: parent, name: name})
 	d.setFlags(DAlias)

@@ -260,6 +260,7 @@ func (t *Task) Chroot(path string) error {
 		return err
 	}
 	t.setRoot(ref)
+	t.k.chrootCount.Add(1)
 	return nil
 }
 

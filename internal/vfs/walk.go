@@ -609,13 +609,17 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 	}
 	switch {
 	case err == nil:
+		k.cacheMutBegin()
 		d := k.allocDentry(parent.sb, parent, comp, parent.sb.inodeFor(info))
 		k.installDedup(parent, comp, d)
+		k.cacheMutEnd()
 		return d, nil
 	case errors.Is(err, fsapi.ENOENT):
 		if k.negativesAllowed(parent.sb) {
+			k.cacheMutBegin()
 			d := k.allocDentry(parent.sb, parent, comp, nil)
 			k.installDedup(parent, comp, d)
+			k.cacheMutEnd()
 		}
 		return nil, fsapi.ENOENT
 	default:

@@ -57,6 +57,13 @@ type CacheStats struct {
 	Invalidations   int64
 	AliasDentries   int64
 	DeepNegDentries int64
+
+	// Coherence internals (zero when DirectLookup is off).
+	SeqBumps    int64 // per-dentry version bumps (invalidation roots + descendants)
+	StaleTokens int64 // cache publishes declined due to racing mutations
+	DLHTSweeps  int64 // dead hash table nodes lazily reclaimed by inserts
+	PCCFlushes  int64 // whole-PCC invalidations (seq wraparound)
+	PCCResizes  int64 // PCC generation growths
 }
 
 // Delta returns the events counted between prev and s: every cumulative
@@ -139,6 +146,11 @@ func (s *System) Stats() CacheStats {
 		out.Invalidations = c.Invalidation
 		out.AliasDentries = c.AliasCreated
 		out.DeepNegDentries = c.DeepNegCreated
+		out.SeqBumps = c.SeqBumps
+		out.StaleTokens = c.StaleTokens
+		out.DLHTSweeps = c.DLHTSweeps
+		out.PCCFlushes = c.PCCFlushes
+		out.PCCResizes = c.PCCResizes
 	}
 	return out
 }

@@ -1,0 +1,72 @@
+package dircache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cacheStatsGauges are the CacheStats fields that are gauges, not
+// counters: Delta passes the current value through instead of
+// subtracting. Adding a field here is an API decision — document it in
+// the CacheStats comment too.
+var cacheStatsGauges = map[string]bool{
+	"Dentries": true,
+}
+
+// TestCacheStatsDeltaCoverage walks CacheStats by reflection and proves
+// Delta handles every field: counters are subtracted, gauges pass
+// through. A newly added field is covered automatically by the
+// reflective Delta, but this test still fails if someone adds a
+// non-int64 field (which Delta cannot subtract) or adds a gauge without
+// registering it above — both would otherwise corrupt before/after
+// measurements silently.
+func TestCacheStatsDeltaCoverage(t *testing.T) {
+	typ := reflect.TypeOf(CacheStats{})
+	var prev, cur CacheStats
+	pv := reflect.ValueOf(&prev).Elem()
+	cv := reflect.ValueOf(&cur).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			t.Fatalf("CacheStats.%s is %s; Delta only supports int64 fields", f.Name, f.Type)
+		}
+		// Distinct per-field values so a swapped or skipped field shows.
+		pv.Field(i).SetInt(int64(i + 1))
+		cv.Field(i).SetInt(int64((i + 1) * 10))
+	}
+	d := cur.Delta(prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		got := dv.Field(i).Int()
+		want := int64((i+1)*10 - (i + 1))
+		if cacheStatsGauges[name] {
+			want = int64((i + 1) * 10) // gauge: current value carried through
+		}
+		if got != want {
+			t.Errorf("Delta.%s = %d, want %d (gauge=%v)", name, got, want, cacheStatsGauges[name])
+		}
+	}
+}
+
+// TestCacheStatsCountersCoverage proves the telemetry export covers
+// every field: counters() must emit one entry per struct field with the
+// field's exact value.
+func TestCacheStatsCountersCoverage(t *testing.T) {
+	typ := reflect.TypeOf(CacheStats{})
+	var s CacheStats
+	sv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		sv.Field(i).SetInt(int64(i + 100))
+	}
+	m := s.counters()
+	if len(m) != typ.NumField() {
+		t.Errorf("counters() emitted %d entries, want %d (one per field)", len(m), typ.NumField())
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if m[name] != int64(i+100) {
+			t.Errorf("counters()[%q] = %d, want %d", name, m[name], i+100)
+		}
+	}
+}

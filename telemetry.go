@@ -23,6 +23,10 @@ type TelemetryOptions struct {
 	// TraceBuffer is the trace ring capacity (0 = 256); the ring drops
 	// its oldest trace when full.
 	TraceBuffer int
+	// JournalBuffer is the coherence event journal capacity in events
+	// (0 = 4096). The journal is striped by subject and drops each
+	// subject's oldest events when full.
+	JournalBuffer int
 }
 
 // Telemetry is a System's attached observability subsystem: latency
@@ -40,7 +44,7 @@ type MetricsServer = telemetry.Server
 // recording, not yet attached to any System. Pair with
 // SetDefaultTelemetry to share one exporter across many Systems.
 func NewTelemetry(o TelemetryOptions) *Telemetry {
-	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer})
+	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer, JournalBuffer: o.JournalBuffer})
 	t.Enable()
 	return &Telemetry{t: t}
 }
@@ -71,8 +75,9 @@ func (s *System) Telemetry() *Telemetry {
 // System (replacing any previous one) and starts recording. The System's
 // CacheStats are registered with the exporter under source "system".
 func (s *System) EnableTelemetry(o TelemetryOptions) *Telemetry {
-	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer})
+	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer, JournalBuffer: o.JournalBuffer})
 	t.RegisterStats("system", func() map[string]int64 { return s.Stats().counters() })
+	t.RegisterStats("inspect", func() map[string]int64 { return s.Inspect().counters() })
 	t.Enable()
 	s.k.SetTelemetry(t)
 	return &Telemetry{t: t}
@@ -90,12 +95,22 @@ func (s *System) DisableTelemetry() {
 }
 
 // Handler returns the metrics HTTP handler: /metrics (Prometheus text
-// format), /traces (JSON trace dump), and /metrics.json.
+// format), /traces (JSON trace dump), /events (coherence event journal),
+// and /metrics.json.
 func (tl *Telemetry) Handler() http.Handler { return tl.t.Handler() }
+
+// DebugHandler returns Handler plus the Go runtime's own observability:
+// net/http/pprof under /debug/pprof/ and a "runtime" metrics source
+// (goroutines, heap, GC pauses) folded into /metrics.
+func (tl *Telemetry) DebugHandler() http.Handler { return tl.t.DebugHandler() }
 
 // Serve starts an HTTP metrics endpoint on addr (e.g. "localhost:9150",
 // or ":0" for an ephemeral port — read it back from MetricsServer.Addr).
 func (tl *Telemetry) Serve(addr string) (*MetricsServer, error) { return tl.t.Serve(addr) }
+
+// ServeDebug is Serve with DebugHandler: metrics plus pprof and runtime
+// metrics. Tools enable it behind their -pprof flag.
+func (tl *Telemetry) ServeDebug(addr string) (*MetricsServer, error) { return tl.t.ServeDebug(addr) }
 
 // WritePrometheus renders every histogram and registered counter in the
 // Prometheus text exposition format.
@@ -107,6 +122,35 @@ func (tl *Telemetry) MetricsJSON() []byte { return tl.t.MetricsJSON() }
 
 // TracesJSON renders the sampled walk trace ring as JSON, oldest first.
 func (tl *Telemetry) TracesJSON() []byte { return tl.t.TracesJSON() }
+
+// EventsJSON renders the coherence event journal as JSON, oldest first,
+// with per-kind totals and the dropped-event count.
+func (tl *Telemetry) EventsJSON() []byte { return tl.t.EventsJSON() }
+
+// Events returns the retained journal events (ID order) and how many
+// older events the ring has dropped.
+func (tl *Telemetry) Events() ([]JournalEvent, uint64) { return tl.t.Events() }
+
+// EventsDropped reports how many journal events were dropped so far.
+func (tl *Telemetry) EventsDropped() uint64 { return tl.t.EventsDropped() }
+
+// EventCounts reports how many journal events were emitted per kind name
+// since the journal was created, dropped ones included.
+func (tl *Telemetry) EventCounts() map[string]uint64 {
+	perKind, _ := tl.t.EventCounts()
+	out := make(map[string]uint64)
+	for i, n := range perKind {
+		if n > 0 {
+			out[telemetry.JournalKind(i).String()] = n
+		}
+	}
+	return out
+}
+
+// JournalEvent is one coherence journal record: an invalidation-relevant
+// mutation (seq/epoch bump, DLHT insert/remove/sweep, PCC flush/resize,
+// DIR_COMPLETE transition, eviction) with a monotonic ID.
+type JournalEvent = telemetry.Event
 
 // TraceCount reports how many sampled walk traces the ring retains.
 func (tl *Telemetry) TraceCount() int { return tl.t.TraceCount() }
@@ -121,8 +165,9 @@ func (tl *Telemetry) ResetHistograms() { tl.t.ResetHistograms() }
 
 // HistogramQuantiles reports the estimated p50/p95/p99 of the named
 // latency histogram. Names: "walk", "fastpath", "slowpath", "fs_lookup",
-// "pcc_probe", "pcc_resize", "evict". ok is false for an unknown name or
-// an empty histogram.
+// "pcc_probe", "pcc_resize", "evict", and the mutation-side cost centers
+// "rename_invalidate", "chmod_seq_bump", "unlink_invalidate",
+// "dlht_remove". ok is false for an unknown name or an empty histogram.
 func (tl *Telemetry) HistogramQuantiles(name string) (p50, p95, p99 time.Duration, ok bool) {
 	id, ok := telemetry.HistIDByName(name)
 	if !ok {

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all help build check vet race audit ci stress bench bench-parallel dcbench
+.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke dcbench
 
 all: ci
 
@@ -19,6 +19,7 @@ help:
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
+	@echo "  bench-smoke    warm-app opt/unmod ratios vs the committed BENCH_apps.json"
 	@echo "  dcbench        paper tables/figures + BENCH_parallel.json + BENCH_micro.json"
 
 build:
@@ -39,7 +40,7 @@ audit:
 	$(GO) test -run 'Audit|Invariant' -race ./...
 
 # The tier-1 gate, folded into one target.
-ci: vet check race audit
+ci: vet check race audit bench-smoke
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:
@@ -51,6 +52,12 @@ bench:
 # The lookup-scalability curve: warm-path walks at 1/2/4/8 goroutines.
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkParallelWalk -count 3 .
+
+# Warm-app smoke: re-run the Table 1 suite at small scale and fail if any
+# app's opt/unmod ratio drifts beyond the tolerance from the committed
+# BENCH_apps.json baseline (regenerate it via `make dcbench`).
+bench-smoke:
+	$(GO) run ./cmd/dcbench -scale small -smoke BENCH_apps.json
 
 # Paper tables/figures plus the machine-readable perf trajectory files.
 dcbench:

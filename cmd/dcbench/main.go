@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	dcbench [-scale small|paper] [-list] [-json file] [-telemetry]
-//	        [-trace-sample n] [-metrics-addr host:port] [experiment ...]
+//	dcbench [-scale small|paper] [-list] [-json file] [-smoke file]
+//	        [-telemetry] [-trace-sample n] [-metrics-addr host:port]
+//	        [experiment ...]
 //
 // With no experiment arguments, every experiment runs in paper order.
 // -json additionally writes every report's structured data to the named
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
-// across PRs to track the perf trajectory) and a compact BENCH_micro.json
-// beside it (schema in EXPERIMENTS.md). -telemetry attaches one
+// across PRs to track the perf trajectory) plus a compact BENCH_micro.json
+// and a warm-app BENCH_apps.json beside it (schemas in EXPERIMENTS.md;
+// the small-scale BENCH_apps.json is committed as the -smoke baseline).
+// -smoke re-runs the warm-app suite and fails if any application's
+// opt/unmod ratio drifts beyond tolerance from that committed baseline
+// (this is `make bench-smoke`, part of `make ci`). -telemetry attaches one
 // process-wide telemetry subsystem to every system the experiments build;
 // -metrics-addr serves its histograms and walk traces live over HTTP
 // while the run progresses.
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"dircache"
@@ -34,13 +41,14 @@ import (
 func main() {
 	scale := flag.String("scale", "paper", "experiment scale: small or paper")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.String("json", "", "write machine-readable results to this file (e.g. BENCH_parallel.json); also writes BENCH_micro.json beside it")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (e.g. BENCH_parallel.json); also writes BENCH_micro.json and BENCH_apps.json beside it")
+	smoke := flag.String("smoke", "", "run the warm-app suite and compare opt/unmod ratios against this committed BENCH_apps.json baseline; exits nonzero on drift")
 	telemetryOn := flag.Bool("telemetry", false, "attach one process-wide telemetry subsystem to every system the experiments build")
 	traceSample := flag.Int("trace-sample", 64, "with -telemetry, trace 1-in-N walks into the trace ring (0 disables tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [-json file] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: dcbench [-scale small|paper] [-list] [-json file] [-smoke file] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof] [experiment ...]\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
@@ -92,6 +100,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *smoke != "" {
+		if err := runSmoke(*smoke, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var todo []bench.Experiment
 	if flag.NArg() == 0 {
 		todo = bench.Experiments()
@@ -136,8 +152,14 @@ func main() {
 		if err := writeMicro(microPath, *scale, sc); err != nil {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
-		} else {
-			fmt.Printf("wrote %s and %s\n", *jsonOut, microPath)
+		}
+		appsPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_apps.json")
+		if err := writeApps(appsPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
+		if failed == 0 {
+			fmt.Printf("wrote %s, %s and %s\n", *jsonOut, microPath, appsPath)
 		}
 	}
 	if tel != nil {
@@ -204,4 +226,92 @@ func writeMicro(path, scale string, sc bench.Scale) error {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeApps emits BENCH_apps.json: the warm-cache application trajectory
+// (bench.AppTrajectory) in the same schema as BENCH_micro.json. The small-
+// scale file is committed as the smoke-test baseline.
+func writeApps(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.AppTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// smokeTolerance bounds how far an app's opt/unmod wall-time ratio may
+// drift from the committed baseline before the smoke run fails. Ratios
+// (not absolute times) make the check robust to machine speed; the wide
+// band absorbs scheduler noise while still catching gross regressions
+// like a teardown path going 2x slower than baseline.
+const smokeTolerance = 0.35
+
+// runSmoke re-runs the warm-app suite and compares each application's
+// opt/unmod ratio against the committed BENCH_apps.json baseline.
+func runSmoke(baselinePath string, sc bench.Scale) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	now, err := bench.AppTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	ratio := func(m map[string]float64, app string) (float64, bool) {
+		o, ok1 := m["app/"+app+"/opt"]
+		u, ok2 := m["app/"+app+"/unmod"]
+		if !ok1 || !ok2 || u == 0 {
+			return 0, false
+		}
+		return o / u, true
+	}
+	apps := map[string]bool{}
+	for k := range base.Metrics {
+		rest, ok := strings.CutPrefix(k, "app/")
+		if !ok {
+			continue
+		}
+		if app, ok := strings.CutSuffix(rest, "/opt"); ok {
+			apps[app] = true
+		}
+	}
+	names := make([]string, 0, len(apps))
+	for app := range apps {
+		names = append(names, app)
+	}
+	sort.Strings(names)
+	bad := 0
+	fmt.Printf("%-18s %-10s %-10s %s\n", "app", "base o/u", "now o/u", "drift")
+	for _, app := range names {
+		b, ok1 := ratio(base.Metrics, app)
+		n, ok2 := ratio(now, app)
+		if !ok1 || !ok2 {
+			continue
+		}
+		drift := n - b
+		mark := ""
+		if drift > smokeTolerance || drift < -smokeTolerance {
+			bad++
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+		}
+		fmt.Printf("%-18s %-10.2f %-10.2f %+.2f%s\n", app, b, n, drift, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d app ratio(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+	}
+	fmt.Println("smoke: app ratios within tolerance")
+	return nil
 }

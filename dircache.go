@@ -115,6 +115,12 @@ type Config struct {
 	// lookup pays the full fastpath cost and then the slow walk — the
 	// worst case Figure 6 quantifies. Benchmarks only.
 	ForcePCCMiss bool
+	// AdmitAfter defers fastpath population until a dentry's Nth slow-path
+	// touch, so single-touch workloads (tar extraction, rm -r) skip
+	// population cost entirely. 0 = the default of 2; 1 admits on first
+	// touch (the pre-admission behaviour). Scan-shaped walks (readdir-
+	// then-stat streaks) always admit eagerly.
+	AdmitAfter int
 	// Root supplies the root file system backend; nil means a fresh
 	// in-memory backend.
 	Root *Backend
@@ -168,6 +174,7 @@ func New(cfg Config) *System {
 			SymlinkAliases: cfg.Features.SymlinkAliases,
 			LexicalDotDot:  cfg.Features.LexicalDotDot,
 			ForcePCCMiss:   cfg.ForcePCCMiss,
+			AdmitAfter:     cfg.AdmitAfter,
 		})
 	}
 	if cfg.Telemetry.Enabled {

@@ -169,8 +169,12 @@ func TestFig7Shape(t *testing.T) {
 			return fmt.Errorf("optimized chmod on big subtree (%.0f) should exceed baseline (%.0f)",
 				r.Get("chmod/100/opt"), r.Get("chmod/100/unmod"))
 		}
-		if r.Get("rename/100/opt") <= r.Get("rename/100/unmod") {
-			return fmt.Errorf("optimized rename on big subtree (%.0f) should exceed baseline (%.0f)",
+		// Rename takes the batched range shootdown instead of an eager
+		// subtree walk, so the big-subtree penalty the paper's Figure 7
+		// charts is gone: cost stays near baseline regardless of how many
+		// descendants are cached.
+		if r.Get("rename/100/opt") > r.Get("rename/100/unmod")*1.5 {
+			return fmt.Errorf("batched rename on big subtree (%.0f) should stay near baseline (%.0f)",
 				r.Get("rename/100/opt"), r.Get("rename/100/unmod"))
 		}
 		return nil

@@ -59,11 +59,28 @@ func (ar *auditRun) add(f audit.Finding) {
 //   - journal_dlht: per-subject journal striping retains each subject's
 //     newest events, so if the newest retained insert/remove event for a
 //     dentry is a remove, the dentry must not be in any table.
+//   - dlht_fresh: after the pre-pass SweepStale, no live table entry may
+//     still sit under an ancestor whose batch-shootdown mark postdates the
+//     entry's validated generation (a range shootdown the sweep missed).
+//   - journal_batch_shoot: the newest retained batch_shoot event for a
+//     live dentry must have actually landed its mark — the root's
+//     shootMark must be at least the journaled generation.
+//   - journal_admission: if the newest retained admission/insert event
+//     for a dentry is an admission deferral, the dentry must not be live
+//     in any table (deferred entries never serve a fastpath hit; every
+//     publish emits a dlht_insert, which supersedes the deferral).
 func (c *Core) AuditFindings(limit int) ([]audit.Finding, map[string]int) {
 	if limit <= 0 {
 		limit = 1
 	}
 	ar := &auditRun{limit: limit, checked: map[string]int{}}
+
+	// Discharge lazily-pending range shootdowns first: batch-shot entries
+	// are not stale state, just undiscarded state, and the scans below
+	// (placement, signature recompute) assume discarding has happened.
+	// SweepStale moves neither the epoch nor the population count, so the
+	// bracketing stamp stays valid.
+	c.SweepStale()
 
 	c.regMu.Lock()
 	dlhts := append([]*DLHT(nil), c.dlhts...)
@@ -112,6 +129,19 @@ func (c *Core) auditDLHT(ar *auditRun, dl *DLHT, aliasFree bool) {
 			ar.add(audit.Finding{Check: "dlht_stale", Ref: d.ID(), Path: d.PathTo(),
 				Detail: fmt.Sprintf("live table entry published at seq %d but dentry is at seq %d (missed shootdown)", pubSeq, seq)})
 			return
+		}
+		ar.checked["dlht_fresh"]++
+		vg := fd.validGen.Load()
+		for cur := d; cur != nil; cur = cur.Parent() {
+			cfd := fast(cur)
+			if cfd == nil {
+				break
+			}
+			if mark := cfd.shootMark.Load(); mark > vg {
+				ar.add(audit.Finding{Check: "dlht_fresh", Ref: d.ID(), Path: d.PathTo(),
+					Detail: fmt.Sprintf("live entry at generation %d under ancestor %q batch-shot at generation %d (survived a sweep)", vg, cur.PathTo(), mark)})
+				return
+			}
 		}
 		if !aliasFree || mnt == nil {
 			return
@@ -259,9 +289,17 @@ func (c *Core) auditJournal(ar *auditRun, dlhts []*DLHT) {
 	}
 	events, _ := tel.Events()
 	latest := map[uint64]telemetry.JournalKind{}
+	admLatest := map[uint64]telemetry.JournalKind{}
+	batchGen := map[uint64]int64{}
 	for _, ev := range events { // ID-sorted: later wins
-		if ev.Kind == telemetry.JDLHTInsert || ev.Kind == telemetry.JDLHTRemove {
+		switch ev.Kind {
+		case telemetry.JDLHTInsert, telemetry.JDLHTRemove:
 			latest[ev.Ref] = ev.Kind
+			admLatest[ev.Ref] = ev.Kind
+		case telemetry.JAdmitDefer:
+			admLatest[ev.Ref] = ev.Kind
+		case telemetry.JBatchShoot:
+			batchGen[ev.Ref] = ev.Aux
 		}
 	}
 	for ref, kind := range latest {
@@ -271,6 +309,54 @@ func (c *Core) auditJournal(ar *auditRun, dlhts []*DLHT) {
 				ar.add(audit.Finding{Check: "journal_dlht", Ref: ref,
 					Detail: "journal's newest event for this dentry is a DLHT remove, but a table still holds it"})
 			}
+		}
+	}
+	// Deferred entries never serve a fastpath hit: a dentry whose newest
+	// retained admission/insert event is a deferral has not been published
+	// since, so no table may hold it. (Both kinds stripe by the dentry, so
+	// drop-oldest retains their relative order.)
+	for ref, kind := range admLatest {
+		if kind != telemetry.JAdmitDefer {
+			continue
+		}
+		ar.checked["journal_admission"]++
+		if _, inTable := live[ref]; inTable {
+			ar.add(audit.Finding{Check: "journal_admission", Ref: ref,
+				Detail: "journal's newest admission event for this dentry is a deferral, but a table holds it (deferred entry served a hit)"})
+		}
+	}
+	// Every journaled range shootdown must have landed its mark: the
+	// journal is emitted on the batch path right where the mark is stored,
+	// so a live subtree root whose shootMark predates the journaled
+	// generation means the shootdown never became visible to probes.
+	c.auditBatchMarks(ar, batchGen)
+}
+
+// auditBatchMarks cross-checks batch_shoot journal events against live
+// shootMark state (see auditJournal).
+func (c *Core) auditBatchMarks(ar *auditRun, batchGen map[uint64]int64) {
+	if len(batchGen) == 0 {
+		return
+	}
+	byID := map[uint64]*vfs.Dentry{}
+	c.k.ForEachDentry(func(d *vfs.Dentry) {
+		if _, want := batchGen[d.ID()]; want {
+			byID[d.ID()] = d
+		}
+	})
+	for ref, gen := range batchGen {
+		d, ok := byID[ref]
+		if !ok || d.IsDead() {
+			continue // root evicted since; its mark is moot
+		}
+		fd := fast(d)
+		if fd == nil {
+			continue
+		}
+		ar.checked["journal_batch_shoot"]++
+		if fd.shootMark.Load() < uint64(gen) {
+			ar.add(audit.Finding{Check: "journal_batch_shoot", Ref: ref, Path: d.PathTo(),
+				Detail: fmt.Sprintf("journal records a batch shootdown at generation %d but the root's mark is %d (missed batch mark)", gen, fd.shootMark.Load())})
 		}
 	}
 }

@@ -36,6 +36,14 @@ type Config struct {
 	// fastpath cost followed by the slow walk — the "fastpath miss +
 	// slowpath" worst case of Figure 6. Benchmarks only.
 	ForcePCCMiss bool
+	// AdmitAfter defers DLHT insertion and PCC memoization until a dentry's
+	// Nth slow-path touch (admission control: single-touch paths — tar
+	// extraction, rm -r — never pay population cost). 0 selects the default
+	// of 2; 1 or less admits on first touch (the original behaviour).
+	// Scan-shaped walks (single-component lookups under a DIR_COMPLETE
+	// parent, i.e. readdir-then-stat streaks) bypass the counter and admit
+	// eagerly regardless.
+	AdmitAfter int
 }
 
 // Stats are fastpath counters.
@@ -55,6 +63,14 @@ type Stats struct {
 	DLHTSweeps     int64 // dead nodes reclaimed by DLHT inserts
 	PCCFlushes     int64 // whole-PCC invalidations
 	PCCResizes     int64 // PCC generation copies
+
+	// Admission control + batched shootdown (zero when AdmitAfter <= 1
+	// and no bulk mutations ran).
+	Admitted        int64 // populations allowed (Nth touch or bypass)
+	Deferred        int64 // populations declined pending more touches
+	Bypassed        int64 // scan-shaped walks admitted eagerly
+	BatchShootdowns int64 // subtree invalidations taken as one range mark
+	LazyShootdowns  int64 // stale entries discarded lazily by probes/sweeps
 }
 
 // statsCell holds the fastpath counters. The miss counters sit on the
@@ -66,6 +82,9 @@ type statsCell struct {
 
 	populations, invalidations, staleTokens, aliasCreated,
 	deepNegCreated, seqBumps atomic.Int64
+
+	admitted, deferred, bypassed,
+	batchShootdowns, lazyShootdowns atomic.Int64
 }
 
 // fastDentry is the per-dentry fastpath state — the paper's struct
@@ -75,6 +94,22 @@ type statsCell struct {
 // the cached resolution target.
 type fastDentry struct {
 	seq atomic.Uint64
+
+	// validGen is the batch-shootdown generation this dentry's fastpath
+	// state is known valid against. The hot-path freshness check is one
+	// load and compare against Core.shootGen; only a mismatch walks
+	// ancestors looking for a newer shootMark (see Core.fresh).
+	validGen atomic.Uint64
+
+	// shootMark, when > 0, records the batch-shootdown generation at which
+	// this dentry was the root of a range shootdown: every descendant whose
+	// validGen predates the mark holds pre-mutation state and must be
+	// lazily discarded before use.
+	shootMark atomic.Uint64
+
+	// touches counts slow-path populations declined by admission control;
+	// reset when the dentry changes identity (negative <-> positive).
+	touches atomic.Uint32
 
 	mu       sync.Mutex
 	hasState bool
@@ -117,6 +152,16 @@ type Core struct {
 	// only cached if it is even and unchanged across the walk.
 	epoch atomic.Uint64
 
+	// shootGen is the batch-shootdown generation counter: each range
+	// shootdown bumps it once (instead of bumping every descendant's seq)
+	// and stamps the subtree root's shootMark with the new value. Fastpath
+	// probes compare a dentry's validGen against shootGen and, on
+	// mismatch, climb its ancestors for a newer mark (Core.fresh).
+	shootGen atomic.Uint64
+
+	// admitAfter caches Config.AdmitAfter with the default applied.
+	admitAfter int
+
 	// regMu guards the registries below. pccs registers every live PCC
 	// (with its owning credential) so that a per-dentry version counter
 	// wrapping its truncated width can invalidate all of them — the
@@ -135,6 +180,12 @@ type Core struct {
 	// pubSeq invariant. Test-only: it exists so the audit tests can prove
 	// the auditor catches a real stale-DLHT bug.
 	testSkipShootdown bool
+
+	// testSkipBatchMark, when set, makes the batch-shootdown path bump the
+	// generation WITHOUT stamping the subtree root's shootMark — a missed
+	// range shootdown. Test-only: it exists so the audit tests can prove
+	// the auditor catches a batch mark that never landed.
+	testSkipBatchMark bool
 }
 
 // pccReg pairs a registered PCC with the credential it caches for.
@@ -151,6 +202,10 @@ func Install(k *vfs.Kernel, cfg Config) *Core {
 		cfg.Seed = 0x5ca1ab1e0ddba11 ^ (seedCounter.Add(1) * 0x9e3779b97f4a7c15)
 	}
 	c := &Core{cfg: cfg, k: k, key: sig.NewKey(cfg.Seed)}
+	c.admitAfter = cfg.AdmitAfter
+	if c.admitAfter == 0 {
+		c.admitAfter = 2
+	}
 	k.SetHooks(c)
 	return c
 }
@@ -176,6 +231,12 @@ func (c *Core) Stats() Stats {
 		DLHTSweeps:     c.sumDLHTSweeps(),
 		PCCFlushes:     c.sumPCC(func(p *PCC) int64 { return p.flushes.Load() }),
 		PCCResizes:     c.sumPCC(func(p *PCC) int64 { return p.resizes.Load() }),
+
+		Admitted:        c.stats.admitted.Load(),
+		Deferred:        c.stats.deferred.Load(),
+		Bypassed:        c.stats.bypassed.Load(),
+		BatchShootdowns: c.stats.batchShootdowns.Load(),
+		LazyShootdowns:  c.stats.lazyShootdowns.Load(),
 	}
 }
 
@@ -217,8 +278,24 @@ func fast(d *vfs.Dentry) *fastDentry {
 	return fd
 }
 
-// NewDentry implements vfs.Hooks.
-func (c *Core) NewDentry(d *vfs.Dentry) any { return &fastDentry{} }
+// NewDentry implements vfs.Hooks. The fresh dentry's validGen starts at
+// the current shootdown generation: it holds no state a past range
+// shootdown could have staled, so there is nothing to climb for.
+func (c *Core) NewDentry(d *vfs.Dentry) any {
+	fd := &fastDentry{}
+	fd.validGen.Store(c.shootGen.Load())
+	return fd
+}
+
+// OnRecycle implements vfs.Hooks: the dentry changed identity (a positive
+// dentry went negative on unlink, or a negative one was re-created).
+// Admission touch counts from the previous identity must not carry over —
+// a freshly re-created file is a first-touch dentry again.
+func (c *Core) OnRecycle(d *vfs.Dentry) {
+	if fd := fast(d); fd != nil {
+		fd.touches.Store(0)
+	}
+}
 
 // dlhtFor returns the namespace's private DLHT, creating it on first use
 // (§4.3: per-namespace direct lookup hash tables).
@@ -304,11 +381,17 @@ func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
 		tel.Emit(telemetry.JEpochBump, d.ID(), int64(epoch), why.String())
 		start = time.Now()
 	}
-	n := c.invalidateSubtree(d, tel)
-	c.stats.seqBumps.Add(int64(n))
+	if c.batchable(d, why) {
+		c.batchShoot(d, why, tel)
+	} else {
+		n := c.invalidateSubtree(d, tel)
+		c.stats.seqBumps.Add(int64(n))
+		if tel != nil {
+			tel.Emit(telemetry.JSeqBump, d.ID(), int64(n), why.String())
+		}
+	}
 	if tel != nil {
 		tel.Record(invalHist(why), time.Since(start))
-		tel.Emit(telemetry.JSeqBump, d.ID(), int64(n), why.String())
 	}
 	return func() {
 		end := c.epoch.Add(1)
@@ -317,6 +400,154 @@ func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
 		}
 	}
 }
+
+// batchable reports whether this invalidation may take the O(1) range
+// shootdown instead of the recursive per-descendant walk. Structural
+// mutations over a populated subtree (rm -r teardown, rename, unmount)
+// qualify; permission changes (InvalPerm) stay eager because PCC entries
+// key on per-dentry seq values — a chmod must bump every descendant's seq
+// or stale memoized prefix checks keep authorizing (§3.2).
+func (c *Core) batchable(d *vfs.Dentry, why vfs.Invalidation) bool {
+	switch why {
+	case vfs.InvalRename, vfs.InvalUnlink, vfs.InvalMount:
+		return d.ChildCount() > 0
+	}
+	return false
+}
+
+// batchShoot is the epoch-tagged range shootdown: bump the generation
+// counter once, eagerly invalidate only the subtree root (its seq bump
+// stales PCC entries naming the root itself), and stamp the root's
+// shootMark so fastpath probes and sweeps lazily discard every
+// descendant's state on next encounter (Core.fresh). O(1) instead of
+// O(subtree), which is what rm -r and rename teardown pay per call.
+func (c *Core) batchShoot(d *vfs.Dentry, why vfs.Invalidation, tel *telemetry.Telemetry) {
+	gen := c.shootGen.Add(1)
+	c.stats.batchShootdowns.Add(1)
+	c.stats.seqBumps.Add(1)
+	fd := fast(d)
+	if fd != nil {
+		if fd.seq.Add(1)&pccSeqMask == 0 {
+			c.invalidateAllPCCs()
+		}
+		fd.mu.Lock()
+		if fd.inTable != nil {
+			removeTimed(tel, fd.inTable, fd.idx, fd.sg, d)
+			fd.inTable = nil
+			if tel != nil {
+				tel.Emit(telemetry.JDLHTRemove, d.ID(), int64(fd.idx), "shootdown")
+			}
+		}
+		fd.hasState = false
+		fd.statePtr.Store(nil)
+		fd.target.Store(nil)
+		fd.mu.Unlock()
+		if !c.testSkipBatchMark {
+			fd.shootMark.Store(gen)
+		}
+	}
+	if tel != nil {
+		tel.Emit(telemetry.JBatchShoot, d.ID(), int64(gen), why.String())
+	}
+}
+
+// fresh reports whether d's fastpath state postdates every batch
+// shootdown covering it. The hot path is one load-and-compare; only a
+// generation mismatch climbs the ancestor chain looking for a shootMark
+// newer than d's validGen. A stale dentry is lazily invalidated here
+// (seq bump + DLHT removal + state drop) and fresh returns false so the
+// caller falls back to the slow walk.
+//
+// On a clean climb the result is memoized (validGen advanced to the
+// generation read before the climb) — but only if the invalidation epoch
+// was even and unchanged across the climb. Without that gate, a racing
+// mutation could stamp an ancestor's shootMark after our climb had
+// already passed it, and the memoized validGen would mask that mark
+// forever. With the gate, either we see the mark (epoch already bumped
+// before the generation, seq-cst), or the epoch check fails and we skip
+// memoization; the next probe re-climbs.
+func (c *Core) fresh(d *vfs.Dentry) bool {
+	fd := fast(d)
+	if fd == nil {
+		return true
+	}
+	gen := c.shootGen.Load()
+	vg := fd.validGen.Load()
+	if vg == gen {
+		return true
+	}
+	e1 := c.epoch.Load()
+	stale := false
+	for cur := d; cur != nil; cur = cur.Parent() {
+		cfd := fast(cur)
+		if cfd == nil {
+			break
+		}
+		if cfd.shootMark.Load() > vg {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		c.lazyInvalidate(d, fd)
+		return false
+	}
+	if e1&1 == 0 && c.epoch.Load() == e1 {
+		fd.validGen.Store(gen)
+	}
+	return true
+}
+
+// lazyInvalidate performs the per-dentry work a batch shootdown deferred:
+// bump seq (staling PCC entries), drop the DLHT entry and cached state.
+// validGen advances only when no mutation is in flight, so a dentry under
+// an active mutation keeps re-invalidating (harmlessly) until the epoch
+// settles even.
+func (c *Core) lazyInvalidate(d *vfs.Dentry, fd *fastDentry) {
+	tel := c.tele()
+	c.stats.lazyShootdowns.Add(1)
+	c.stats.seqBumps.Add(1)
+	if fd.seq.Add(1)&pccSeqMask == 0 {
+		c.invalidateAllPCCs()
+	}
+	fd.mu.Lock()
+	if fd.inTable != nil {
+		removeTimed(tel, fd.inTable, fd.idx, fd.sg, d)
+		fd.inTable = nil
+		if tel != nil {
+			tel.Emit(telemetry.JDLHTRemove, d.ID(), int64(fd.idx), "lazy-shootdown")
+		}
+	}
+	fd.hasState = false
+	fd.statePtr.Store(nil)
+	fd.target.Store(nil)
+	fd.mu.Unlock()
+	if e := c.epoch.Load(); e&1 == 0 {
+		fd.validGen.Store(c.shootGen.Load())
+	}
+}
+
+// SweepStale walks every registered DLHT and lazily discards entries
+// staled by batch shootdowns — the "one sweep" after which a batch-shot
+// subtree must hold no live entries (the auditor runs this before its
+// scans). Returns the number of entries discarded.
+func (c *Core) SweepStale() int {
+	c.regMu.Lock()
+	dlhts := append([]*DLHT(nil), c.dlhts...)
+	c.regMu.Unlock()
+	n := 0
+	for _, dl := range dlhts {
+		dl.forEachEntry(func(_ uint16, _ sig.Signature, d *vfs.Dentry) {
+			if !c.fresh(d) {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// ShootGen returns the current batch-shootdown generation (introspection).
+func (c *Core) ShootGen() uint64 { return c.shootGen.Load() }
 
 // invalHist maps an invalidation reason to its latency histogram.
 func invalHist(why vfs.Invalidation) telemetry.HistID {
@@ -398,6 +629,10 @@ func (c *Core) ensureState(ref vfs.PathRef) (sig.State, bool) {
 	if fd == nil || ref.Mnt == nil || ref.D.IsDead() {
 		return sig.State{}, false
 	}
+	// A batch shootdown leaves descendants' cached states in place; drop
+	// a stale one here (fresh lazily invalidates) rather than serve a
+	// pre-mutation signature, then fall through and recompute.
+	_ = c.fresh(ref.D)
 	if sp := fd.statePtr.Load(); sp != nil {
 		return *sp, true
 	}
@@ -480,6 +715,12 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State, token uint64) {
 	idx, sg := st.Sum()
 	fd.mu.Lock()
 	defer fd.mu.Unlock()
+	// Load the shootdown generation BEFORE validating the token: a batch
+	// shootdown bumps the epoch before the generation, so if tokenValid
+	// passes, gen is at least as new as any shootdown that could have
+	// covered the state we are publishing — stamping validGen = gen below
+	// can never mask a mark this entry should honour.
+	gen := c.shootGen.Load()
 	if !c.tokenValid(token) {
 		c.stats.staleTokens.Add(1)
 		return
@@ -491,6 +732,7 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State, token uint64) {
 			fd.hasState = true
 			snap := st
 			fd.statePtr.Store(&snap)
+			fd.validGen.Store(gen)
 			return // already published under this signature
 		}
 		// Aliased path or namespace switch: most recent wins.
@@ -508,6 +750,7 @@ func (c *Core) publish(dl *DLHT, ref vfs.PathRef, st sig.State, token uint64) {
 	snap := st
 	fd.statePtr.Store(&snap)
 	fd.pubSeq = fd.seq.Load()
+	fd.validGen.Store(gen)
 	dl.Insert(idx, sg, ref.D)
 	fd.inTable = dl
 	c.stats.populations.Add(1)

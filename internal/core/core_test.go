@@ -23,6 +23,7 @@ func optimized(t *testing.T) (*vfs.Kernel, *Core, *vfs.Task) {
 		Seed:           12345,
 		DeepNegatives:  true,
 		SymlinkAliases: true,
+		AdmitAfter:     1, // these tests probe first-touch population mechanics
 	})
 	root := k.NewTask(cred.Root())
 	buildTree(t, root)

@@ -21,6 +21,12 @@ type Introspection struct {
 	Epoch       uint64      `json:"epoch"`        // invalidation epoch (odd = mutation in flight)
 	Populations int64       `json:"populations"`  // lifetime DLHT+PCC population events
 	StaleTokens int64       `json:"stale_tokens"` // publishes declined due to racing mutations
+	ShootGen    uint64      `json:"shoot_gen"`    // batch-shootdown generation counter
+	Admitted    int64       `json:"admitted"`     // populations allowed on Nth touch
+	Deferred    int64       `json:"deferred"`     // populations declined by admission control
+	Bypassed    int64       `json:"bypassed"`     // scan-shaped walks admitted eagerly
+	BatchShoots int64       `json:"batch_shoots"` // range shootdowns taken instead of subtree walks
+	LazyShoots  int64       `json:"lazy_shoots"`  // stale entries lazily discarded
 	DLHTs       []DLHTStats `json:"dlhts"`        // one per mount namespace
 	PCCs        []PCCStats  `json:"pccs"`         // one per credential
 }
@@ -36,6 +42,12 @@ func (c *Core) Introspect() Introspection {
 		Epoch:       c.epoch.Load(),
 		Populations: c.stats.populations.Load(),
 		StaleTokens: c.stats.staleTokens.Load(),
+		ShootGen:    c.shootGen.Load(),
+		Admitted:    c.stats.admitted.Load(),
+		Deferred:    c.stats.deferred.Load(),
+		Bypassed:    c.stats.bypassed.Load(),
+		BatchShoots: c.stats.batchShootdowns.Load(),
+		LazyShoots:  c.stats.lazyShootdowns.Load(),
 	}
 	for _, dl := range dlhts {
 		in.DLHTs = append(in.DLHTs, dl.Introspect())

@@ -1,10 +1,78 @@
 package core
 
 import (
+	"strings"
+
 	"dircache/internal/fsapi"
 	"dircache/internal/sig"
+	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
+
+// admitPopulate is the §3.1 population gate with admission control: DLHT
+// insertion and PCC memoization only happen on a dentry's Nth slow-path
+// touch (Config.AdmitAfter, default 2), so single-touch paths — tar
+// extraction streams, rm -r teardown scans — never pay population cost
+// for entries that will not be revisited (cf. Stage Lookup: shortcut
+// caches only pay off for re-visited prefixes).
+//
+// The exception is scan-shaped walks: a single-component lookup whose
+// parent directory is DIR_COMPLETE is a readdir-then-stat streak (find,
+// du, updatedb, Apache directory listings), and those revisit every entry
+// on the next scan — deferring would forfeit the Fig 9 / Table 3 wins, so
+// they bypass the counter and admit eagerly.
+func (c *Core) admitPopulate(start vfs.PathRef, path string, d *vfs.Dentry) bool {
+	if c.admitAfter <= 1 {
+		return true
+	}
+	fd := fast(d)
+	if fd == nil {
+		return true
+	}
+	n := fd.touches.Add(1)
+	fd.mu.Lock()
+	published := fd.inTable != nil
+	fd.mu.Unlock()
+	if published {
+		// Already paid for (e.g. an unlinked file's dentry recycled to a
+		// negative in place, still published): deferring would only block
+		// refreshes and other credentials' PCC memoization.
+		return true
+	}
+	if int(n) >= c.admitAfter {
+		c.stats.admitted.Add(1)
+		if tel := c.tele(); tel != nil {
+			tel.Emit(telemetry.JAdmitted, d.ID(), int64(n), "nth")
+		}
+		return true
+	}
+	if scanShaped(start, path, d) {
+		c.stats.bypassed.Add(1)
+		if tel := c.tele(); tel != nil {
+			tel.Emit(telemetry.JAdmitted, d.ID(), int64(n), "bypass")
+		}
+		return true
+	}
+	c.stats.deferred.Add(1)
+	if tel := c.tele(); tel != nil {
+		tel.Emit(telemetry.JAdmitDefer, d.ID(), int64(n), "")
+	}
+	return false
+}
+
+// scanShaped reports whether the walk that produced d looks like one step
+// of a readdir-then-stat streak: a single-component lookup, relative to a
+// directory reference whose listing is already complete, resolving to a
+// direct child of that directory.
+func scanShaped(start vfs.PathRef, path string, d *vfs.Dentry) bool {
+	if strings.IndexByte(path, '/') >= 0 {
+		return false
+	}
+	if start.D == nil || start.D.Flags()&vfs.DComplete == 0 {
+		return false
+	}
+	return d.Parent() == start.D
+}
 
 // EndSlowLookup implements vfs.Hooks: after a successful slow walk, hash
 // the requested path's canonical lexical form and populate the DLHT with
@@ -16,6 +84,9 @@ func (c *Core) EndSlowLookup(token uint64, t *vfs.Task, start vfs.PathRef, path 
 		return
 	}
 	if lexical.D == nil || res.D == nil || lexical.D.IsDead() || res.D.IsDead() {
+		return
+	}
+	if !c.admitPopulate(start, path, lexical.D) {
 		return
 	}
 	ns := t.Namespace()
@@ -182,6 +253,9 @@ func (c *Core) EndSlowNegative(token uint64, t *vfs.Task, start vfs.PathRef, pat
 	if f.Anchor.D == nil || f.Anchor.D.IsDead() {
 		return
 	}
+	if !c.admitPopulate(start, path, f.Anchor.D) {
+		return
+	}
 	ns := t.Namespace()
 	dl := c.dlhtFor(ns)
 	pcc := c.pccFor(t.Cred())
@@ -274,6 +348,10 @@ func (c *Core) startTrusted(t *vfs.Task, start vfs.PathRef, pcc *PCC) bool {
 	if start.D == root.D && start.Mnt == root.Mnt {
 		return true
 	}
+	// A batch shootdown covering start leaves its seq (and so its PCC
+	// entry) intact until lazily discarded; discard it now rather than
+	// trust a pre-mutation prefix check.
+	_ = c.fresh(start.D)
 	if pcc.Lookup(start.D.ID(), dentrySeq(start.D)) {
 		return true
 	}

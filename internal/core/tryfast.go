@@ -170,6 +170,15 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		tr.Event(telemetry.EvDLHTMiss, path)
 		return vfs.PathRef{}, nil, false
 	}
+	// Batch-shootdown freshness: one generation compare on the hot path;
+	// a stale entry (covered by a range shootdown) is lazily discarded and
+	// the walk falls back.
+	if !c.fresh(d) {
+		c.stats.dlhtMiss.Add(1)
+		tr.Event(telemetry.EvDLHTMiss, path)
+		return vfs.PathRef{}, nil, false
+	}
+	looked := d
 	tr.Event(telemetry.EvDLHTHit, path)
 
 	// Alias dentries redirect to the real dentry; the redirect is pinned
@@ -242,6 +251,9 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 			if tgt == nil || tgt.IsDead() || fd.targetSeq.Load() != dentrySeq(tgt) {
 				return vfs.PathRef{}, nil, false
 			}
+			if !c.fresh(tgt) {
+				return vfs.PathRef{}, nil, false
+			}
 			d = tgt
 			if !d.IsSymlink() {
 				break
@@ -254,6 +266,11 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 
 	fd := fast(d)
 	if fd == nil {
+		return vfs.PathRef{}, nil, false
+	}
+	// Alias/symlink redirects land on a dentry the lookup gate above never
+	// saw; give it the same freshness check before trusting its PCC entry.
+	if d != looked && !c.fresh(d) {
 		return vfs.PathRef{}, nil, false
 	}
 	seq := fd.seq.Load()
@@ -304,6 +321,10 @@ func (c *Core) checkPrefixDir(t *vfs.Task, dl *DLHT, pcc *PCC, base vfs.PathRef,
 		idx, sg := st.Sum()
 		d = dl.Lookup(idx, sg)
 		if d == nil {
+			c.stats.dlhtMiss.Add(1)
+			return false
+		}
+		if !c.fresh(d) {
 			c.stats.dlhtMiss.Add(1)
 			return false
 		}

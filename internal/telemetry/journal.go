@@ -67,8 +67,22 @@ const (
 	JDirComplete
 	// JDirIncomplete: DIR_COMPLETE was cleared. Ref = directory ID.
 	JDirIncomplete
-	// JEvict: the LRU evicted a dentry. Ref = dentry ID.
+	// JEvict: the LRU evicted a dentry, or a teardown killed a subtree.
+	// Ref = dentry ID (the subtree root for teardowns), Aux = dentries
+	// torn down with it (0 for single LRU evictions).
 	JEvict
+	// JAdmitDefer: admission control declined a slow-path population
+	// (touch count below Config.AdmitAfter). Ref = dentry ID, Aux = the
+	// touch count observed.
+	JAdmitDefer
+	// JAdmitted: admission control allowed a population. Ref = dentry ID,
+	// Aux = touch count, Note = "nth" (counter reached) or "bypass"
+	// (scan-shaped walk admitted eagerly).
+	JAdmitted
+	// JBatchShoot: a structural mutation took the O(1) range shootdown
+	// instead of the recursive per-descendant walk. Ref = subtree root
+	// dentry ID, Aux = the new shootdown generation, Note = reason.
+	JBatchShoot
 
 	NumJournalKinds
 )
@@ -76,6 +90,7 @@ const (
 var journalKindNames = [NumJournalKinds]string{
 	"seq_bump", "epoch_bump", "dlht_insert", "dlht_remove", "dlht_sweep",
 	"pcc_flush", "pcc_resize", "dir_complete", "dir_incomplete", "evict",
+	"admit_defer", "admit", "batch_shoot",
 }
 
 // String returns the kind's exporter name.

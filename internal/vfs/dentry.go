@@ -178,6 +178,10 @@ func (d *Dentry) EachChild(fn func(*Dentry)) {
 // aliases), or nil. Exported for the fastpath hooks.
 func (d *Dentry) Child(name string) *Dentry { return d.child(name) }
 
+// ChildCount returns the number of cached children. Exported so the
+// fastpath hooks can pick between per-dentry and batched invalidation.
+func (d *Dentry) ChildCount() int { return int(d.nkids.Load()) }
+
 // child returns the cached child by name, under d.mu.
 func (d *Dentry) child(name string) *Dentry {
 	d.mu.Lock()

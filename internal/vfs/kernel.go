@@ -125,6 +125,12 @@ type Hooks interface {
 	// OnEvict is called when a dentry leaves the cache (LRU eviction or
 	// final unlink teardown).
 	OnEvict(d *Dentry)
+
+	// OnRecycle is called when a dentry changes identity in place: a
+	// positive dentry going negative after unlink, or a negative dentry
+	// being re-created. Hooks reset per-identity bookkeeping (admission
+	// touch counts) that must not carry over.
+	OnRecycle(d *Dentry)
 }
 
 // Stats are cumulative directory cache counters.

@@ -77,9 +77,12 @@ func (k *Kernel) positivize(d *Dentry, ino *Inode) {
 	d.inode.Store(ino)
 	d.mu.Unlock()
 	for _, c := range kids {
-		k.killDentryKeepComplete(c)
+		k.killSubtreeLocked(c)
 	}
 	d.clearFlags(DNegative | DDeepNegative | DNotDir)
+	if k.hooks != nil {
+		k.hooks.OnRecycle(d)
+	}
 	if isDir && k.cfg.DirCompleteness {
 		d.setFlags(DComplete)
 		if tel := k.journal(); tel != nil {
@@ -91,15 +94,35 @@ func (k *Kernel) positivize(d *Dentry, ino *Inode) {
 	}
 }
 
-// killDentryKeepComplete removes d from the cache without clearing the
-// parent's completeness (used when the removal mirrors a real FS change,
-// so the cache remains an exact view).
+// killDentryKeepComplete removes d (and its cached descendants) from the
+// cache without clearing the parent's completeness (used when the removal
+// mirrors a real FS change, so the cache remains an exact view).
 func (k *Kernel) killDentryKeepComplete(d *Dentry) {
 	k.cacheMutBegin()
 	defer k.cacheMutEnd()
+	k.killSubtreeLocked(d)
+}
+
+// killSubtreeLocked tears down d and every cached descendant inside the
+// caller's cacheMut bracket: one bracket and one aggregate journal event
+// for the whole subtree instead of one per dentry (rm -r teardown used to
+// pay a bracket + emission per child). Per-dentry hash-table/LRU removal
+// and the OnEvict hook are structurally required and stay. Returns the
+// number of dentries killed.
+func (k *Kernel) killSubtreeLocked(d *Dentry) int {
+	n := k.killRecurse(d)
+	k.stats.cell().evictions.Add(int64(n))
+	if tel := k.journal(); tel != nil {
+		tel.Emit(telemetry.JEvict, d.ID(), int64(n), "teardown")
+	}
+	return n
+}
+
+func (k *Kernel) killRecurse(d *Dentry) int {
+	n := 1
 	// Deep-negative children first (unlink of a file with cached ENOTDIR
 	// children, alias children of a symlink).
-	d.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
+	d.EachChild(func(c *Dentry) { n += k.killRecurse(c) })
 	pn := d.pn.Load()
 	d.setFlags(DDead)
 	if pn.parent != nil {
@@ -107,13 +130,10 @@ func (k *Kernel) killDentryKeepComplete(d *Dentry) {
 		pn.parent.detachChild(pn.name)
 	}
 	k.lru.remove(d)
-	k.stats.cell().evictions.Add(1)
-	if tel := k.journal(); tel != nil {
-		tel.Emit(telemetry.JEvict, d.ID(), 0, "teardown")
-	}
 	if k.hooks != nil {
 		k.hooks.OnEvict(d)
 	}
+	return n
 }
 
 // installNewChild creates and wires a positive dentry for a just-created
@@ -351,8 +371,9 @@ func (k *Kernel) dentryGone(d *Dentry, ino *Inode) {
 	}
 	if keepNegative {
 		// Drop (deep-negative / alias) children: their anchor semantics
-		// change with the node gone.
-		d.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
+		// change with the node gone. Each child subtree falls inside this
+		// function's cacheMut bracket — one bracket for the whole teardown.
+		d.EachChild(func(c *Dentry) { k.killSubtreeLocked(c) })
 		wasComplete := d.Flags()&DComplete != 0
 		d.mu.Lock()
 		d.inode.Store(nil)
@@ -368,6 +389,9 @@ func (k *Kernel) dentryGone(d *Dentry, ino *Inode) {
 		// listing no longer reflects its children.
 		if p := d.Parent(); p != nil {
 			p.invalidateList()
+		}
+		if k.hooks != nil {
+			k.hooks.OnRecycle(d)
 		}
 	} else {
 		k.killDentryKeepComplete(d)
@@ -474,7 +498,7 @@ func (t *Task) Rename(oldpath, newpath string) error {
 	defer k.cacheMutEnd()
 	if target != nil {
 		tIno := target.Inode()
-		target.EachChild(func(c *Dentry) { k.killDentryKeepComplete(c) })
+		target.EachChild(func(c *Dentry) { k.killSubtreeLocked(c) })
 		target.setFlags(DDead)
 		k.table.remove(newParent.D.id, newName, target)
 		newParent.D.detachChild(newName)
@@ -498,7 +522,7 @@ func (t *Task) Rename(oldpath, newpath string) error {
 	// a live target — those were handled above) must die before the move,
 	// or it would shadow the moved dentry in the caches.
 	if resid := newParent.D.child(newName); resid != nil && resid != d {
-		k.killDentryKeepComplete(resid)
+		k.killSubtreeLocked(resid)
 	}
 
 	// Move d: (oldParent, oldName) → (newParent, newName), d_move-style.

@@ -20,6 +20,38 @@ type Task struct {
 	nsp   atomic.Pointer[Namespace]
 
 	mu sync.Mutex // serializes state swaps (chdir/chroot/unshare/exit)
+
+	// segScratch is the slow walk's segment-stack scratch buffer, reused
+	// across walks to keep walkOnce allocation-free. segBusy guards it:
+	// concurrent walks on one shared Task are legal (if unusual), so a
+	// loser of the CAS falls back to a fresh stack allocation.
+	segScratch []segment
+	segBusy    atomic.Bool
+}
+
+// acquireSegs returns a 1-length segment stack for a slow walk: the
+// task's scratch buffer when free, a fresh allocation otherwise.
+func (t *Task) acquireSegs() (segs []segment, scratch bool) {
+	if t.segBusy.CompareAndSwap(false, true) {
+		if cap(t.segScratch) == 0 {
+			t.segScratch = make([]segment, 0, 8)
+		}
+		return t.segScratch[:1], true
+	}
+	return make([]segment, 1, 4), false
+}
+
+// releaseSegs returns the (possibly grown) scratch buffer to the task.
+func (t *Task) releaseSegs(segs []segment, scratch bool) {
+	if !scratch {
+		return
+	}
+	full := segs[:cap(segs)]
+	for i := range full {
+		full[i] = segment{} // drop path-string references
+	}
+	t.segScratch = full[:0]
+	t.segBusy.Store(false)
 }
 
 // NewTask creates a task in the initial namespace rooted at "/" with the

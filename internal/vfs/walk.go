@@ -267,8 +267,10 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags, tr 
 	cur := start
 	root := t.Root()
 
-	// Segment stack for symlink continuations.
-	segs := make([]segment, 1, 4)
+	// Segment stack for symlink continuations, reusing the task's scratch
+	// buffer so an ordinary slow walk allocates nothing here.
+	segs, scratch := t.acquireSegs()
+	defer func() { t.releaseSegs(segs, scratch) }()
 	segs[0] = segment{rest: path, aliasable: true}
 	symDepth := 0
 

@@ -64,6 +64,14 @@ type CacheStats struct {
 	DLHTSweeps  int64 // dead hash table nodes lazily reclaimed by inserts
 	PCCFlushes  int64 // whole-PCC invalidations (seq wraparound)
 	PCCResizes  int64 // PCC generation growths
+
+	// Admission control and batched shootdown (zero when DirectLookup is
+	// off or Config.AdmitAfter is 1).
+	Admitted        int64 // populations allowed on a dentry's Nth touch
+	Deferred        int64 // populations declined pending more touches
+	Bypassed        int64 // scan-shaped walks admitted eagerly
+	BatchShootdowns int64 // subtree invalidations taken as one range mark
+	LazyShootdowns  int64 // stale entries discarded lazily by probes/sweeps
 }
 
 // Delta returns the events counted between prev and s: every cumulative
@@ -151,6 +159,11 @@ func (s *System) Stats() CacheStats {
 		out.DLHTSweeps = c.DLHTSweeps
 		out.PCCFlushes = c.PCCFlushes
 		out.PCCResizes = c.PCCResizes
+		out.Admitted = c.Admitted
+		out.Deferred = c.Deferred
+		out.Bypassed = c.Bypassed
+		out.BatchShootdowns = c.BatchShootdowns
+		out.LazyShootdowns = c.LazyShootdowns
 	}
 	return out
 }

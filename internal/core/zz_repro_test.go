@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"dircache/internal/cred"
+)
+
+// Repro: after a batched rename shootdown, a republish through the
+// lexicalHash path (dot component) stamps validGen without bumping seq,
+// resurrecting another credential's pre-rename PCC entry.
+func TestReproBatchShootPCCResurrection(t *testing.T) {
+	k, c, root := auditFixture(t)
+	_ = c
+	if err := root.Chmod("/mv", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	user := k.NewTask(cred.New(1000, 1000, nil, ""))
+	for i := 0; i < 3; i++ {
+		if _, err := user.Stat("/a/b/c/file"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := root.Rename("/a", "/mv/a"); err != nil {
+		t.Fatal(err)
+	}
+	// Root republishes the moved file via a path with a "." component.
+	for i := 0; i < 3; i++ {
+		if _, err := root.Stat("/mv/a/b/c/./file"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// /mv is 0700 root-only: user must NOT be able to resolve this.
+	if _, err := user.Stat("/mv/a/b/c/file"); err == nil {
+		t.Fatal("PERMISSION BYPASS: user resolved /mv/a/b/c/file despite 0700 /mv")
+	} else {
+		t.Logf("correctly denied: %v", err)
+	}
+}

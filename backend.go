@@ -16,10 +16,11 @@ import (
 // Backend is a mountable low-level file system instance: an in-memory FS,
 // an ext2-style FS over a simulated disk, or a proc-like pseudo FS.
 type Backend struct {
-	fs    fsapi.FileSystem
-	dev   *blockdev.Device
-	cache *buffercache.Cache
-	clock *vclock.Run
+	fs     fsapi.FileSystem
+	dev    *blockdev.Device
+	cache  *buffercache.Cache
+	clock  *vclock.Run
+	remote *remotefs.FS // non-nil for remote backends
 }
 
 // MemOptions configures an in-memory backend.
@@ -94,6 +95,13 @@ type RemoteOptions struct {
 	// RTTNanos is the simulated per-message round-trip time (default
 	// 200µs).
 	RTTNanos int64
+	// PerOpNanos overrides RTTNanos for individual protocol operations,
+	// keyed by name ("lookup", "readdir", "getnode", ...).
+	PerOpNanos map[string]int64
+	// CheapReadDir advertises a readdir-plus-style call: one READDIR
+	// answers what would otherwise be one LOOKUP per child, letting the
+	// optimized cache bulk-populate a directory on a miss storm.
+	CheapReadDir bool
 }
 
 // NewRemoteBackend creates an NFSv2/3-style remote file system: a
@@ -104,10 +112,12 @@ type RemoteOptions struct {
 func NewRemoteBackend(opts RemoteOptions) *Backend {
 	run := &vclock.Run{}
 	fs := remotefs.New(memfs.New(memfs.Options{Name: "nfs-export"}), remotefs.Options{
-		RTTNanos: opts.RTTNanos,
+		RTTNanos:     opts.RTTNanos,
+		PerOpNanos:   opts.PerOpNanos,
+		CheapReadDir: opts.CheapReadDir,
 	})
 	fs.SetClock(run)
-	return &Backend{fs: fs, clock: run}
+	return &Backend{fs: fs, clock: run, remote: fs}
 }
 
 // NewProcBackend creates a proc-like pseudo file system with npids
@@ -125,6 +135,25 @@ func (b *Backend) SimulatedIONanos() int64 { return b.clock.Nanos() }
 
 // ResetSimulatedIO zeroes the simulated-latency accumulator.
 func (b *Backend) ResetSimulatedIO() { b.clock.Reset() }
+
+// RemoteRoundTrips reports the total simulated server messages for remote
+// backends (0 otherwise) — the RPC-counted ground truth cold-path benches
+// assert on.
+func (b *Backend) RemoteRoundTrips() int64 {
+	if b.remote == nil {
+		return 0
+	}
+	return b.remote.RoundTrips()
+}
+
+// RemoteOpCounts snapshots per-operation RPC counters ("lookup",
+// "readdir", ...) for remote backends; nil otherwise.
+func (b *Backend) RemoteOpCounts() map[string]int64 {
+	if b.remote == nil {
+		return nil
+	}
+	return b.remote.OpCounts()
+}
 
 // InvalidateBufferCache drops the backend's buffer cache (disk backends
 // only) — with System.DropCaches, the full cold-cache switch.

@@ -11,12 +11,15 @@
 // With no experiment arguments, every experiment runs in paper order.
 // -json additionally writes every report's structured data to the named
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
-// across PRs to track the perf trajectory) plus a compact BENCH_micro.json
-// and a warm-app BENCH_apps.json beside it (schemas in EXPERIMENTS.md;
-// the small-scale BENCH_apps.json is committed as the -smoke baseline).
+// across PRs to track the perf trajectory) plus a compact BENCH_micro.json,
+// a warm-app BENCH_apps.json, and a cold-scan BENCH_cold.json beside it
+// (schemas in EXPERIMENTS.md; the small-scale BENCH_apps.json and
+// BENCH_cold.json are committed as the -smoke baselines).
 // -smoke re-runs the warm-app suite and fails if any application's
-// opt/unmod ratio drifts beyond tolerance from that committed baseline
-// (this is `make bench-smoke`, part of `make ci`). -telemetry attaches one
+// opt/unmod ratio drifts beyond tolerance from that committed baseline,
+// then re-runs the deterministic cold-scan trajectory against the
+// committed BENCH_cold.json (this is `make bench-smoke`, part of
+// `make ci`). -telemetry attaches one
 // process-wide telemetry subsystem to every system the experiments build;
 // -metrics-addr serves its histograms and walk traces live over HTTP
 // while the run progresses.
@@ -158,8 +161,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		coldPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_cold.json")
+		if err := writeCold(coldPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s and %s\n", *jsonOut, microPath, appsPath)
+			fmt.Printf("wrote %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath)
 		}
 	}
 	if tel != nil {
@@ -248,6 +256,28 @@ func writeApps(path, scale string, sc bench.Scale) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// writeCold emits BENCH_cold.json: the deterministic cold-miss scan
+// trajectory (bench.ColdTrajectory) in the same schema as
+// BENCH_micro.json. The small-scale file is committed as the smoke-test
+// baseline; its values are exact RPC counts, so the smoke gate treats
+// any drift as a behavior change.
+func writeCold(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.ColdTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 // smokeTolerance bounds how far an app's opt/unmod wall-time ratio may
 // drift from the committed baseline before the smoke run fails. Ratios
 // (not absolute times) make the check robust to machine speed; the wide
@@ -313,5 +343,55 @@ func runSmoke(baselinePath string, sc bench.Scale) error {
 		return fmt.Errorf("%d app ratio(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
 	}
 	fmt.Println("smoke: app ratios within tolerance")
+	return runColdSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_cold.json"), sc)
+}
+
+// runColdSmoke compares the deterministic cold-scan RPC trajectory
+// against the committed BENCH_cold.json beside the app baseline. The
+// metrics are exact RPC counts over a virtual clock (no scheduler in the
+// loop), so the same wide smokeTolerance band — applied relatively —
+// catches any real behavior change while never flaking.
+func runColdSmoke(baselinePath string, sc bench.Scale) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("smoke: no cold baseline at %s, skipping cold-scan gate\n", baselinePath)
+			return nil
+		}
+		return err
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	now, err := bench.ColdTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	bad := 0
+	fmt.Printf("%-28s %-10s %-10s %s\n", "cold metric", "base", "now", "drift")
+	for _, name := range names {
+		b := base.Metrics[name]
+		n, ok := now[name]
+		if !ok || b == 0 {
+			continue
+		}
+		drift := (n - b) / b
+		mark := ""
+		if drift > smokeTolerance || drift < -smokeTolerance {
+			bad++
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+		}
+		fmt.Printf("%-28s %-10.2f %-10.2f %+.2f%s\n", name, b, n, drift, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d cold-scan metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+	}
+	fmt.Println("smoke: cold-scan RPC trajectory within tolerance")
 	return nil
 }

@@ -229,6 +229,8 @@ other:  help  exit
 		fmt.Printf("fs lookups    %d (hit rate %.1f%%)\n", st.FSLookups, st.HitRate()*100)
 		fmt.Printf("negative hits %d, completeness shortcuts %d\n", st.NegativeHits, st.CompleteShort)
 		fmt.Printf("readdir       %d cached / %d from FS\n", st.ReaddirCached, st.ReaddirFS)
+		fmt.Printf("miss storms   %d coalesced (%d waited), %d bulk populations\n",
+			st.MissCoalesced, st.InLookupWaits, st.BulkPopulations)
 		fmt.Printf("invalidations %d, populations %d\n", st.Invalidations, st.Populations)
 	case "buckets":
 		empty, one, two, more := sys.BucketStats()
@@ -244,7 +246,7 @@ other:  help  exit
 		}
 		shown := 0
 		for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
-			"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove"} {
+			"miss_wait", "rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove"} {
 			p50, p95, p99, ok := tl.HistogramQuantiles(name)
 			if !ok {
 				continue

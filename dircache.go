@@ -121,6 +121,13 @@ type Config struct {
 	// touch (the pre-admission behaviour). Scan-shaped walks (readdir-
 	// then-stat streaks) always admit eagerly.
 	AdmitAfter int
+	// BulkAfter sets the miss-streak threshold for readdir-driven bulk
+	// population: once that many consecutive cache misses land in one
+	// directory on a CheapReadDir backend, the next miss issues a single
+	// ReadDir and installs every child (marking the directory complete)
+	// instead of one per-name Lookup each. 0 = the default of 3; negative
+	// disables. Requires Features.DirCompleteness.
+	BulkAfter int
 	// Root supplies the root file system backend; nil means a fresh
 	// in-memory backend.
 	Root *Backend
@@ -162,6 +169,7 @@ func New(cfg Config) *System {
 		CacheCapacity:       cfg.CacheCapacity,
 		DirCompleteness:     cfg.Features.DirCompleteness,
 		AggressiveNegatives: cfg.Features.AggressiveNegatives,
+		BulkAfter:           cfg.BulkAfter,
 		PhaseTrace:          cfg.PhaseTrace,
 	}, root.fs)
 	s := &System{k: k, root: root}

@@ -60,6 +60,7 @@ func (in Inspection) counters() map[string]int64 {
 		"deep_negative":  int64(in.Cache.DeepNegative),
 		"alias":          int64(in.Cache.Alias),
 		"unhydrated":     int64(in.Cache.Unhydrated),
+		"in_lookup":      int64(in.Cache.InLookup),
 		"dirs":           int64(in.Cache.Dirs),
 		"complete_dirs":  int64(in.Cache.CompleteDirs),
 		"pinned":         int64(in.Cache.Pinned),

@@ -277,6 +277,9 @@ func (a *Auditor) checkDirComplete(r *Report) {
 		}
 		for name := range names {
 			c := d.Child(name)
+			if c != nil && c.Flags()&vfs.DInLookup != 0 {
+				continue // unresolved placeholder: not yet decided either way
+			}
 			if c == nil || c.IsDead() || c.IsNegative() {
 				a.add(r, Finding{Check: "dir_complete", Ref: d.ID(), Path: d.PathTo(),
 					Detail: fmt.Sprintf("FS entry %q missing from complete directory's cache", name)})
@@ -284,7 +287,10 @@ func (a *Auditor) checkDirComplete(r *Report) {
 		}
 		d.EachChild(func(c *vfs.Dentry) {
 			cfl := c.Flags()
-			if cfl&(vfs.DNegative|vfs.DAlias|vfs.DDead) != 0 {
+			// In-lookup placeholders are unresolved: their presence or
+			// absence in the FS listing is not yet decided, so they are
+			// neither missing nor extra.
+			if cfl&(vfs.DNegative|vfs.DAlias|vfs.DDead|vfs.DInLookup) != 0 {
 				return
 			}
 			if _, ok := names[c.Name()]; !ok {

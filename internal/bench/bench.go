@@ -180,6 +180,7 @@ func Experiments() []Experiment {
 		{"ablate-pcc", "PCC size sensitivity (updatedb)", AblatePCC},
 		{"lat", "warm stat latency distribution (mean + p50/p95/p99)", Lat},
 		{"coherence", "coherence event rates, journal health, invariant audit", Coherence},
+		{"coldstorm", "cold-miss storms over remotefs: bulk population and miss coalescing", ColdStorm},
 	}
 }
 

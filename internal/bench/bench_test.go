@@ -422,8 +422,8 @@ func TestCoherenceShape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -474,4 +474,26 @@ func TestAblatePCCShape(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+func TestColdStormShape(t *testing.T) {
+	r := runExp(t, ColdStorm)
+	// The acceptance ratio: bulk population must answer the cold scan
+	// with at least 5x fewer round trips. Deterministic (exact RPC
+	// counts over a virtual clock), so asserted strictly.
+	if ratio := r.Get("scan/bulk_ratio"); ratio < 5 {
+		t.Errorf("cold-scan RPC ratio %.2f, want >= 5", ratio)
+	}
+	if n := r.Get("scan/bulk_populations/bulkon"); n != 1 {
+		t.Errorf("bulk populations with bulk on = %.0f, want 1", n)
+	}
+	if n := r.Get("scan/bulk_populations/bulkoff"); n != 0 {
+		t.Errorf("bulk populations with bulk off = %.0f, want 0", n)
+	}
+	// The storm's coalescing + bulk population must beat the worst case
+	// (one LOOKUP per walker per name) by a wide margin; the exact count
+	// is scheduling-dependent, so only the envelope is asserted.
+	if n := r.Get("storm/lookup_rpcs"); n <= 0 || n > coldStormG*coldWidth/4 {
+		t.Errorf("storm issued %.0f LOOKUPs, want in (0, %d]", n, coldStormG*coldWidth/4)
+	}
 }

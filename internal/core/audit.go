@@ -39,6 +39,10 @@ func (ar *auditRun) add(f audit.Finding) {
 
 // AuditFindings implements audit.Source. The checks, in order:
 //
+//   - dlht_in_lookup: no table entry is an in-lookup placeholder —
+//     placeholders exist only under their parent's child map until the
+//     backend answers, and publishing one would let the fastpath serve a
+//     dentry whose inode/negativity is not yet decided.
 //   - dlht_placement: every live table entry round-trips through its
 //     dentry's fastpath state — the dentry believes it is in this table,
 //     at this bucket, under this signature.
@@ -102,6 +106,12 @@ func (c *Core) AuditFindings(limit int) ([]audit.Finding, map[string]int) {
 // every live entry of one table.
 func (c *Core) auditDLHT(ar *auditRun, dl *DLHT, aliasFree bool) {
 	dl.forEachEntry(func(idx uint16, sg sig.Signature, d *vfs.Dentry) {
+		ar.checked["dlht_in_lookup"]++
+		if d.Flags()&vfs.DInLookup != 0 {
+			ar.add(audit.Finding{Check: "dlht_in_lookup", Ref: d.ID(), Path: d.PathTo(),
+				Detail: "in-lookup placeholder published to a DLHT (placeholders must stay invisible until resolved)"})
+			return
+		}
 		ar.checked["dlht_placement"]++
 		fd := fast(d)
 		if fd == nil {

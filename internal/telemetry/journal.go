@@ -83,6 +83,16 @@ const (
 	// instead of the recursive per-descendant walk. Ref = subtree root
 	// dentry ID, Aux = the new shootdown generation, Note = reason.
 	JBatchShoot
+	// JCoalesce: a concurrent slow-path miss joined an in-flight lookup
+	// on the same (parent, comp) instead of issuing its own backend
+	// Lookup. Ref = the in-lookup placeholder dentry ID, Note = "wait"
+	// when the joiner actually blocked on the resolution.
+	JCoalesce
+	// JBulkPopulate: a miss streak under one directory crossed
+	// Config.BulkAfter on a CheapReadDir backend, so one ReadDir
+	// installed every child and set DIR_COMPLETE. Ref = directory
+	// dentry ID, Aux = children installed.
+	JBulkPopulate
 
 	NumJournalKinds
 )
@@ -90,7 +100,7 @@ const (
 var journalKindNames = [NumJournalKinds]string{
 	"seq_bump", "epoch_bump", "dlht_insert", "dlht_remove", "dlht_sweep",
 	"pcc_flush", "pcc_resize", "dir_complete", "dir_incomplete", "evict",
-	"admit_defer", "admit", "batch_shoot",
+	"admit_defer", "admit", "batch_shoot", "coalesce", "bulk_populate",
 }
 
 // String returns the kind's exporter name.

@@ -58,6 +58,10 @@ const (
 	// HistDLHTRemove is the latency of one DLHT entry removal (bucket
 	// chain rebuild).
 	HistDLHTRemove
+	// HistMissWait is how long a coalesced slow-path miss blocked on a
+	// concurrent walk's in-flight backend Lookup for the same component
+	// (the singleflight wait replacing a duplicate round trip).
+	HistMissWait
 
 	NumHistograms
 )
@@ -65,6 +69,7 @@ const (
 var histNames = [NumHistograms]string{
 	"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
 	"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove",
+	"miss_wait",
 }
 
 var histHelp = [NumHistograms]string{
@@ -79,6 +84,7 @@ var histHelp = [NumHistograms]string{
 	"subtree seq-bump latency of chmod/chown/label mutations",
 	"invalidation latency of unlink/rmdir mutations",
 	"latency of one DLHT entry removal",
+	"wait of a coalesced miss on a concurrent in-flight lookup",
 }
 
 // Name returns the histogram's exporter name.

@@ -47,6 +47,15 @@ const (
 	DNotDir
 	// DDead: evicted/unlinked; lock-free readers must discard it.
 	DDead
+	// DInLookup: a placeholder installed in the parent's child map while
+	// the first missing walk's backend Lookup is in flight. Concurrent
+	// misses on the same (parent, name) block on its resolution instead
+	// of issuing duplicate FS calls (the d_in_lookup singleflight).
+	// In-lookup dentries are invisible everywhere else: never in the
+	// hash table, never in the LRU, skipped by readdir snapshots and
+	// audits. The flag is cleared (under the parent's lock) when the
+	// winner resolves the placeholder positive or negative.
+	DInLookup
 )
 
 // parentName is the atomically-swapped (parent, name) pair, so the
@@ -100,6 +109,25 @@ type Dentry struct {
 	// lastUsed is the LRU generation stamp: stored on every cache hit
 	// (lock-free), compared by the shrinker to pick cold victims.
 	lastUsed atomic.Uint64
+
+	// inLookup is the singleflight rendezvous while DInLookup is set:
+	// waiters block on done, then read the outcome the winner stored.
+	// Written under the parent's mu; read by waiters after done closes.
+	inLookup *inLookupState
+
+	// missStreak counts consecutive slow-path backend misses under this
+	// directory; crossing Config.BulkAfter on a CheapReadDir file system
+	// triggers readdir-driven bulk population. Reset on bulk population
+	// and on readdir-established completeness.
+	missStreak atomic.Int32
+}
+
+// inLookupState carries one in-flight miss resolution. The winner closes
+// done exactly once after storing err; waiters must not touch err before
+// done is closed.
+type inLookupState struct {
+	done chan struct{}
+	err  error // nil = positive; fsapi.ENOENT = negative; else backend error
 }
 
 // ID returns the dentry's unique, never-reused identity (the analogue of

@@ -237,7 +237,7 @@ func snapshotChildren(d *Dentry) []fsapi.DirEntry {
 		list := make([]fsapi.DirEntry, 0, len(d.children))
 		for name, c := range d.children {
 			fl := c.Flags()
-			if fl&(DNegative|DAlias|DDead) != 0 {
+			if fl&(DNegative|DAlias|DDead|DInLookup) != 0 {
 				continue
 			}
 			var e fsapi.DirEntry
@@ -262,27 +262,13 @@ func snapshotChildren(d *Dentry) []fsapi.DirEntry {
 
 // addReaddirChild installs an inode-less ("unhydrated") dentry for a
 // readdir result, so subsequent lookups avoid a directory search (§5.1).
+// The slot is won under the parent's lock before anything is allocated
+// (see installUnhydrated) — the old check-then-install race allocated a
+// dentry, registered it with the LRU, and killed it on a lost race.
 func (k *Kernel) addReaddirChild(parent *Dentry, e fsapi.DirEntry) {
-	parent.mu.Lock()
-	if cur, ok := parent.children[e.Name]; ok && !cur.IsDead() {
-		parent.mu.Unlock()
-		_ = cur
-		return
-	}
-	parent.mu.Unlock()
-
 	k.cacheMutBegin()
 	defer k.cacheMutEnd()
-	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
-	d.pn.Store(&parentName{parent: parent, name: e.Name})
-	d.setFlags(DUnhydrated)
-	d.hintID = e.ID
-	d.hintType = e.Type
-	if k.hooks != nil {
-		d.fast = k.hooks.NewDentry(d)
-	}
-	k.lru.add(d)
-	k.installDedup(parent, e.Name, d)
+	k.installUnhydrated(parent, e)
 }
 
 // ReadDirAll reads the full listing from the current cursor.

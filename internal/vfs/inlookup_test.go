@@ -1,0 +1,303 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+	"dircache/internal/memfs"
+	"dircache/internal/remotefs"
+)
+
+// gateFS wraps a backing file system and blocks the first Lookup of one
+// armed name until released, so a test can hold a miss in flight while
+// concurrent walks pile onto its in-lookup placeholder.
+type gateFS struct {
+	fsapi.FileSystem
+	mu      sync.Mutex
+	armed   string
+	failErr error
+	entered chan struct{} // closed when the gated Lookup arrives
+	release chan struct{} // the gated Lookup blocks until this closes
+}
+
+func newGateFS(backing fsapi.FileSystem) *gateFS {
+	return &gateFS{FileSystem: backing}
+}
+
+// arm gates the next Lookup of name; if failErr is non-nil the gated call
+// returns it instead of consulting the backing FS.
+func (g *gateFS) arm(name string, failErr error) {
+	g.mu.Lock()
+	g.armed = name
+	g.failErr = failErr
+	g.entered = make(chan struct{})
+	g.release = make(chan struct{})
+	g.mu.Unlock()
+}
+
+func (g *gateFS) Lookup(dir fsapi.NodeID, name string) (fsapi.NodeInfo, error) {
+	g.mu.Lock()
+	gated := g.armed == name
+	var entered, release chan struct{}
+	var failErr error
+	if gated {
+		g.armed = "" // one-shot: later lookups of the name pass through
+		entered, release, failErr = g.entered, g.release, g.failErr
+	}
+	g.mu.Unlock()
+	if gated {
+		close(entered)
+		<-release
+		if failErr != nil {
+			return fsapi.NodeInfo{}, failErr
+		}
+	}
+	return g.FileSystem.Lookup(dir, name)
+}
+
+// newStormKernel builds a kernel over gate(memfs) seen through remotefs,
+// so the test can both hold a backend Lookup in flight and count the RPCs
+// the storm actually issued.
+func newStormKernel(t *testing.T, mode SyncMode) (*Kernel, *Task, *gateFS, *remotefs.FS) {
+	t.Helper()
+	gate := newGateFS(memfs.New(memfs.Options{}))
+	remote := remotefs.New(gate, remotefs.Options{RTTNanos: 1})
+	k := NewKernel(Config{SyncMode: mode}, remote)
+	root := k.NewTask(cred.Root())
+	if err := root.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Create("/dir/target", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Creation cached the new dentries; drop them so the storm's walks are
+	// cold, then re-warm just the parent so the only miss left is the
+	// final component.
+	k.DropCaches()
+	if _, err := root.Stat("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	return k, root, gate, remote
+}
+
+// stormResult is one racing walker's outcome.
+type stormResult struct {
+	info fsapi.NodeInfo
+	err  error
+}
+
+// runStorm launches kN concurrent walks of path, waits until the gated
+// backend Lookup is in flight and every other walker has coalesced onto
+// the placeholder, then releases the gate and collects all outcomes.
+func runStorm(t *testing.T, k *Kernel, path string, kN int, gate *gateFS) []stormResult {
+	t.Helper()
+	before := k.Stats()
+	results := make([]stormResult, kN)
+	var wg sync.WaitGroup
+	for i := 0; i < kN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := k.NewTask(cred.Root())
+			info, err := task.Stat(path)
+			results[i] = stormResult{info: info, err: err}
+		}(i)
+	}
+	<-gate.entered
+	// All walkers that did not win the slot must have joined the in-flight
+	// lookup before the gate opens, or the test would not be exercising
+	// coalescing at all.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d := k.Stats().Delta(before)
+		if d.MissCoalesced >= int64(kN-1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d walkers coalesced", d.MissCoalesced, kN-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate.release)
+	wg.Wait()
+	return results
+}
+
+// TestMissCoalescing proves the singleflight: K concurrent walks missing
+// on the same component issue exactly one backend LOOKUP, and every
+// walker adopts the winner's result.
+func TestMissCoalescing(t *testing.T) {
+	const K = 8
+	for _, mode := range []SyncMode{SyncRCU, SyncBucketLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			k, _, gate, remote := newStormKernel(t, mode)
+			pre := remote.OpCount("lookup")
+			gate.arm("target", nil)
+			results := runStorm(t, k, "/dir/target", K, gate)
+			if got := remote.OpCount("lookup") - pre; got != 1 {
+				t.Fatalf("storm of %d walks issued %d backend lookups, want exactly 1", K, got)
+			}
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("walker %d: %v", i, r.err)
+				}
+				if r.info.ID != results[0].info.ID {
+					t.Fatalf("walker %d resolved node %d, walker 0 resolved %d", i, r.info.ID, results[0].info.ID)
+				}
+			}
+			d := k.Stats()
+			if d.MissCoalesced < K-1 {
+				t.Fatalf("MissCoalesced = %d, want >= %d", d.MissCoalesced, K-1)
+			}
+			if k.InLookupCount() != 0 {
+				t.Fatalf("in-lookup gauge = %d after storm, want 0", k.InLookupCount())
+			}
+		})
+	}
+}
+
+// TestMissCoalescingENOENT is the negative variant: the storm races on a
+// name that does not exist; one LOOKUP answers every walker with ENOENT.
+func TestMissCoalescingENOENT(t *testing.T) {
+	const K = 8
+	k, _, gate, remote := newStormKernel(t, SyncRCU)
+	pre := remote.OpCount("lookup")
+	gate.arm("ghost", nil)
+	results := runStorm(t, k, "/dir/ghost", K, gate)
+	if got := remote.OpCount("lookup") - pre; got != 1 {
+		t.Fatalf("ENOENT storm of %d walks issued %d backend lookups, want exactly 1", K, got)
+	}
+	for i, r := range results {
+		if !errors.Is(r.err, fsapi.ENOENT) {
+			t.Fatalf("walker %d: got %v, want ENOENT", i, r.err)
+		}
+	}
+	if k.InLookupCount() != 0 {
+		t.Fatalf("in-lookup gauge = %d after storm, want 0", k.InLookupCount())
+	}
+}
+
+// TestMissCoalescingBackendError proves error propagation and retry: the
+// winner's backend error reaches every coalesced walker, the placeholder
+// is removed rather than cached, and the next walk consults the backend
+// afresh.
+func TestMissCoalescingBackendError(t *testing.T) {
+	const K = 8
+	k, root, gate, remote := newStormKernel(t, SyncRCU)
+	pre := remote.OpCount("lookup")
+	gate.arm("target", fsapi.EIO)
+	results := runStorm(t, k, "/dir/target", K, gate)
+	if got := remote.OpCount("lookup") - pre; got != 1 {
+		t.Fatalf("failing storm of %d walks issued %d backend lookups, want exactly 1", K, got)
+	}
+	for i, r := range results {
+		if !errors.Is(r.err, fsapi.EIO) {
+			t.Fatalf("walker %d: got %v, want EIO", i, r.err)
+		}
+	}
+	if k.InLookupCount() != 0 {
+		t.Fatalf("in-lookup gauge = %d after storm, want 0", k.InLookupCount())
+	}
+	// The error was not cached: a later walk retries the backend and
+	// resolves the (existing) name.
+	if _, err := root.Stat("/dir/target"); err != nil {
+		t.Fatalf("post-error stat: %v", err)
+	}
+	if got := remote.OpCount("lookup") - pre; got != 2 {
+		t.Fatalf("post-error stat issued %d total lookups, want 2", remote.OpCount("lookup")-pre)
+	}
+}
+
+// TestBulkPopulate proves readdir-driven bulk population: a cold per-name
+// miss streak under one directory flips to a single ReadDir that installs
+// every child and marks the directory complete, so the rest of the scan
+// never consults the FS per name and absent names answer from
+// completeness.
+func TestBulkPopulate(t *testing.T) {
+	const children = 16
+	k := NewKernel(Config{DirCompleteness: true}, memfs.New(memfs.Options{}))
+	root := k.NewTask(cred.Root())
+	if err := root.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, children)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		if err := root.Create("/dir/"+names[i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.DropCaches()
+	if _, err := root.Stat("/dir"); err != nil {
+		t.Fatal(err)
+	}
+
+	before := k.Stats()
+	for _, n := range names {
+		if _, err := root.Stat("/dir/" + n); err != nil {
+			t.Fatalf("stat %s: %v", n, err)
+		}
+	}
+	d := k.Stats().Delta(before)
+	if d.BulkPopulations != 1 {
+		t.Fatalf("BulkPopulations = %d, want 1", d.BulkPopulations)
+	}
+	// BulkAfter defaults to 3: two per-name lookups, then the third miss
+	// triggers the ReadDir; everything after is served from the cache.
+	if d.FSLookups != 2 {
+		t.Fatalf("FSLookups = %d, want 2 (misses before the bulk threshold)", d.FSLookups)
+	}
+	ref, err := root.Walk("/dir", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.D.Flags()&DComplete == 0 {
+		t.Fatal("directory not marked DIR_COMPLETE after bulk population")
+	}
+	// An absent name now answers from completeness, not the FS.
+	before = k.Stats()
+	if _, err := root.Stat("/dir/nope"); !errors.Is(err, fsapi.ENOENT) {
+		t.Fatalf("stat absent: %v, want ENOENT", err)
+	}
+	d = k.Stats().Delta(before)
+	if d.FSLookups != 0 || d.CompleteShort != 1 {
+		t.Fatalf("absent name: FSLookups=%d CompleteShort=%d, want 0/1", d.FSLookups, d.CompleteShort)
+	}
+}
+
+// TestBulkPopulateDisabled proves the negative BulkAfter switch: the same
+// cold scan issues one FS lookup per name and never bulk-populates.
+func TestBulkPopulateDisabled(t *testing.T) {
+	const children = 8
+	k := NewKernel(Config{DirCompleteness: true, BulkAfter: -1}, memfs.New(memfs.Options{}))
+	root := k.NewTask(cred.Root())
+	if err := root.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < children; i++ {
+		if err := root.Create("/dir/"+string(rune('a'+i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.DropCaches()
+	if _, err := root.Stat("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	before := k.Stats()
+	for i := 0; i < children; i++ {
+		if _, err := root.Stat("/dir/" + string(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := k.Stats().Delta(before)
+	if d.BulkPopulations != 0 {
+		t.Fatalf("BulkPopulations = %d with BulkAfter < 0, want 0", d.BulkPopulations)
+	}
+	if d.FSLookups != children {
+		t.Fatalf("FSLookups = %d, want %d (one per name)", d.FSLookups, children)
+	}
+}

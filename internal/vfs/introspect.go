@@ -81,6 +81,10 @@ type CacheIntrospection struct {
 	Dirs         int `json:"dirs"`
 	CompleteDirs int `json:"complete_dirs"`
 	Pinned       int `json:"pinned"`
+	// InLookup counts live in-lookup placeholders. They are gauged from a
+	// dedicated kernel counter: placeholders are deliberately invisible to
+	// the LRU shards this snapshot iterates.
+	InLookup int `json:"in_lookup"`
 
 	HashEmpty int `json:"hash_empty"`
 	Hash1     int `json:"hash_1"`
@@ -125,6 +129,7 @@ func (k *Kernel) Introspect() CacheIntrospection {
 			s.Pinned++
 		}
 	})
+	s.InLookup = int(k.inLookupCount.Load())
 	s.HashEmpty, s.Hash1, s.Hash2, s.HashMore = k.table.chainStats()
 	s.MutationSeq = k.cacheMutSeq.Load()
 	s.EvictionEpoch = k.lru.Epoch()

@@ -43,6 +43,15 @@ type Config struct {
 	// MAXSYMLINKS).
 	MaxSymlinks int
 
+	// BulkAfter is the miss-streak threshold for readdir-driven bulk
+	// population: once this many consecutive slow-path backend misses
+	// land under one directory on a CheapReadDir file system, the next
+	// miss issues a single ReadDir, installs every child, and marks the
+	// directory DIR_COMPLETE instead of continuing one Lookup per name.
+	// 0 = 3; negative disables bulk population. Requires
+	// DirCompleteness (a bulk-set DComplete must be honoured).
+	BulkAfter int
+
 	// PhaseTrace enables per-walk phase timing (Figure 3). Costs a few
 	// timestamps per lookup; leave off except when measuring.
 	PhaseTrace bool
@@ -151,6 +160,13 @@ type Stats struct {
 	SymlinkJumps  int64
 	DotDotSteps   int64
 	RetryWalks    int64 // optimistic walks that had to retry/fallback
+
+	// Cold-miss storm elimination: how often concurrent misses shared one
+	// backend call, how many of those actually blocked, and how many
+	// directories were populated with a single ReadDir.
+	MissCoalesced   int64 // misses that joined an in-flight lookup
+	InLookupWaits   int64 // joins that actually blocked on resolution
+	BulkPopulations int64 // directories bulk-populated via one ReadDir
 }
 
 // Delta returns the field-by-field difference s - prev: the events that
@@ -175,6 +191,10 @@ func (s Stats) Delta(prev Stats) Stats {
 		SymlinkJumps:  s.SymlinkJumps - prev.SymlinkJumps,
 		DotDotSteps:   s.DotDotSteps - prev.DotDotSteps,
 		RetryWalks:    s.RetryWalks - prev.RetryWalks,
+
+		MissCoalesced:   s.MissCoalesced - prev.MissCoalesced,
+		InLookupWaits:   s.InLookupWaits - prev.InLookupWaits,
+		BulkPopulations: s.BulkPopulations - prev.BulkPopulations,
 	}
 }
 
@@ -183,7 +203,7 @@ type statsCell struct {
 	lookups, fastHits, fastNegHits, slowWalks, components, cacheHits,
 	fsLookups, hydrations, negativeHits, completeShort,
 	readdirCached, readdirFS, evictions, symlinkJumps, dotDotSteps,
-	retryWalks atomic.Int64
+	retryWalks, missCoalesced, inLookupWaits, bulkPopulations atomic.Int64
 }
 
 // stripedStats spreads the counters over cache-line-separated cells so
@@ -236,6 +256,9 @@ func (s *stripedStats) snapshot() Stats {
 		out.SymlinkJumps += c.symlinkJumps.Load()
 		out.DotDotSteps += c.dotDotSteps.Load()
 		out.RetryWalks += c.retryWalks.Load()
+		out.MissCoalesced += c.missCoalesced.Load()
+		out.InLookupWaits += c.inLookupWaits.Load()
+		out.BulkPopulations += c.bulkPopulations.Load()
 	}
 	return out
 }
@@ -295,7 +318,25 @@ type Kernel struct {
 	// initial namespace root, which lets the auditor re-verify PCC prefix
 	// checks against the global root (see internal/audit).
 	chrootCount atomic.Uint64
+
+	// inLookupCount gauges how many in-lookup placeholders currently
+	// exist. Introspection needs a dedicated counter because placeholders
+	// are deliberately invisible to the LRU-based dentry iteration.
+	inLookupCount atomic.Int64
+
+	// testSkipInLookupClear is an injected bug for the invariant auditor's
+	// tests: when set, missLookup resolves placeholders without clearing
+	// DInLookup, so subsequently-published dentries leak the flag into the
+	// DLHT — which the dlht_in_lookup audit must catch.
+	testSkipInLookupClear bool
 }
+
+// TestSkipInLookupClear injects the leave-DInLookup-set bug (auditor
+// tests only; see the field comment).
+func (k *Kernel) TestSkipInLookupClear(on bool) { k.testSkipInLookupClear = on }
+
+// InLookupCount reports how many in-lookup placeholders currently exist.
+func (k *Kernel) InLookupCount() int64 { return k.inLookupCount.Load() }
 
 // SetTelemetry attaches (or, with nil, detaches) the telemetry subsystem.
 // Safe to call at any time, including while walks are in flight: an
@@ -313,6 +354,9 @@ func (k *Kernel) AliasingEpoch() uint64 { return k.aliasEpoch.Load() }
 func NewKernel(cfg Config, rootFS fsapi.FileSystem) *Kernel {
 	if cfg.MaxSymlinks == 0 {
 		cfg.MaxSymlinks = 40
+	}
+	if cfg.BulkAfter == 0 {
+		cfg.BulkAfter = 3
 	}
 	k := &Kernel{cfg: cfg, supers: make(map[fsapi.FileSystem]*Super)}
 	k.table = newHashTable(cfg.SyncMode, cfg.HashBuckets)

@@ -36,11 +36,28 @@ func (k *Kernel) lookupChild(parent PathRef, name string) (*Dentry, error) {
 // childDentryForCreate returns the cached dentry for (parent, name) even if
 // negative, or nil when nothing is cached. Used by create-type operations
 // to decide between positivizing a negative dentry and allocating afresh.
+// An in-lookup placeholder owns the slot until its walk's backend call
+// resolves; creating against it would mistake a transient placeholder for
+// an existing entry, so we wait for the resolution and re-read.
 func (k *Kernel) childDentryForCreate(parent *Dentry, name string) *Dentry {
 	if d := k.table.lookup(parent.id, name); d != nil && !d.IsDead() {
 		return d
 	}
-	return parent.child(name)
+	d := parent.child(name)
+	var waited *inLookupState
+	for d != nil && d.Flags()&DInLookup != 0 {
+		il := d.inLookup
+		if il == waited {
+			break // resolved but flag leaked (injected test bug)
+		}
+		waited = il
+		<-il.done
+		d = parent.child(name)
+	}
+	if d != nil && d.IsDead() {
+		return nil
+	}
+	return d
 }
 
 // positivize flips a negative dentry to positive after a successful

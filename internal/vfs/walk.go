@@ -580,25 +580,118 @@ func (k *Kernel) hydrate(d *Dentry) error {
 	return nil
 }
 
-// missLookup consults the low-level FS for (cur, comp), installing a
-// positive or negative dentry. Deduplicates concurrent misses via the
-// parent's child map.
+// missLookup consults the low-level FS for (cur, comp) through an
+// in-lookup placeholder dentry (the d_alloc_parallel singleflight): the
+// first missing walk installs the placeholder under the parent's child
+// map *before* calling the backend, and concurrent walks missing on the
+// same name block on its resolution instead of issuing duplicate Lookup
+// round trips. The placeholder resolves in place to a positive or
+// negative dentry, or is removed on backend error so a later walk can
+// retry.
 func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 	parent := cur.D
-	parent.mu.Lock()
-	if d, ok := parent.children[comp]; ok && !d.IsDead() {
-		parent.mu.Unlock()
-		if d.IsNegative() {
-			return nil, fsapi.ENOENT
-		}
-		return d, nil
-	}
-	parent.mu.Unlock()
-
 	pIno := parent.Inode()
 	if pIno == nil {
 		return nil, errSeqRetry
 	}
+
+	parent.mu.Lock()
+	if d, ok := parent.children[comp]; ok && !d.IsDead() {
+		if d.Flags()&DInLookup != 0 {
+			il := d.inLookup
+			parent.mu.Unlock()
+			return k.joinInLookup(d, il)
+		}
+		parent.mu.Unlock()
+		if d.IsNegative() {
+			return nil, fsapi.ENOENT
+		}
+		if d.Flags()&DUnhydrated != 0 {
+			if err := k.hydrate(d); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	// Won the slot. The placeholder is allocated only now — the losing
+	// side of the old install race allocated a full dentry, registered it
+	// with the LRU, then marked it dead and removed it, pure churn. While
+	// DInLookup is set the dentry is visible only through the child map:
+	// not in the hash table, not in the LRU, invisible to readdir
+	// snapshots and audits.
+	k.cacheMutBegin()
+	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
+	d.pn.Store(&parentName{parent: parent, name: comp})
+	d.setFlags(DInLookup)
+	il := &inLookupState{done: make(chan struct{})}
+	d.inLookup = il
+	if k.hooks != nil {
+		d.fast = k.hooks.NewDentry(d)
+	}
+	if parent.children == nil {
+		parent.children = make(map[string]*Dentry, 4)
+	}
+	parent.children[comp] = d
+	parent.listValid = false
+	parent.mu.Unlock()
+	parent.nkids.Add(1)
+	k.cacheMutEnd()
+	k.inLookupCount.Add(1)
+
+	return k.resolveMiss(parent, pIno, comp, d, il)
+}
+
+// joinInLookup coalesces a concurrent miss onto the in-flight lookup that
+// owns the placeholder: wait for the winner's resolution and adopt its
+// outcome — positive, ENOENT, or the backend's error — so K racing walks
+// cost exactly one backend round trip.
+func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState) (*Dentry, error) {
+	sc := k.stats.cell()
+	sc.missCoalesced.Add(1)
+	tel := k.journal()
+	select {
+	case <-il.done:
+		// Resolved between our child-map read and here: adopt for free.
+		if tel != nil {
+			tel.Emit(telemetry.JCoalesce, d.ID(), 0, "")
+		}
+	default:
+		sc.inLookupWaits.Add(1)
+		if tel != nil {
+			tel.Emit(telemetry.JCoalesce, d.ID(), 0, "wait")
+		}
+		waitStart := time.Now()
+		<-il.done
+		if tel != nil {
+			tel.Record(telemetry.HistMissWait, time.Since(waitStart))
+		}
+	}
+	if il.err != nil {
+		return nil, il.err
+	}
+	if d.IsDead() {
+		return nil, errSeqRetry
+	}
+	if d.Flags()&DUnhydrated != 0 {
+		if err := k.hydrate(d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// resolveMiss is the winner's half of the in-lookup protocol: one backend
+// consultation — a Lookup, or, once the miss streak under this directory
+// crosses Config.BulkAfter on a CheapReadDir file system, one ReadDir
+// that populates the whole directory — then an in-place resolution of the
+// placeholder that wakes every coalesced waiter.
+func (k *Kernel) resolveMiss(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState) (*Dentry, error) {
+	if streak := parent.missStreak.Add(1); k.bulkEligible(parent, streak) {
+		if res, err, handled := k.bulkPopulate(parent, pIno, comp, d, il); handled {
+			return res, err
+		}
+	}
+
 	k.stats.cell().fsLookups.Add(1)
 	tel := k.tel.Load()
 	var fsStart time.Time
@@ -611,22 +704,216 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 	}
 	switch {
 	case err == nil:
-		k.cacheMutBegin()
-		d := k.allocDentry(parent.sb, parent, comp, parent.sb.inodeFor(info))
-		k.installDedup(parent, comp, d)
-		k.cacheMutEnd()
-		return d, nil
+		return k.resolvePositive(parent, comp, d, il, parent.sb.inodeFor(info), fsapi.DirEntry{})
 	case errors.Is(err, fsapi.ENOENT):
-		if k.negativesAllowed(parent.sb) {
-			k.cacheMutBegin()
-			d := k.allocDentry(parent.sb, parent, comp, nil)
-			k.installDedup(parent, comp, d)
-			k.cacheMutEnd()
-		}
+		k.resolveNegative(parent, comp, d, il)
 		return nil, fsapi.ENOENT
 	default:
+		k.resolveRemove(parent, comp, d, il, err)
 		return nil, err
 	}
+}
+
+// resolvePositive publishes the placeholder as a live positive dentry:
+// inode (or, for bulk population, the listing entry's hints) attached,
+// DInLookup cleared, hash table and LRU entered. The injected
+// testSkipInLookupClear bug leaves the flag set so the auditor's
+// dlht_in_lookup cross-check has a real leak to catch.
+func (k *Kernel) resolvePositive(parent *Dentry, comp string, d *Dentry, il *inLookupState, ino *Inode, hint fsapi.DirEntry) (*Dentry, error) {
+	k.cacheMutBegin()
+	parent.mu.Lock()
+	if d.IsDead() {
+		// A concurrent teardown (rename residual, subtree kill) reached
+		// the placeholder: the outcome is stale, everyone retries.
+		parent.mu.Unlock()
+		k.cacheMutEnd()
+		k.finishInLookup(il, errSeqRetry)
+		return nil, errSeqRetry
+	}
+	if ino != nil {
+		d.inode.Store(ino)
+	} else {
+		d.hintID = hint.ID
+		d.hintType = hint.Type
+		d.setFlags(DUnhydrated)
+	}
+	if !k.testSkipInLookupClear {
+		d.clearFlags(DInLookup)
+	}
+	parent.mu.Unlock()
+	k.table.insert(parent.id, comp, d)
+	k.lru.add(d)
+	k.cacheMutEnd()
+	k.finishInLookup(il, nil)
+	k.maybeShrink()
+	if d.Flags()&DUnhydrated != 0 {
+		if err := k.hydrate(d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// resolveNegative resolves the placeholder to a negative dentry (the
+// name is authoritatively absent), or removes it when this file system
+// may not cache negatives.
+func (k *Kernel) resolveNegative(parent *Dentry, comp string, d *Dentry, il *inLookupState) {
+	if !k.negativesAllowed(parent.sb) {
+		k.resolveRemove(parent, comp, d, il, fsapi.ENOENT)
+		return
+	}
+	k.cacheMutBegin()
+	parent.mu.Lock()
+	if d.IsDead() {
+		parent.mu.Unlock()
+		k.cacheMutEnd()
+		k.finishInLookup(il, errSeqRetry)
+		return
+	}
+	d.setFlags(DNegative)
+	if !k.testSkipInLookupClear {
+		d.clearFlags(DInLookup)
+	}
+	parent.mu.Unlock()
+	k.table.insert(parent.id, comp, d)
+	k.lru.add(d)
+	k.cacheMutEnd()
+	k.finishInLookup(il, fsapi.ENOENT)
+	k.maybeShrink()
+}
+
+// resolveRemove abandons the placeholder (backend error, or a negative
+// outcome that may not be cached): the slot is vacated so a later walk
+// retries against the backend.
+func (k *Kernel) resolveRemove(parent *Dentry, comp string, d *Dentry, il *inLookupState, err error) {
+	k.cacheMutBegin()
+	parent.mu.Lock()
+	d.setFlags(DDead)
+	if cur, ok := parent.children[comp]; ok && cur == d {
+		delete(parent.children, comp)
+		parent.nkids.Add(-1)
+		parent.listValid = false
+	}
+	parent.mu.Unlock()
+	k.cacheMutEnd()
+	k.finishInLookup(il, err)
+}
+
+// finishInLookup publishes the outcome and wakes the coalesced waiters.
+// Must be called exactly once per placeholder, after its cache state is
+// final.
+func (k *Kernel) finishInLookup(il *inLookupState, err error) {
+	il.err = err
+	k.inLookupCount.Add(-1)
+	close(il.done)
+}
+
+// bulkEligible reports whether the miss streak under parent justifies
+// readdir-driven bulk population: directory completeness must be on (the
+// populated child set is about to become authoritative), BulkAfter
+// positive and crossed, the backend must have declared ReadDir cheap,
+// and the directory must not already be complete.
+func (k *Kernel) bulkEligible(parent *Dentry, streak int32) bool {
+	return k.cfg.DirCompleteness &&
+		k.cfg.BulkAfter > 0 &&
+		streak >= int32(k.cfg.BulkAfter) &&
+		parent.sb.caps.CheapReadDir &&
+		parent.Flags()&DComplete == 0
+}
+
+// bulkPopulate converts a per-name miss storm into one ReadDir: every
+// child of parent is installed as an unhydrated dentry, the placeholder
+// for comp resolves from its own listing entry (or negative when absent),
+// and the directory is marked DIR_COMPLETE so each further miss under it
+// is answered from the cache — O(children) round trips become one.
+// handled=false (the ReadDir itself failed) falls back to the per-name
+// Lookup.
+func (k *Kernel) bulkPopulate(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState) (res *Dentry, err error, handled bool) {
+	startEpoch := k.lru.Epoch()
+	tel := k.tel.Load()
+	var fsStart time.Time
+	if tel.On() {
+		fsStart = time.Now()
+	}
+	ents, _, eof, rerr := parent.sb.fs.ReadDir(pIno.ID(), 0, -1)
+	if !fsStart.IsZero() {
+		tel.Record(telemetry.HistFSLookup, time.Since(fsStart))
+	}
+	if rerr != nil {
+		return nil, nil, false
+	}
+	parent.missStreak.Store(0)
+	k.stats.cell().bulkPopulations.Add(1)
+
+	var own *fsapi.DirEntry
+	installed := 0
+	k.cacheMutBegin()
+	for i := range ents {
+		if ents[i].Name == comp {
+			own = &ents[i]
+			continue
+		}
+		if k.installUnhydrated(parent, ents[i]) {
+			installed++
+		}
+	}
+	k.cacheMutEnd()
+
+	// Resolve our own placeholder from its listing entry.
+	if own != nil {
+		res, err = k.resolvePositive(parent, comp, d, il, nil, *own)
+		installed++
+	} else {
+		k.resolveNegative(parent, comp, d, il)
+		res, err = nil, fsapi.ENOENT
+	}
+
+	// Completeness: only when the listing was exhaustive and no eviction
+	// raced the population (the same guard File.ReadDir applies).
+	if eof && k.lru.Epoch() == startEpoch {
+		k.cacheMutBegin()
+		parent.setFlags(DComplete)
+		k.cacheMutEnd()
+		if jt := k.journal(); jt != nil {
+			jt.Emit(telemetry.JDirComplete, parent.ID(), 0, "bulk")
+		}
+	}
+	if jt := k.journal(); jt != nil {
+		jt.Emit(telemetry.JBulkPopulate, parent.ID(), int64(installed), "")
+	}
+	return res, err, true
+}
+
+// installUnhydrated installs one listing entry as an unhydrated child of
+// parent, winning the slot under parent.mu before allocating anything (no
+// dead-on-arrival dentries). Live incumbents — including other walks'
+// in-lookup placeholders, which their own winners will resolve — are left
+// alone. Reports whether a dentry was installed. The caller holds a
+// cacheMut bracket.
+func (k *Kernel) installUnhydrated(parent *Dentry, e fsapi.DirEntry) bool {
+	parent.mu.Lock()
+	if cur, ok := parent.children[e.Name]; ok && !cur.IsDead() {
+		parent.mu.Unlock()
+		return false
+	}
+	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
+	d.pn.Store(&parentName{parent: parent, name: e.Name})
+	d.setFlags(DUnhydrated)
+	d.hintID = e.ID
+	d.hintType = e.Type
+	if k.hooks != nil {
+		d.fast = k.hooks.NewDentry(d)
+	}
+	if parent.children == nil {
+		parent.children = make(map[string]*Dentry, 4)
+	}
+	parent.children[e.Name] = d
+	parent.listValid = false
+	parent.mu.Unlock()
+	parent.nkids.Add(1)
+	k.lru.add(d)
+	k.table.insert(parent.id, e.Name, d)
+	return true
 }
 
 // negativesAllowed applies the §5.2 policy: pseudo file systems get

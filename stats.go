@@ -44,6 +44,11 @@ type CacheStats struct {
 	ReaddirCached int64
 	ReaddirFS     int64
 
+	// Cold-miss storm handling: in-lookup dentries and bulk population.
+	MissCoalesced   int64 // misses that joined an in-flight lookup instead of calling the FS
+	InLookupWaits   int64 // coalesced misses that actually blocked on the winner
+	BulkPopulations int64 // miss streaks answered by one ReadDir instead of per-name Lookups
+
 	// Cache management.
 	Evictions int64
 	Dentries  int64
@@ -141,7 +146,12 @@ func (s *System) Stats() CacheStats {
 		RetryWalks:    v.RetryWalks,
 		ReaddirCached: v.ReaddirCached,
 		ReaddirFS:     v.ReaddirFS,
-		Evictions:     v.Evictions,
+
+		MissCoalesced:   v.MissCoalesced,
+		InLookupWaits:   v.InLookupWaits,
+		BulkPopulations: v.BulkPopulations,
+
+		Evictions: v.Evictions,
 		Dentries:      int64(s.k.DentryCount()),
 	}
 	if s.core != nil {

@@ -165,8 +165,8 @@ func (tl *Telemetry) ResetHistograms() { tl.t.ResetHistograms() }
 
 // HistogramQuantiles reports the estimated p50/p95/p99 of the named
 // latency histogram. Names: "walk", "fastpath", "slowpath", "fs_lookup",
-// "pcc_probe", "pcc_resize", "evict", and the mutation-side cost centers
-// "rename_invalidate", "chmod_seq_bump", "unlink_invalidate",
+// "pcc_probe", "pcc_resize", "evict", "miss_wait", and the mutation-side
+// cost centers "rename_invalidate", "chmod_seq_bump", "unlink_invalidate",
 // "dlht_remove". ok is false for an unknown name or an empty histogram.
 func (tl *Telemetry) HistogramQuantiles(name string) (p50, p95, p99 time.Duration, ok bool) {
 	id, ok := telemetry.HistIDByName(name)

@@ -19,8 +19,8 @@ help:
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
-	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold-scan RPCs vs BENCH_cold.json"
-	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold JSON files"
+	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold-scan/deep-walk vs BENCH_cold/deep.json"
+	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep JSON files"
 
 build:
 	$(GO) build ./...
@@ -53,11 +53,12 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkParallelWalk -count 3 .
 
-# Warm-app + cold-scan smoke: re-run the Table 1 suite at small scale and
-# fail if any app's opt/unmod ratio drifts beyond the tolerance from the
-# committed BENCH_apps.json baseline, then re-run the deterministic
-# cold-miss scan and compare its exact RPC counts against the committed
-# BENCH_cold.json (regenerate both via `make dcbench`).
+# Warm-app + cold-scan + deep-walk smoke: re-run the Table 1 suite at
+# small scale and fail if any app's opt/unmod ratio drifts beyond the
+# tolerance from the committed BENCH_apps.json baseline, then re-run the
+# deterministic cold-miss scan and deep-walk trajectories and compare
+# their exact per-op counts against the committed BENCH_cold.json and
+# BENCH_deep.json (regenerate all three via `make dcbench`).
 bench-smoke:
 	$(GO) run ./cmd/dcbench -scale small -smoke BENCH_apps.json
 

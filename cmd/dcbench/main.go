@@ -12,14 +12,15 @@
 // -json additionally writes every report's structured data to the named
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
 // across PRs to track the perf trajectory) plus a compact BENCH_micro.json,
-// a warm-app BENCH_apps.json, and a cold-scan BENCH_cold.json beside it
-// (schemas in EXPERIMENTS.md; the small-scale BENCH_apps.json and
-// BENCH_cold.json are committed as the -smoke baselines).
+// a warm-app BENCH_apps.json, a cold-scan BENCH_cold.json, and a deep-walk
+// BENCH_deep.json beside it (schemas in EXPERIMENTS.md; the small-scale
+// BENCH_apps.json, BENCH_cold.json and BENCH_deep.json are committed as
+// the -smoke baselines).
 // -smoke re-runs the warm-app suite and fails if any application's
 // opt/unmod ratio drifts beyond tolerance from that committed baseline,
-// then re-runs the deterministic cold-scan trajectory against the
-// committed BENCH_cold.json (this is `make bench-smoke`, part of
-// `make ci`). -telemetry attaches one
+// then re-runs the deterministic cold-scan and deep-walk trajectories
+// against the committed BENCH_cold.json and BENCH_deep.json (this is
+// `make bench-smoke`, part of `make ci`). -telemetry attaches one
 // process-wide telemetry subsystem to every system the experiments build;
 // -metrics-addr serves its histograms and walk traces live over HTTP
 // while the run progresses.
@@ -166,8 +167,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		deepPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_deep.json")
+		if err := writeDeep(deepPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath)
+			fmt.Printf("wrote %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath)
 		}
 	}
 	if tel != nil {
@@ -263,6 +269,28 @@ func writeApps(path, scale string, sc bench.Scale) error {
 // any drift as a behavior change.
 func writeCold(path, scale string, sc bench.Scale) error {
 	metrics, err := bench.ColdTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeDeep emits BENCH_deep.json: the deterministic deep-walk hashing
+// trajectory (bench.DeepTrajectory) in the same schema as
+// BENCH_micro.json. The small-scale file is committed as the smoke-test
+// baseline; its values are exact per-operation counters (hashed bytes,
+// resumes, components saved), so drift is a behavior change.
+func writeDeep(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.DeepTrajectory(sc)
 	if err != nil {
 		return err
 	}
@@ -393,5 +421,55 @@ func runColdSmoke(baselinePath string, sc bench.Scale) error {
 		return fmt.Errorf("%d cold-scan metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
 	}
 	fmt.Println("smoke: cold-scan RPC trajectory within tolerance")
+	return runDeepSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_deep.json"), sc)
+}
+
+// runDeepSmoke compares the deterministic deep-walk hashing trajectory
+// against the committed BENCH_deep.json beside the other baselines. Like
+// the cold-scan gate, the metrics are exact event counts, so relative
+// drift beyond the band is a behavior change in the shortcut-resume
+// machinery, not noise.
+func runDeepSmoke(baselinePath string, sc bench.Scale) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("smoke: no deep baseline at %s, skipping deep-walk gate\n", baselinePath)
+			return nil
+		}
+		return err
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	now, err := bench.DeepTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	bad := 0
+	fmt.Printf("%-40s %-10s %-10s %s\n", "deep metric", "base", "now", "drift")
+	for _, name := range names {
+		b := base.Metrics[name]
+		n, ok := now[name]
+		if !ok || b == 0 {
+			continue
+		}
+		drift := (n - b) / b
+		mark := ""
+		if drift > smokeTolerance || drift < -smokeTolerance {
+			bad++
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+		}
+		fmt.Printf("%-40s %-10.2f %-10.2f %+.2f%s\n", name, b, n, drift, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d deep-walk metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+	}
+	fmt.Println("smoke: deep-walk hashing trajectory within tolerance")
 	return nil
 }

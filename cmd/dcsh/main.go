@@ -232,6 +232,8 @@ other:  help  exit
 		fmt.Printf("miss storms   %d coalesced (%d waited), %d bulk populations\n",
 			st.MissCoalesced, st.InLookupWaits, st.BulkPopulations)
 		fmt.Printf("invalidations %d, populations %d\n", st.Invalidations, st.Populations)
+		fmt.Printf("shortcuts     %d resumes, %d components skipped, %d bytes hashed\n",
+			st.ShortcutResumes, st.ShortcutDepthSaved, st.HashedBytes)
 	case "buckets":
 		empty, one, two, more := sys.BucketStats()
 		total := empty + one + two + more

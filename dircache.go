@@ -74,6 +74,11 @@ type Features struct {
 	// LexicalDotDot selects Plan 9 lexical ".." semantics on the
 	// fastpath instead of Linux's extra per-dot-dot check.
 	LexicalDotDot bool
+	// DirShortcuts enables directory shortcut resume: walks resume from
+	// the deepest already-cached ancestor of the target path instead of
+	// the walk start, so lookup cost stops scaling with path depth
+	// (requires DirectLookup).
+	DirShortcuts bool
 }
 
 // AllFeatures returns the full optimized feature set evaluated in the
@@ -85,6 +90,7 @@ func AllFeatures() Features {
 		AggressiveNegatives: true,
 		DeepNegatives:       true,
 		SymlinkAliases:      true,
+		DirShortcuts:        true,
 	}
 }
 
@@ -183,6 +189,7 @@ func New(cfg Config) *System {
 			LexicalDotDot:  cfg.Features.LexicalDotDot,
 			ForcePCCMiss:   cfg.ForcePCCMiss,
 			AdmitAfter:     cfg.AdmitAfter,
+			DirShortcuts:   cfg.Features.DirShortcuts,
 		})
 	}
 	if cfg.Telemetry.Enabled {

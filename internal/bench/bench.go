@@ -40,6 +40,10 @@ type Scale struct {
 	// AppReps is the number of measured repetitions per application in
 	// Table 1/2 (minimum is reported, like LMBench).
 	AppReps int
+	// DeepDepths is the spine-depth ladder for the deepwalk experiment.
+	DeepDepths []int
+	// DeepLeaves is the number of leaf files per deepwalk tree.
+	DeepLeaves int
 }
 
 // Subtree is one Figure 7 configuration.
@@ -65,6 +69,8 @@ func SmallScale() Scale {
 		DovecotOps:   900,
 		WebRequests:  200,
 		AppReps:      15,
+		DeepDepths:   []int{16, 32, 64},
+		DeepLeaves:   6,
 	}
 }
 
@@ -82,6 +88,8 @@ func PaperScale() Scale {
 		DovecotOps:   4000,
 		WebRequests:  2000,
 		AppReps:      5,
+		DeepDepths:   []int{16, 32, 64},
+		DeepLeaves:   24,
 	}
 }
 
@@ -181,6 +189,7 @@ func Experiments() []Experiment {
 		{"lat", "warm stat latency distribution (mean + p50/p95/p99)", Lat},
 		{"coherence", "coherence event rates, journal health, invariant audit", Coherence},
 		{"coldstorm", "cold-miss storms over remotefs: bulk population and miss coalescing", ColdStorm},
+		{"deepwalk", "deep-tree walks: directory shortcut resume vs path depth", Deepwalk},
 	}
 }
 

@@ -44,6 +44,12 @@ type Config struct {
 	// parent, i.e. readdir-then-stat streaks) bypass the counter and admit
 	// eagerly regardless.
 	AdmitAfter int
+	// DirShortcuts enables directory shortcut resume (DESIGN §5f): walks
+	// resume from the deepest already-cached ancestor of the target path
+	// — the fastpath seeds its scan from its memoized state, and slow
+	// walks start at its dentry — so per-lookup cost stops scaling with
+	// path depth (cf. Stage Lookup's directory shortcuts).
+	DirShortcuts bool
 }
 
 // Stats are fastpath counters.
@@ -71,6 +77,11 @@ type Stats struct {
 	Bypassed        int64 // scan-shaped walks admitted eagerly
 	BatchShootdowns int64 // subtree invalidations taken as one range mark
 	LazyShootdowns  int64 // stale entries discarded lazily by probes/sweeps
+
+	// Directory shortcuts (zero when Config.DirShortcuts is off).
+	ShortcutResumes    int64 // walks resumed from a cached ancestor
+	ShortcutDepthSaved int64 // path components skipped by those resumes
+	HashedBytes        int64 // bytes fed to the path hash (all paths)
 }
 
 // statsCell holds the fastpath counters. The miss counters sit on the
@@ -79,6 +90,10 @@ type Stats struct {
 // atomics.
 type statsCell struct {
 	dlhtMiss, pccMiss, dotDotChecks stripe.Int64
+
+	// Shortcut-resume counters ride the warm fastpath (seeded scans) and
+	// every scan feeds hashedBytes, so all three are striped too.
+	shortcutResumes, shortcutDepthSaved, hashedBytes stripe.Int64
 
 	populations, invalidations, staleTokens, aliasCreated,
 	deepNegCreated, seqBumps atomic.Int64
@@ -186,6 +201,13 @@ type Core struct {
 	// range shootdown. Test-only: it exists so the audit tests can prove
 	// the auditor catches a batch mark that never landed.
 	testSkipBatchMark bool
+
+	// testSkipShortcutPCC, when set, makes shortcut-resume authorization
+	// skip the PCC-coverage check — resumes then skip the prefix's search
+	// permissions for credentials that never passed them. Test-only: it
+	// exists so the audit tests can prove the shortcut_resume cross-check
+	// catches an unauthorized resume.
+	testSkipShortcutPCC bool
 }
 
 // pccReg pairs a registered PCC with the credential it caches for.
@@ -237,6 +259,10 @@ func (c *Core) Stats() Stats {
 		Bypassed:        c.stats.bypassed.Load(),
 		BatchShootdowns: c.stats.batchShootdowns.Load(),
 		LazyShootdowns:  c.stats.lazyShootdowns.Load(),
+
+		ShortcutResumes:    c.stats.shortcutResumes.Load(),
+		ShortcutDepthSaved: c.stats.shortcutDepthSaved.Load(),
+		HashedBytes:        c.stats.hashedBytes.Load(),
 	}
 }
 
@@ -671,6 +697,7 @@ func (c *Core) ensureState(ref vfs.PathRef) (sig.State, bool) {
 			return sig.State{}, false
 		}
 		st = pst.AppendString("/").AppendString(name)
+		c.stats.hashedBytes.Add(int64(len(name) + 1))
 	}
 
 	fd.mu.Lock()

@@ -161,18 +161,15 @@ func hasDotComponents(path string) bool {
 // the directories ".." pops out of (they were just verified by the slow
 // walk, and the Linux-mode fastpath will need them, §4.2).
 func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, start vfs.PathRef, path string, token uint64) (sig.State, bool) {
-	st, ok := c.ensureState(start)
-	if !ok {
+	// The shared cursor keeps population allocation-free for ordinary
+	// paths (fixed inline stacks) and spills to the heap for deeper ones,
+	// tracking the best-effort lexical dentry alongside each state.
+	var cur pathCursor
+	defer cur.flush(c)
+	cur.trackD = true
+	if !cur.init(c, start) {
 		return sig.State{}, false
 	}
-	// Fixed-size stacks keep population allocation-free for ordinary
-	// paths; deeper ones fall back to heap growth.
-	var stackArr [24]sig.State
-	var dstackArr [24]vfs.PathRef
-	stack := stackArr[:0]
-	dstack := dstackArr[:0]
-	base := start
-	cursor := start // best-effort dentry cursor tracking the lexical path
 
 	for rem := path; ; {
 		var comp string
@@ -189,36 +186,22 @@ func (c *Core) lexicalHash(t *vfs.Task, ns *vfs.Namespace, dl *DLHT, pcc *PCC, s
 		case "..":
 			// Publish the directory being exited so the fastpath's
 			// per-dot-dot check can hit (cursor permitting).
-			if cursor.D != nil && !cursor.D.IsDead() && cursor.D.Inode() != nil &&
-				cursor.D.IsDir() && len(stack) > 0 {
-				c.publish(dl, cursor, st, token)
-				pcc.Insert(cursor.D.ID(), dentrySeq(cursor.D))
+			if d := cur.cursor.D; d != nil && !d.IsDead() && d.Inode() != nil &&
+				d.IsDir() && cur.depth() > 0 {
+				c.publish(dl, cur.cursor, cur.st, token)
+				pcc.Insert(d.ID(), dentrySeq(d))
 			}
-			if len(stack) > 0 {
-				st = stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				cursor = dstack[len(dstack)-1]
-				dstack = dstack[:len(dstack)-1]
-			} else {
-				base = parentRef(t, base)
-				var ok2 bool
-				st, ok2 = c.ensureState(base)
-				if !ok2 {
-					return sig.State{}, false
-				}
-				cursor = base
-			}
-		default:
-			if !st.Fits(len(comp) + 1) {
+			if !cur.pop(c, t) {
 				return sig.State{}, false
 			}
-			stack = append(stack, st)
-			dstack = append(dstack, cursor)
-			st = st.AppendString("/").AppendString(comp)
-			cursor = c.advanceCursor(ns, cursor, comp)
+		default:
+			if !cur.push(comp, len(path)-len(rem)) {
+				return sig.State{}, false
+			}
+			cur.cursor = c.advanceCursor(ns, cur.cursor, comp)
 		}
 	}
-	return st, true
+	return cur.st, true
 }
 
 // advanceCursor moves the best-effort lexical dentry cursor one component,
@@ -286,6 +269,7 @@ func (c *Core) EndSlowNegative(token uint64, t *vfs.Task, start vfs.PathRef, pat
 			return
 		}
 		st = st.AppendString("/").AppendString(name)
+		c.stats.hashedBytes.Add(int64(len(name) + 1))
 		c.publish(dl, vfs.PathRef{Mnt: f.Anchor.Mnt, D: child}, st, token)
 		pcc.Insert(child.ID(), dentrySeq(child))
 		c.stats.deepNegCreated.Add(1)
@@ -323,6 +307,7 @@ func (c *Core) AliasStep(t *vfs.Task, aliasParent vfs.PathRef, name string, real
 		fd.targetSeq.Store(dentrySeq(real.D))
 	}
 	st := pst.AppendString("/").AppendString(name)
+	c.stats.hashedBytes.Add(int64(len(name) + 1))
 	// AliasStep runs mid-walk without the walk's epoch token; a fresh one
 	// still lets publish refuse inserts that race a mutation.
 	c.publish(c.dlhtFor(t.Namespace()), vfs.PathRef{Mnt: aliasParent.Mnt, D: alias}, st, c.epoch.Load())

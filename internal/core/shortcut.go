@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dircache/internal/sig"
+	"dircache/internal/telemetry"
+	"dircache/internal/vfs"
+)
+
+// Directory shortcuts (DESIGN §5f): walks resume from the deepest
+// already-cached ancestor of the target path instead of the walk start,
+// so per-lookup cost stops scaling with depth. A resume point is found by
+// probing the DLHT with the intermediate signature states the fastpath
+// scan computed anyway (binary descent, so probe count is logarithmic in
+// depth, not linear), remembered per task, and consumed two ways:
+//
+//   - TryFast seeds its scan from the resume point's state, hashing only
+//     the unresolved suffix (the warm-path win: hash bytes per lookup
+//     stop scaling with depth);
+//   - the slow walk starts at the resume dentry with the unresolved
+//     suffix (the cold/miss-path win: per-component FS work is paid only
+//     below the resume point).
+//
+// Legality: a resume is only taken when the PCC covers the resume dentry
+// for the requesting credential (the memoized prefix check subsumes the
+// skipped components' search permissions), the dentry is fresh under the
+// batched-shootdown generation, and its memoized state still equals the
+// state recorded in the resume point (an exact sig.State compare, so
+// re-signing under aliasing or any eager invalidation kills the point).
+// Shootdown epochs therefore invalidate resume points exactly like DLHT
+// hits: both are guarded by the same fresh()/seq machinery.
+type resumePoint struct {
+	// Identity of the walk start this point is relative to: prefix is a
+	// lexical prefix of paths interpreted from exactly this start in
+	// this namespace.
+	startD *vfs.Dentry
+	startM *vfs.Mount
+	ns     *vfs.Namespace
+
+	// The resume target: a published directory dentry whose canonical
+	// path is prefix, with its mount and canonical signature state at
+	// record time.
+	d   *vfs.Dentry
+	mnt *vfs.Mount
+	st  sig.State
+
+	prefix string // lexical prefix resolved by d (no trailing slash)
+	depth  int    // components skipped when resuming at d
+}
+
+// extendsPrefix reports whether path strictly extends prefix with at
+// least one more real component.
+func extendsPrefix(path, prefix string) bool {
+	if prefix == "" || len(path) <= len(prefix)+1 {
+		return false
+	}
+	if path[:len(prefix)] != prefix || path[len(prefix)] != '/' {
+		return false
+	}
+	for i := len(prefix) + 1; i < len(path); i++ {
+		if path[i] != '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// resumeAuthorized is the legality gate's permission half: the PCC must
+// cover the resume dentry for this credential, proving the skipped
+// prefix's search permissions were checked for it. testSkipShortcutPCC
+// is the auditor's injected-bug seam (audit finds the resulting
+// journaled resumes via the shortcut_resume check).
+func (c *Core) resumeAuthorized(pcc *PCC, d *vfs.Dentry, fd *fastDentry) bool {
+	if c.testSkipShortcutPCC {
+		return true
+	}
+	return pcc.Lookup(d.ID(), fd.seq.Load())
+}
+
+// probeResume asks the DLHT whether the prefix with signature state st is
+// a usable resume point for this credential: a live, fresh, published
+// directory whose memoized state exactly equals st. Returns the dentry
+// and its mount, or nil.
+func (c *Core) probeResume(dl *DLHT, pcc *PCC, st sig.State) (*vfs.Dentry, *vfs.Mount) {
+	idx, sg := st.Sum()
+	d := dl.Lookup(idx, sg)
+	if d == nil || d.IsDead() || !d.IsDir() {
+		return nil, nil
+	}
+	if d.Flags()&(vfs.DAlias|vfs.DNegative|vfs.DUnhydrated|vfs.DMounted) != 0 {
+		return nil, nil
+	}
+	if d.Super().Caps().Revalidate {
+		return nil, nil // FS wants per-component revalidation; never skip it
+	}
+	if !c.fresh(d) {
+		return nil, nil
+	}
+	fd := fast(d)
+	if fd == nil {
+		return nil, nil
+	}
+	sp := fd.statePtr.Load()
+	if sp == nil || *sp != st {
+		return nil, nil
+	}
+	mnt := fd.mntP.Load()
+	if mnt == nil {
+		return nil, nil
+	}
+	if !c.resumeAuthorized(pcc, d, fd) {
+		return nil, nil
+	}
+	return d, mnt
+}
+
+// resumeValid re-checks a recorded resume point against live state: same
+// walk start and namespace, and the target still passes every probe
+// condition with its state unchanged. Called before every use, so a
+// point staled by any mutation (seq bump, re-sign, batch shootdown,
+// eviction) is silently dropped.
+func (c *Core) resumeValid(t *vfs.Task, pcc *PCC, start vfs.PathRef, rp *resumePoint) bool {
+	if rp == nil || rp.d == nil || rp.startD != start.D || rp.startM != start.Mnt ||
+		rp.ns != t.Namespace() {
+		return false
+	}
+	d := rp.d
+	if d.IsDead() || !d.IsDir() ||
+		d.Flags()&(vfs.DAlias|vfs.DNegative|vfs.DUnhydrated|vfs.DMounted) != 0 {
+		return false
+	}
+	if !c.fresh(d) {
+		return false
+	}
+	fd := fast(d)
+	if fd == nil {
+		return false
+	}
+	sp := fd.statePtr.Load()
+	if sp == nil || *sp != rp.st {
+		return false
+	}
+	if fd.mntP.Load() != rp.mnt {
+		return false
+	}
+	return c.resumeAuthorized(pcc, d, fd)
+}
+
+// noteShortcut runs when the fastpath could not answer a path: it
+// searches the scan's prefix marks for the deepest published, authorized
+// ancestor and records it as the task's resume point. The deepest prefix
+// (the target's parent) is probed first — a hot directory is routinely
+// published while the intermediates above it are not, and that isolated
+// entry is both the likeliest and the most valuable hit. Only when the
+// parent misses does binary descent search the rest, keeping the probe
+// count logarithmic in depth; since DLHT presence is not strictly
+// monotone along a path (admission control can publish a child before
+// its parent), the descent's result is a heuristic deepest — every
+// candidate is fully legality-checked, so a suboptimal pick only costs
+// performance, never correctness. Dotted scans are excluded: a resume
+// must not skip the per-"." and per-".." permission checks of §4.2.
+func (c *Core) noteShortcut(t *vfs.Task, dl *DLHT, pcc *PCC, start vfs.PathRef, path string, cur *pathCursor, seeded *resumePoint) {
+	if !c.cfg.DirShortcuts || cur.dotted {
+		return
+	}
+	n := cur.depth()
+	if n < 2 {
+		// No strict ancestor below the target to resume at. (With a
+		// seeded scan the task already holds the best point we know.)
+		return
+	}
+	var best int
+	var bestD *vfs.Dentry
+	var bestM *vfs.Mount
+	if d, m := c.probeResume(dl, pcc, cur.stateAt(n-1)); d != nil {
+		best, bestD, bestM = n-1, d, m
+	} else {
+		lo, hi := 0, n-2
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if d, m := c.probeResume(dl, pcc, cur.stateAt(mid)); d != nil {
+				lo, best, bestD, bestM = mid, mid, d, m
+			} else {
+				hi = mid - 1
+			}
+		}
+	}
+	if bestD == nil {
+		return
+	}
+	baseDepth := 0
+	if seeded != nil {
+		baseDepth = seeded.depth
+	}
+	rp := &resumePoint{
+		startD: start.D,
+		startM: start.Mnt,
+		ns:     t.Namespace(),
+		d:      bestD,
+		mnt:    bestM,
+		st:     cur.stateAt(best),
+		prefix: path[:cur.offAt(best-1)],
+		depth:  baseDepth + best,
+	}
+	t.SetShortcutScratch(rp)
+}
+
+// ShortcutResume implements vfs.Hooks: offer the slow walk a deeper
+// start. When the task's resume point covers a strict prefix of path and
+// passes the full legality check, the walk starts at the resume dentry
+// with only the unresolved suffix. The returned token is handed to
+// ShortcutCommit after the walk.
+func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string) (vfs.PathRef, string, any, bool) {
+	if !c.cfg.DirShortcuts {
+		return vfs.PathRef{}, "", nil, false
+	}
+	rp, _ := t.ShortcutScratch().(*resumePoint)
+	if rp == nil || !extendsPrefix(path, rp.prefix) {
+		return vfs.PathRef{}, "", nil, false
+	}
+	pcc := c.pccFor(t.Cred())
+	if !c.resumeValid(t, pcc, start, rp) {
+		return vfs.PathRef{}, "", nil, false
+	}
+	c.stats.shortcutResumes.Add(1)
+	c.stats.shortcutDepthSaved.Add(int64(rp.depth))
+	if tel := c.tele(); tel != nil {
+		tel.Emit(telemetry.JShortcut, rp.d.ID(), int64(dentrySeq(rp.d)),
+			fmt.Sprintf("cred=%d depth=%d", t.Cred().ID(), rp.depth))
+		tel.Record(telemetry.HistShortcutDepth, time.Duration(rp.depth))
+	}
+	return vfs.PathRef{Mnt: rp.mnt, D: rp.d}, path[len(rp.prefix):], rp, true
+}
+
+// ShortcutCommit implements vfs.Hooks: after a walk that resumed from a
+// shortcut, re-check that the skipped prefix did not change under the
+// walk (rename, shootdown, re-sign). False tells the walk to discard the
+// result and redo the lookup from its original start.
+func (c *Core) ShortcutCommit(token any) bool {
+	rp, _ := token.(*resumePoint)
+	if rp == nil {
+		return true
+	}
+	d := rp.d
+	if d.IsDead() || !c.fresh(d) {
+		return false
+	}
+	fd := fast(d)
+	if fd == nil {
+		return false
+	}
+	sp := fd.statePtr.Load()
+	return sp != nil && *sp == rp.st
+}

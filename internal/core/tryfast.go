@@ -67,8 +67,25 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	dl := c.dlhtFor(ns)
 	pcc := c.pccFor(t.Cred())
 
-	st, ok := c.ensureState(start)
-	if !ok {
+	// Shortcut resume (DESIGN §5f): when the task's recorded resume
+	// point covers a prefix of this path and still passes the full
+	// legality check, seed the scan from its memoized state and hash
+	// only the unresolved suffix.
+	var cur pathCursor
+	defer cur.flush(c)
+	rem := path
+	var seeded *resumePoint
+	if c.cfg.DirShortcuts {
+		if rp, _ := t.ShortcutScratch().(*resumePoint); rp != nil &&
+			extendsPrefix(path, rp.prefix) && c.resumeValid(t, pcc, start, rp) {
+			seeded = rp
+			cur.seed(vfs.PathRef{Mnt: rp.mnt, D: rp.d}, rp.st)
+			rem = path[len(rp.prefix):]
+			c.stats.shortcutResumes.Add(1)
+			c.stats.shortcutDepthSaved.Add(int64(rp.depth))
+		}
+	}
+	if seeded == nil && !cur.init(c, start) {
 		return vfs.PathRef{}, nil, false
 	}
 	if tracing {
@@ -76,15 +93,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		t0 = time.Now()
 	}
 
-	// Lexical scan: maintain a state stack for ".." pops and a base
-	// cursor for pops that climb above the walk's own components. The
-	// stack lives in a fixed array so the hot path never allocates.
-	var stackArr [24]sig.State
-	stack := stackArr[:0]
-	base := start
-	atBase := true // st currently equals base's state
 	mustDir := fl&vfs.WalkDirectory != 0
-	rem := path
 	sawTrailingSlash := false
 
 	for {
@@ -102,40 +111,29 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 			// Linux evaluates search permission on the directory for a
 			// "." component too; a lexical skip must preserve that (it
 			// is observable when "." is the path's last effective step).
-			if !c.checkPrefixDir(t, dl, pcc, base, atBase, st) {
+			cur.dotted = true
+			if !c.checkPrefixDir(t, dl, pcc, cur.base, cur.atBase, cur.st) {
 				return vfs.PathRef{}, nil, false
 			}
 			continue
 		case "..":
+			cur.dotted = true
 			if !c.cfg.LexicalDotDot {
 				// Linux semantics (§4.2): verify search permission on
 				// the directory being exited with an extra fastpath
 				// lookup.
 				c.stats.dotDotChecks.Add(1)
-				if !c.checkPrefixDir(t, dl, pcc, base, atBase, st) {
+				if !c.checkPrefixDir(t, dl, pcc, cur.base, cur.atBase, cur.st) {
 					return vfs.PathRef{}, nil, false
 				}
 			}
-			if len(stack) > 0 {
-				st = stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				atBase = len(stack) == 0
-			} else {
-				base = parentRef(t, base)
-				var ok2 bool
-				st, ok2 = c.ensureState(base)
-				if !ok2 {
-					return vfs.PathRef{}, nil, false
-				}
-				atBase = true
-			}
-		default:
-			if !st.Fits(len(comp)+1) || len(stack) == cap(stack) {
+			if !cur.pop(c, t) {
 				return vfs.PathRef{}, nil, false
 			}
-			stack = append(stack, st)
-			st = st.AppendByte('/').AppendString(comp)
-			atBase = false
+		default:
+			if !cur.push(comp, len(path)-len(rem)) {
+				return vfs.PathRef{}, nil, false
+			}
 		}
 	}
 	if sawTrailingSlash {
@@ -146,20 +144,28 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		t0 = time.Now()
 	}
 
-	if atBase && len(stack) == 0 {
+	if cur.atBase && cur.depth() == 0 {
 		// The path resolved to the start directory itself ("." etc.):
 		// the task already holds a reference to it.
-		if base.D.IsDead() || base.D.Inode() == nil {
+		if cur.base.D.IsDead() || cur.base.D.Inode() == nil {
 			return vfs.PathRef{}, nil, false
 		}
-		if mustDir && !base.D.IsDir() {
+		if mustDir && !cur.base.D.IsDir() {
 			return vfs.PathRef{}, fsapi.ENOTDIR, true
 		}
 		k.AddFastHit(false)
-		return base, nil, true
+		return cur.base, nil, true
 	}
 
-	idx, sg := st.Sum()
+	// Any post-scan miss first mines the scan for a resume point: the
+	// slow walk about to run can then skip the cached prefix, and later
+	// fastpath scans can seed from it.
+	miss := func() (vfs.PathRef, error, bool) {
+		c.noteShortcut(t, dl, pcc, start, path, &cur, seeded)
+		return vfs.PathRef{}, nil, false
+	}
+
+	idx, sg := cur.st.Sum()
 	d := dl.Lookup(idx, sg)
 	if tracing {
 		ph.HashLookup = time.Since(t0)
@@ -168,7 +174,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	if d == nil {
 		c.stats.dlhtMiss.Add(1)
 		tr.Event(telemetry.EvDLHTMiss, path)
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	// Batch-shootdown freshness: one generation compare on the hot path;
 	// a stale entry (covered by a range shootdown) is lazily discarded and
@@ -176,7 +182,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	if !c.fresh(d) {
 		c.stats.dlhtMiss.Add(1)
 		tr.Event(telemetry.EvDLHTMiss, path)
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	looked := d
 	tr.Event(telemetry.EvDLHTHit, path)
@@ -192,12 +198,12 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		if fd == nil || real == nil || real.IsDead() ||
 			fd.targetSeq.Load() != dentrySeq(real) {
 			tr.Event(telemetry.EvFastAbort, "stale alias")
-			return vfs.PathRef{}, nil, false
+			return miss()
 		}
 		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
 			c.stats.pccMiss.Add(1)
 			tr.Event(telemetry.EvPCCMiss, "alias")
-			return vfs.PathRef{}, nil, false
+			return miss()
 		}
 		tr.Event(telemetry.EvAlias, "")
 		d = real
@@ -210,7 +216,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		if !pcc.Lookup(d.ID(), dentrySeq(d)) {
 			c.stats.pccMiss.Add(1)
 			tr.Event(telemetry.EvPCCMiss, "negative")
-			return vfs.PathRef{}, nil, false
+			return miss()
 		}
 		tr.Event(telemetry.EvPCCHit, "negative")
 		tr.Event(telemetry.EvNegative, path)
@@ -226,7 +232,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	// to the slow path.
 	if d.Flags()&vfs.DUnhydrated != 0 {
 		tr.Event(telemetry.EvFastAbort, "unhydrated")
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 
 	// Final symlink: follow through the cached resolution (§4.2), unless
@@ -234,25 +240,25 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	if d.IsSymlink() && (fl&vfs.WalkNoFollow == 0 || mustDir) {
 		for depth := 0; ; depth++ {
 			if depth > 8 {
-				return vfs.PathRef{}, nil, false
+				return miss()
 			}
 			fd := fast(d)
 			if fd == nil {
-				return vfs.PathRef{}, nil, false
+				return miss()
 			}
 			// The link's own prefix check (covering the requested
 			// path's parents) must be memoized; the target is checked
 			// separately after the loop (§4.2).
 			if !pcc.Lookup(d.ID(), fd.seq.Load()) {
 				c.stats.pccMiss.Add(1)
-				return vfs.PathRef{}, nil, false
+				return miss()
 			}
 			tgt := fd.target.Load()
 			if tgt == nil || tgt.IsDead() || fd.targetSeq.Load() != dentrySeq(tgt) {
-				return vfs.PathRef{}, nil, false
+				return miss()
 			}
 			if !c.fresh(tgt) {
-				return vfs.PathRef{}, nil, false
+				return miss()
 			}
 			d = tgt
 			if !d.IsSymlink() {
@@ -260,18 +266,18 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 			}
 		}
 		if d.IsNegative() || d.Flags()&vfs.DUnhydrated != 0 {
-			return vfs.PathRef{}, nil, false
+			return miss()
 		}
 	}
 
 	fd := fast(d)
 	if fd == nil {
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	// Alias/symlink redirects land on a dentry the lookup gate above never
 	// saw; give it the same freshness check before trusting its PCC entry.
 	if d != looked && !c.fresh(d) {
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	seq := fd.seq.Load()
 	var pccStart time.Time
@@ -289,13 +295,13 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	if !hit || c.cfg.ForcePCCMiss {
 		c.stats.pccMiss.Add(1)
 		tr.Event(telemetry.EvPCCMiss, "")
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	tr.Event(telemetry.EvPCCHit, "")
 	mnt := fd.mntP.Load()
 	if mnt == nil || d.IsDead() || d.Super().Caps().Revalidate {
 		tr.Event(telemetry.EvFastAbort, "unusable dentry")
-		return vfs.PathRef{}, nil, false
+		return miss()
 	}
 	if mustDir && !d.IsDir() {
 		k.AddFastHit(false)

@@ -62,6 +62,11 @@ const (
 	// concurrent walk's in-flight backend Lookup for the same component
 	// (the singleflight wait replacing a duplicate round trip).
 	HistMissWait
+	// HistShortcutDepth is not a latency: it records, per slow-walk
+	// shortcut resume, the number of path components the resume skipped
+	// (recorded as a Duration of that many nanoseconds). The quantiles
+	// read directly as a resume-depth distribution.
+	HistShortcutDepth
 
 	NumHistograms
 )
@@ -69,7 +74,7 @@ const (
 var histNames = [NumHistograms]string{
 	"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
 	"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove",
-	"miss_wait",
+	"miss_wait", "shortcut_depth",
 }
 
 var histHelp = [NumHistograms]string{
@@ -85,6 +90,7 @@ var histHelp = [NumHistograms]string{
 	"invalidation latency of unlink/rmdir mutations",
 	"latency of one DLHT entry removal",
 	"wait of a coalesced miss on a concurrent in-flight lookup",
+	"components skipped per slow-walk shortcut resume (count, not latency)",
 }
 
 // Name returns the histogram's exporter name.

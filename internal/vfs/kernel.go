@@ -106,6 +106,20 @@ type Hooks interface {
 	// BeginSlow returns an invalidation-epoch token before a slow walk.
 	BeginSlow() uint64
 
+	// ShortcutResume offers the slow walk a deeper start (DESIGN §5f):
+	// when the hooks hold a still-valid resume point covering a strict
+	// prefix of path for this task, they return its location and the
+	// unresolved suffix, and the walk starts there instead of
+	// re-stepping the cached prefix. The returned token is handed to
+	// ShortcutCommit after the walk. ok=false walks from start.
+	ShortcutResume(t *Task, start PathRef, path string) (rs PathRef, rest string, token any, ok bool)
+
+	// ShortcutCommit re-validates the resume point a walk just used.
+	// False means the skipped prefix may have changed under the walk
+	// (rename, shootdown) and the result must be discarded and the
+	// lookup redone from its original start.
+	ShortcutCommit(token any) bool
+
 	// EndSlowLookup is called after a successful slow walk so the hooks
 	// can populate the DLHT and PCC (unless the token went stale).
 	// lexical is the dentry the path's canonical lexical form denotes:

@@ -26,7 +26,11 @@ func (k *Kernel) lookupChild(parent PathRef, name string) (*Dentry, error) {
 		}
 		return d, nil
 	}
-	if k.cfg.DirCompleteness && parent.D.Flags()&DComplete != 0 {
+	// As in walkSlow: DComplete is only authoritative after a locked
+	// re-read of the child map, since bulk population installs children
+	// before setting the flag.
+	if k.cfg.DirCompleteness && parent.D.Flags()&DComplete != 0 &&
+		parent.D.child(name) == nil {
 		k.stats.cell().completeShort.Add(1)
 		return nil, fsapi.ENOENT
 	}

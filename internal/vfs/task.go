@@ -27,7 +27,22 @@ type Task struct {
 	// loser of the CAS falls back to a fresh stack allocation.
 	segScratch []segment
 	segBusy    atomic.Bool
+
+	// shortcutP is the installed Hooks' walk-resume scratch: an opaque
+	// immutable value swapped whole (the walk-resume analogue of
+	// Dentry.fast). Concurrent walks on one task may race to replace it;
+	// readers validate whatever snapshot they load, so a lost store only
+	// costs a future resume opportunity.
+	shortcutP atomic.Value
 }
+
+// ShortcutScratch returns the hook-owned walk-resume scratch value, or
+// nil if none has been recorded.
+func (t *Task) ShortcutScratch() any { return t.shortcutP.Load() }
+
+// SetShortcutScratch records the hook-owned walk-resume scratch. Values
+// must be immutable and of one concrete type per hooks implementation.
+func (t *Task) SetShortcutScratch(v any) { t.shortcutP.Store(v) }
 
 // acquireSegs returns a 1-length segment stack for a slow walk: the
 // task's scratch buffer when free, a fresh allocation otherwise.

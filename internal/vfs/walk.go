@@ -180,14 +180,32 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 	if k.hooks != nil {
 		token = k.hooks.BeginSlow()
 	}
-	res, lexical, err := k.walkSlow(t, start, path, fl, tr)
+	// Shortcut resume (DESIGN §5f): let the hooks move the walk start to
+	// the deepest cached ancestor they can prove usable, so the slow walk
+	// only steps the unresolved suffix. The epoch token is taken first:
+	// population legality must cover the resumed walk's whole window.
+	slowStart, slowPath := start, path
+	var scTok any
+	if k.hooks != nil && fl&WalkNoFast == 0 {
+		if rs, rest, tok, ok := k.hooks.ShortcutResume(t, start, path); ok {
+			slowStart, slowPath, scTok = rs, rest, tok
+		}
+	}
+	res, lexical, err := k.walkSlow(t, slowStart, slowPath, fl, tr)
+	if scTok != nil && (err == errSeqRetry || !k.hooks.ShortcutCommit(scTok)) {
+		// The resume point went stale while the walk ran (rename or
+		// shootdown of the skipped prefix): the result may reflect the
+		// ancestor's old location. Redo authoritatively from the start.
+		slowStart, slowPath = start, path
+		res, lexical, err = k.walkSlow(t, slowStart, slowPath, fl, tr)
+	}
 	if k.hooks != nil {
 		if err == nil {
-			k.hooks.EndSlowLookup(token, t, start, path, lexical, res)
+			k.hooks.EndSlowLookup(token, t, slowStart, slowPath, lexical, res)
 		} else {
 			var f *WalkFailure
 			if errors.As(err, &f) {
-				k.hooks.EndSlowNegative(token, t, start, path, f)
+				k.hooks.EndSlowNegative(token, t, slowStart, slowPath, f)
 			}
 		}
 	}
@@ -391,7 +409,14 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags, tr 
 			}
 		} else {
 			// Miss: authoritative shortcut if the directory is complete.
-			if k.cfg.DirCompleteness && cur.D.Flags()&DComplete != 0 {
+			// The flag is only trusted after a locked re-read of the
+			// child map: bulk population installs children (child map,
+			// then hash table) before setting DComplete, so a probe that
+			// missed the table can still observe the flag — the re-read
+			// then finds the freshly installed child, and missLookup
+			// below resolves it from the map without a backend call.
+			if k.cfg.DirCompleteness && cur.D.Flags()&DComplete != 0 &&
+				cur.D.child(comp) == nil {
 				sc.completeShort.Add(1)
 				tr.Event(telemetry.EvCompleteShort, comp)
 				return PathRef{}, PathRef{}, &WalkFailure{

@@ -259,7 +259,7 @@ func MakeBuildParallel(procs []*Proc, tree *Tree, cfg MakeConfig) (Report, error
 				f := cFiles[i]
 				src, err := w.Stat(f)
 				if err != nil {
-					errs[j] = err
+					errs[j] = fmt.Errorf("stat %s: %w", f, err)
 					return
 				}
 				stem := f[:len(f)-2]
@@ -277,7 +277,7 @@ func MakeBuildParallel(procs []*Proc, tree *Tree, cfg MakeConfig) (Report, error
 					sink = sink*1099511628211 + uint64(it)
 				}
 				if err := w.P.WriteFile(obj, []byte{byte(sink)}, 0o644); err != nil {
-					errs[j] = err
+					errs[j] = fmt.Errorf("write %s: %w", obj, err)
 					return
 				}
 				built[j]++

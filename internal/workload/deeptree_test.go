@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dircache"
+)
+
+func TestGenerateDeepTreeShapes(t *testing.T) {
+	for _, shape := range []string{"maven", "node"} {
+		_, w := newSys(t, dircache.Optimized())
+		spec := DeepSpec{Seed: 7, Depth: 64, Shape: shape, Fanout: 1, Leaves: 4}
+		tr, err := GenerateDeepTree(w.P, "/deep", spec)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if len(tr.Spine) != 64 || len(tr.Leaves) != 4 {
+			t.Fatalf("%s: got %d spine, %d leaves", shape, len(tr.Spine), len(tr.Leaves))
+		}
+		deepest := tr.Spine[len(tr.Spine)-1]
+		if n := strings.Count(deepest, "/"); n != 65 { // /deep + 64 levels
+			t.Fatalf("%s: deepest dir has %d components", shape, n)
+		}
+		if len(tr.Leaves[0]) >= 4096 {
+			t.Fatalf("%s: leaf path exceeds MaxPathLen", shape)
+		}
+		if shape == "node" && !strings.Contains(deepest, "/node_modules/") {
+			t.Fatal("node shape lost its node_modules nesting")
+		}
+		for _, leaf := range tr.Leaves {
+			if _, err := w.P.Stat(leaf); err != nil {
+				t.Fatalf("%s: leaf %s: %v", shape, leaf, err)
+			}
+		}
+		// Determinism: regenerating under a second system yields the same
+		// paths.
+		_, w2 := newSys(t, dircache.Optimized())
+		tr2, err := GenerateDeepTree(w2.P, "/deep", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Spine {
+			if tr.Spine[i] != tr2.Spine[i] {
+				t.Fatalf("%s: spine diverged at %d: %s vs %s", shape, i, tr.Spine[i], tr2.Spine[i])
+			}
+		}
+	}
+}

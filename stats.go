@@ -77,6 +77,11 @@ type CacheStats struct {
 	Bypassed        int64 // scan-shaped walks admitted eagerly
 	BatchShootdowns int64 // subtree invalidations taken as one range mark
 	LazyShootdowns  int64 // stale entries discarded lazily by probes/sweeps
+
+	// Directory shortcuts (zero when Features.DirShortcuts is off).
+	ShortcutResumes    int64 // walks resumed from a cached ancestor
+	ShortcutDepthSaved int64 // path components skipped by those resumes
+	HashedBytes        int64 // bytes fed to the path hash, all walks
 }
 
 // Delta returns the events counted between prev and s: every cumulative
@@ -174,6 +179,9 @@ func (s *System) Stats() CacheStats {
 		out.Bypassed = c.Bypassed
 		out.BatchShootdowns = c.BatchShootdowns
 		out.LazyShootdowns = c.LazyShootdowns
+		out.ShortcutResumes = c.ShortcutResumes
+		out.ShortcutDepthSaved = c.ShortcutDepthSaved
+		out.HashedBytes = c.HashedBytes
 	}
 	return out
 }

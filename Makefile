@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke dcbench
+.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke serve-smoke dcbench
 
 all: ci
 
@@ -19,8 +19,9 @@ help:
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
-	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold-scan/deep-walk vs BENCH_cold/deep.json"
-	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep JSON files"
+	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve trajectories vs BENCH_*.json"
+	@echo "  serve-smoke    boot dcserve on loopback and drive the in-repo 9P client through it"
+	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve JSON files"
 
 build:
 	$(GO) build ./...
@@ -40,7 +41,7 @@ audit:
 	$(GO) test -run 'Audit|Invariant' -race ./...
 
 # The tier-1 gate, folded into one target.
-ci: vet check race audit bench-smoke
+ci: vet check race audit serve-smoke bench-smoke
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:
@@ -61,6 +62,12 @@ bench-parallel:
 # BENCH_deep.json (regenerate all three via `make dcbench`).
 bench-smoke:
 	$(GO) run ./cmd/dcbench -scale small -smoke BENCH_apps.json
+
+# 9P server smoke: boot dcserve on an ephemeral loopback port, run the
+# in-repo client through attach/walk/stat/readdir/read round trips under
+# two principals, and assert a clean drain on shutdown.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count=1 ./cmd/dcserve
 
 # Paper tables/figures plus the machine-readable perf trajectory files.
 dcbench:

@@ -12,15 +12,17 @@
 // -json additionally writes every report's structured data to the named
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
 // across PRs to track the perf trajectory) plus a compact BENCH_micro.json,
-// a warm-app BENCH_apps.json, a cold-scan BENCH_cold.json, and a deep-walk
-// BENCH_deep.json beside it (schemas in EXPERIMENTS.md; the small-scale
-// BENCH_apps.json, BENCH_cold.json and BENCH_deep.json are committed as
+// a warm-app BENCH_apps.json, a cold-scan BENCH_cold.json, a deep-walk
+// BENCH_deep.json, and a 9P connection-storm BENCH_serve.json beside it
+// (schemas in EXPERIMENTS.md; the small-scale BENCH_apps.json,
+// BENCH_cold.json, BENCH_deep.json and BENCH_serve.json are committed as
 // the -smoke baselines).
 // -smoke re-runs the warm-app suite and fails if any application's
 // opt/unmod ratio drifts beyond tolerance from that committed baseline,
-// then re-runs the deterministic cold-scan and deep-walk trajectories
-// against the committed BENCH_cold.json and BENCH_deep.json (this is
-// `make bench-smoke`, part of `make ci`). -telemetry attaches one
+// then re-runs the deterministic cold-scan, deep-walk and connection-storm
+// trajectories against the committed BENCH_cold.json, BENCH_deep.json and
+// BENCH_serve.json (this is `make bench-smoke`, part of `make ci`).
+// -telemetry attaches one
 // process-wide telemetry subsystem to every system the experiments build;
 // -metrics-addr serves its histograms and walk traces live over HTTP
 // while the run progresses.
@@ -172,8 +174,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		servePath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_serve.json")
+		if err := writeServe(servePath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath)
+			fmt.Printf("wrote %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath)
 		}
 	}
 	if tel != nil {
@@ -291,6 +298,28 @@ func writeCold(path, scale string, sc bench.Scale) error {
 // resumes, components saved), so drift is a behavior change.
 func writeDeep(path, scale string, sc bench.Scale) error {
 	metrics, err := bench.DeepTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeServe emits BENCH_serve.json: the deterministic 9P connection-
+// storm trajectory (bench.ServeTrajectory) in the same schema as
+// BENCH_micro.json. The small-scale file is committed as the smoke-test
+// baseline; its values are exact backend-Lookup and wire-RPC counts, so
+// drift is a behavior change in the server or coalescing machinery.
+func writeServe(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.ServeTrajectory(sc)
 	if err != nil {
 		return err
 	}
@@ -471,5 +500,55 @@ func runDeepSmoke(baselinePath string, sc bench.Scale) error {
 		return fmt.Errorf("%d deep-walk metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
 	}
 	fmt.Println("smoke: deep-walk hashing trajectory within tolerance")
+	return runServeSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_serve.json"), sc)
+}
+
+// runServeSmoke compares the deterministic 9P connection-storm trajectory
+// against the committed BENCH_serve.json beside the other baselines. The
+// metrics are exact counts — one backend Lookup per cold path component
+// across 64 concurrent connections, two RPCs per warm walk — so any
+// relative drift beyond the band is a behavior change in the wire path.
+func runServeSmoke(baselinePath string, sc bench.Scale) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("smoke: no serve baseline at %s, skipping 9P gate\n", baselinePath)
+			return nil
+		}
+		return err
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	now, err := bench.ServeTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	bad := 0
+	fmt.Printf("%-28s %-10s %-10s %s\n", "serve metric", "base", "now", "drift")
+	for _, name := range names {
+		b := base.Metrics[name]
+		n, ok := now[name]
+		if !ok || b == 0 {
+			continue
+		}
+		drift := (n - b) / b
+		mark := ""
+		if drift > smokeTolerance || drift < -smokeTolerance {
+			bad++
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+		}
+		fmt.Printf("%-28s %-10.2f %-10.2f %+.2f%s\n", name, b, n, drift, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d serve metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+	}
+	fmt.Println("smoke: 9P connection-storm trajectory within tolerance")
 	return nil
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"dircache"
+	"dircache/internal/ninep"
+)
+
+// TestServeSmoke is the `make serve-smoke` gate: boot dcserve on an
+// ephemeral loopback port with the default deep-tree seed, run the
+// in-repo 9P client through attach/walk/stat/readdir/read round trips,
+// and assert a clean shutdown.
+func TestServeSmoke(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", false, "deep:maven:6", "smoke=4000:4000,4001",
+			0, 0, "", 0, false, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("dcserve exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("dcserve did not come up")
+	}
+
+	c, err := ninep.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	root, err := c.Attach("root", "")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+
+	// The seeded tree lives under /srv; list it and walk the spine.
+	d, err := root.WalkPath("srv")
+	if err != nil {
+		t.Fatalf("walk /srv: %v", err)
+	}
+	if err := d.Open(ninep.ORead); err != nil {
+		t.Fatalf("open /srv: %v", err)
+	}
+	ents, err := d.ReadDir()
+	if err != nil {
+		t.Fatalf("readdir /srv: %v", err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("seeded tree is empty")
+	}
+	d.Clunk()
+
+	// Descend to a leaf file (depth-first with backtracking past the
+	// generator's empty decoy directories), stat it, and read it back.
+	if !findLeaf(t, root, "", 0) {
+		t.Fatal("no leaf file reachable from the attach root")
+	}
+
+	// A configured -users uname attaches; an unknown one is refused.
+	if _, err := c.Attach("smoke", ""); err != nil {
+		t.Fatalf("-users uname refused: %v", err)
+	}
+	if _, err := c.Attach("nobody-configured", ""); err == nil {
+		t.Fatal("unknown uname attached")
+	}
+	c.Close()
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dcserve shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("dcserve did not drain on stop")
+	}
+}
+
+// findLeaf depth-first-searches the exported tree over the wire for a
+// regular file, exercising walk/open/readdir/stat/read as it goes.
+func findLeaf(t *testing.T, dir *ninep.Fid, path string, depth int) bool {
+	t.Helper()
+	if depth > 40 {
+		return false
+	}
+	dh, err := dir.Walk() // clone: an open fid cannot walk
+	if err != nil {
+		t.Fatalf("clone %q: %v", path, err)
+	}
+	if err := dh.Open(ninep.ORead); err != nil {
+		t.Fatalf("open %q: %v", path, err)
+	}
+	ents, err := dh.ReadDir()
+	if err != nil {
+		t.Fatalf("readdir %q: %v", path, err)
+	}
+	dh.Clunk()
+	for _, e := range ents {
+		if e.Mode&ninep.DMDir != 0 {
+			continue
+		}
+		ff, err := dir.WalkPath(e.Name)
+		if err != nil {
+			t.Fatalf("walk file %s/%s: %v", path, e.Name, err)
+		}
+		st, err := ff.Stat()
+		if err != nil {
+			t.Fatalf("stat %s/%s: %v", path, e.Name, err)
+		}
+		if err := ff.Open(ninep.ORead); err != nil {
+			t.Fatalf("open file: %v", err)
+		}
+		data, err := ff.ReadAll()
+		if err != nil {
+			t.Fatalf("read file: %v", err)
+		}
+		if uint64(len(data)) != st.Length {
+			t.Fatalf("read %d bytes of %s/%s, stat says %d", len(data), path, e.Name, st.Length)
+		}
+		ff.Clunk()
+		return true
+	}
+	for _, e := range ents {
+		if e.Mode&ninep.DMDir == 0 {
+			continue
+		}
+		child, err := dir.WalkPath(e.Name)
+		if err != nil {
+			t.Fatalf("walk %s/%s: %v", path, e.Name, err)
+		}
+		found := findLeaf(t, child, path+"/"+e.Name, depth+1)
+		child.Clunk()
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseUsers(t *testing.T) {
+	m, err := parseUsers("alice=1000:1000,10,20;bob=1001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dircache.UserCreds(1000, 10, 20)
+	got := m["alice"]
+	if got.UID != 1000 || got.GID != 1000 || len(got.Groups) != len(want.Groups) {
+		t.Fatalf("alice parsed as %+v", got)
+	}
+	if b := m["bob"]; b.UID != 1001 || b.GID != 1001 {
+		t.Fatalf("bob parsed as %+v", b)
+	}
+	if _, err := parseUsers("broken"); err == nil {
+		t.Fatal("accepted entry without =")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dcsh [-baseline] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof]
+//	dcsh [-baseline] [-telemetry] [-trace-sample n] [-metrics-addr host:port] [-pprof] [-serve host:port]
 //
 // -telemetry attaches the observability subsystem (latency histograms, a
 // sampled walk trace ring, and the coherence event journal, inspected
@@ -31,7 +31,11 @@ import (
 	"strings"
 
 	"dircache"
+	"dircache/internal/ninep"
 )
+
+// nineSrv is the shell's live 9P listener ('serve' command / -serve flag).
+var nineSrv *ninep.Server
 
 func main() {
 	baseline := flag.Bool("baseline", false, "run the unmodified baseline cache")
@@ -39,6 +43,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 32, "with -telemetry, trace 1-in-N walks (0 disables tracing)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
+	serveAddr := flag.String("serve", "", "export the kernel over 9P2000 on this address from startup (same listener as the 'serve' command)")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -75,6 +80,18 @@ func main() {
 			fmt.Printf("pprof on http://%s/debug/pprof/\n", srv.Addr())
 		}
 	}
+
+	if *serveAddr != "" {
+		if err := runCommand(sys, p, []string{"serve", *serveAddr}); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsh: -serve: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	defer func() {
+		if nineSrv != nil {
+			nineSrv.Close()
+		}
+	}()
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -119,6 +136,8 @@ telem:  lat (walk latency quantiles)  traces (sampled walk traces)
 	events (coherence event journal: seq bumps, shootdowns, evictions)
 	(run dcsh with -telemetry; -metrics-addr serves them over HTTP,
 	-pprof adds /debug/pprof and runtime metrics)
+serve:  serve [ADDR]  (export this kernel over 9P2000; default localhost:5640)
+	serve stop    (close the listener and drain connections)
 other:  help  exit
 `)
 	case "ls":
@@ -248,12 +267,13 @@ other:  help  exit
 		}
 		shown := 0
 		for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
-			"miss_wait", "rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove"} {
+			"miss_wait", "rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove",
+			"ninep_attach", "ninep_walk", "ninep_open", "ninep_read", "ninep_stat", "ninep_clunk"} {
 			p50, p95, p99, ok := tl.HistogramQuantiles(name)
 			if !ok {
 				continue
 			}
-			fmt.Printf("%-10s p50 %-10v p95 %-10v p99 %v\n", name, p50, p95, p99)
+			fmt.Printf("%-12s p50 %-10v p95 %-10v p99 %v\n", name, p50, p95, p99)
 			shown++
 		}
 		if shown == 0 {
@@ -388,6 +408,34 @@ other:  help  exit
 		fmt.Printf("uid now %d (fresh prefix check cache unless unchanged)\n", uid)
 	case "id":
 		fmt.Println("use 'su UID' to switch; permissions are enforced per credential")
+	case "serve":
+		if len(args) > 1 && args[1] == "stop" {
+			if nineSrv == nil {
+				return fmt.Errorf("not serving")
+			}
+			st := nineSrv.Stats()
+			if err := nineSrv.Close(); err != nil {
+				return err
+			}
+			nineSrv = nil
+			fmt.Printf("9P listener closed (%d conns, %d ops, %d walks served)\n",
+				st.ConnsTotal, st.Ops, st.Walks)
+			return nil
+		}
+		if nineSrv != nil {
+			return fmt.Errorf("already serving on %s ('serve stop' first)", nineSrv.Addr())
+		}
+		addr := "localhost:5640"
+		if len(args) > 1 {
+			addr = args[1]
+		}
+		srv, err := ninep.Serve(sys, addr, ninep.Config{})
+		if err != nil {
+			return err
+		}
+		nineSrv = srv
+		fmt.Printf("serving 9P2000 on %s — same dentries, DLHT and PCCs this shell uses\n", srv.Addr())
+		fmt.Println("(unames: root, or any decimal uid; with -telemetry, 'lat' shows ninep_* op latency)")
 	default:
 		return fmt.Errorf("unknown command (try 'help')")
 	}

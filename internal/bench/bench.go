@@ -190,6 +190,7 @@ func Experiments() []Experiment {
 		{"coherence", "coherence event rates, journal health, invariant audit", Coherence},
 		{"coldstorm", "cold-miss storms over remotefs: bulk population and miss coalescing", ColdStorm},
 		{"deepwalk", "deep-tree walks: directory shortcut resume vs path depth", Deepwalk},
+		{"connstorm", "9P connection storm: coalesced cold walks, warm wire RPCs and latency", ConnStorm},
 	}
 }
 

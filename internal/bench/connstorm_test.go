@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestConnStormTrajectory asserts the deterministic wire-level claims the
+// smoke gate relies on: a 64-connection cold storm over one deep path
+// costs exactly one backend Lookup per component, warm walks never touch
+// the backend, and a warm walk is exactly two RPCs (Twalk+Tclunk).
+func TestConnStormTrajectory(t *testing.T) {
+	m, err := ServeTrajectory(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["storm/conns"] < 64 {
+		t.Fatalf("storm ran %v conns, acceptance floor is 64", m["storm/conns"])
+	}
+	if m["storm/cold_errors"] != 0 {
+		t.Fatalf("cold storm had %v errors", m["storm/cold_errors"])
+	}
+	if got, want := m["storm/cold_fs_lookups"], m["storm/components"]; got != want {
+		t.Fatalf("cold storm cost %v backend Lookups for a %v-component path; "+
+			"miss coalescing must hold it to exactly one per component", got, want)
+	}
+	if m["storm/warm_fs_lookups"] != 0 {
+		t.Fatalf("warm walks reached the backend %v times", m["storm/warm_fs_lookups"])
+	}
+	if m["storm/rpcs_per_walk"] != 2 {
+		t.Fatalf("warm walk costs %v RPCs, want exactly 2 (Twalk+Tclunk)", m["storm/rpcs_per_walk"])
+	}
+}

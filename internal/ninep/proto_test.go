@@ -1,0 +1,140 @@
+package ninep
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dircache/internal/fsapi"
+)
+
+// roundTrip marshals f and unmarshals it back.
+func roundTrip(t *testing.T, f *Fcall) *Fcall {
+	t.Helper()
+	buf, err := Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal(%s): %v", MsgName(f.Type), err)
+	}
+	body, err := ReadMsg(bytes.NewReader(buf), MaxMsize)
+	if err != nil {
+		t.Fatalf("ReadMsg(%s): %v", MsgName(f.Type), err)
+	}
+	got, err := Unmarshal(body)
+	if err != nil {
+		t.Fatalf("Unmarshal(%s): %v", MsgName(f.Type), err)
+	}
+	return got
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	qid := Qid{Type: QTDir, Version: 7, Path: 0xdeadbeefcafe}
+	st := Stat{
+		Qid: qid, Mode: DMDir | 0o755, Atime: 100, Mtime: 200,
+		Length: 4096, Name: "src", UID: "1000", GID: "1000", MUID: "1000",
+	}
+	cases := []*Fcall{
+		{Type: MsgTversion, Tag: NoTag, Msize: 8192, Version: Version},
+		{Type: MsgRversion, Tag: NoTag, Msize: 8192, Version: Version},
+		{Type: MsgTattach, Tag: 1, Fid: 0, Afid: NoFid, Uname: "1000", Aname: "/srv"},
+		{Type: MsgRattach, Tag: 1, Qid: qid},
+		{Type: MsgRerror, Tag: 2, Ename: "13 permission denied"},
+		{Type: MsgTflush, Tag: 3, Oldtag: 2},
+		{Type: MsgRflush, Tag: 3},
+		{Type: MsgTwalk, Tag: 4, Fid: 1, Newfid: 2, Wname: []string{"a", "b", "c"}},
+		{Type: MsgTwalk, Tag: 4, Fid: 1, Newfid: 2}, // clone: zero names
+		{Type: MsgRwalk, Tag: 4, Wqid: []Qid{qid, {Type: QTFile, Version: 1, Path: 42}}},
+		{Type: MsgRwalk, Tag: 4}, // clone response: zero qids
+		{Type: MsgTopen, Tag: 5, Fid: 2, Mode: ORdWr | OTrunc},
+		{Type: MsgRopen, Tag: 5, Qid: qid, Iounit: 8168},
+		{Type: MsgTcreate, Tag: 6, Fid: 2, Name: "f.txt", Perm: 0o644, Mode: OWrite},
+		{Type: MsgRcreate, Tag: 6, Qid: qid, Iounit: 8168},
+		{Type: MsgTread, Tag: 7, Fid: 2, Offset: 1 << 40, Count: 8192},
+		{Type: MsgRread, Tag: 7, Data: []byte("hello, 9P")},
+		{Type: MsgRread, Tag: 7, Data: []byte{}}, // EOF
+		{Type: MsgTwrite, Tag: 8, Fid: 2, Offset: 0, Data: []byte{0, 1, 2, 255}},
+		{Type: MsgRwrite, Tag: 8, Count: 4},
+		{Type: MsgTclunk, Tag: 9, Fid: 2},
+		{Type: MsgRclunk, Tag: 9},
+		{Type: MsgTremove, Tag: 10, Fid: 2},
+		{Type: MsgRremove, Tag: 10},
+		{Type: MsgTstat, Tag: 11, Fid: 1},
+		{Type: MsgRstat, Tag: 11, Stat: st},
+		{Type: MsgTwstat, Tag: 12, Fid: 1, Stat: EmptyStat()},
+		{Type: MsgRwstat, Tag: 12},
+	}
+	norm := func(x *Fcall) {
+		if len(x.Wname) == 0 {
+			x.Wname = nil
+		}
+		if len(x.Wqid) == 0 {
+			x.Wqid = nil
+		}
+		if len(x.Data) == 0 {
+			x.Data = nil
+		}
+	}
+	for _, f := range cases {
+		got := roundTrip(t, f)
+		// nil vs empty slices are indistinguishable on the wire.
+		norm(f)
+		norm(got)
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("%s: round trip mismatch\n  sent %+v\n  got  %+v", MsgName(f.Type), f, got)
+		}
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	buf, err := Marshal(&Fcall{Type: MsgTattach, Tag: 1, Fid: 0, Afid: NoFid, Uname: "root", Aname: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the frame everywhere after the type byte and make sure the
+	// decoder errors instead of panicking or fabricating fields.
+	for n := 5; n < len(buf); n++ {
+		if _, err := Unmarshal(buf[4:n]); err == nil {
+			t.Fatalf("Unmarshal accepted a frame truncated to %d bytes", n)
+		}
+	}
+}
+
+func TestReadMsgEnforcesLimits(t *testing.T) {
+	if _, err := ReadMsg(bytes.NewReader([]byte{0, 0, 0, 0}), MaxMsize); err == nil {
+		t.Error("ReadMsg accepted a zero-size frame")
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0x7f, MsgTversion}
+	if _, err := ReadMsg(bytes.NewReader(huge), MaxMsize); err == nil {
+		t.Error("ReadMsg accepted an oversized frame")
+	}
+}
+
+func TestStatListRoundTrip(t *testing.T) {
+	stats := []Stat{
+		{Qid: Qid{Type: QTDir, Path: 1}, Mode: DMDir | 0o755, Name: "bin", UID: "0", GID: "0", MUID: "0"},
+		{Qid: Qid{Path: 2}, Mode: 0o644, Length: 12, Name: "README", UID: "7", GID: "7", MUID: "7"},
+	}
+	var buf []byte
+	for _, st := range stats {
+		buf = append(buf, MarshalStat(st)...)
+	}
+	got, err := UnmarshalStats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, got) {
+		t.Fatalf("stat list mismatch\n  sent %+v\n  got  %+v", stats, got)
+	}
+}
+
+func TestErrnoWireMapping(t *testing.T) {
+	for _, e := range []fsapi.Errno{fsapi.EACCES, fsapi.ENOENT, fsapi.ENOTDIR, fsapi.EIO} {
+		back := EnameErrno(ErrnoEname(e))
+		if !errors.Is(back, e) {
+			t.Errorf("errno %d: got %v back over the wire", int(e), back)
+		}
+	}
+	if got := EnameErrno("something opaque"); !errors.Is(got, fsapi.EIO) {
+		t.Errorf("opaque ename mapped to %v, want EIO", got)
+	}
+}

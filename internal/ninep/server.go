@@ -1,0 +1,954 @@
+package ninep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dircache"
+	"dircache/internal/fsapi"
+	"dircache/internal/telemetry"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Users maps unames to credentials. Unames not in the map fall back
+	// to the default mapping: "root" → uid 0, a decimal uname → that uid
+	// with matching gid and groups (UserCreds). Unames matching neither
+	// are refused at attach.
+	Users map[string]dircache.Creds
+	// MaxMsize caps msize negotiation (0 = ninep.MaxMsize).
+	MaxMsize uint32
+	// PoolIdle bounds the idle Process pool (0 = 1024).
+	PoolIdle int
+}
+
+// Server exports one dircache.System over 9P2000. Each accepted
+// connection is served by its own goroutine; requests on a connection are
+// handled in order (so Tflush is trivially satisfied), while connections
+// proceed fully in parallel against the shared directory cache.
+type Server struct {
+	sys *dircache.System
+	cfg Config
+	lis net.Listener
+	tel *telemetry.Telemetry
+
+	pool *dircache.ProcessPool
+
+	identMu sync.Mutex
+	idents  map[string]*dircache.Identity // uname → shared identity (one PCC per principal)
+
+	connWG  sync.WaitGroup
+	connMu  sync.Mutex
+	conns   map[*conn]struct{}
+	closing atomic.Bool
+
+	stats serverStats
+}
+
+// serverStats are the server's own counters, exported through the
+// system's telemetry as source "ninep" and snapshotted by Stats.
+type serverStats struct {
+	connsTotal   atomic.Int64
+	connsLive    atomic.Int64 // gauge
+	attaches     atomic.Int64
+	fidsLive     atomic.Int64 // gauge: entries across every connection's fid table
+	ops          atomic.Int64
+	walks        atomic.Int64
+	walkNames    atomic.Int64
+	errorsSent   atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// ServerStats is a snapshot of the server counters. ConnsLive and
+// FidsLive are gauges; everything else is cumulative.
+type ServerStats struct {
+	ConnsTotal int64
+	ConnsLive  int64
+	Attaches   int64
+	FidsLive   int64
+	Ops        int64
+	Walks      int64
+	WalkNames  int64
+	ErrorsSent int64
+	BytesRead  int64
+	BytesWritten int64
+	PoolGets   int64
+	PoolReuses int64
+}
+
+// NewServer builds a server for sys (not yet listening).
+func NewServer(sys *dircache.System, cfg Config) *Server {
+	if cfg.MaxMsize == 0 || cfg.MaxMsize > MaxMsize {
+		cfg.MaxMsize = MaxMsize
+	}
+	if cfg.MaxMsize < MinMsize {
+		cfg.MaxMsize = MinMsize
+	}
+	s := &Server{
+		sys:    sys,
+		cfg:    cfg,
+		pool:   sys.NewProcessPool(cfg.PoolIdle),
+		idents: map[string]*dircache.Identity{},
+		conns:  map[*conn]struct{}{},
+		tel:    sys.Telemetry().Raw(),
+	}
+	if s.tel != nil {
+		s.tel.RegisterStats("ninep", s.statCounters)
+	}
+	return s
+}
+
+// Serve listens on addr ("host:port"; ":0" for ephemeral) and serves
+// until Close. It returns as soon as the listener is up.
+func Serve(sys *dircache.System, addr string, cfg Config) (*Server, error) {
+	s := NewServer(sys, cfg)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	ps := s.pool.Stats()
+	return ServerStats{
+		ConnsTotal: s.stats.connsTotal.Load(),
+		ConnsLive:  s.stats.connsLive.Load(),
+		Attaches:   s.stats.attaches.Load(),
+		FidsLive:   s.stats.fidsLive.Load(),
+		Ops:        s.stats.ops.Load(),
+		Walks:      s.stats.walks.Load(),
+		WalkNames:  s.stats.walkNames.Load(),
+		ErrorsSent: s.stats.errorsSent.Load(),
+		BytesRead:  s.stats.bytesRead.Load(),
+		BytesWritten: s.stats.bytesWritten.Load(),
+		PoolGets:   ps.Gets,
+		PoolReuses: ps.Reuses,
+	}
+}
+
+func (s *Server) statCounters() map[string]int64 {
+	st := s.Stats()
+	return map[string]int64{
+		"conns_total":   st.ConnsTotal,
+		"conns_live":    st.ConnsLive,
+		"attaches":      st.Attaches,
+		"fids_live":     st.FidsLive,
+		"ops":           st.Ops,
+		"walks":         st.Walks,
+		"walk_names":    st.WalkNames,
+		"errors_sent":   st.ErrorsSent,
+		"bytes_read":    st.BytesRead,
+		"bytes_written": st.BytesWritten,
+		"pool_gets":     st.PoolGets,
+		"pool_reuses":   st.PoolReuses,
+	}
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// their handlers to drain (returning each connection's Processes to the
+// pool).
+func (s *Server) Close() error {
+	s.closing.Store(true)
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	if s.tel != nil {
+		s.tel.UnregisterStats("ninep")
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// identity returns the shared Identity for uname, so every connection
+// attached as one principal shares one credential — and one PCC.
+func (s *Server) identity(uname string) (*dircache.Identity, error) {
+	s.identMu.Lock()
+	defer s.identMu.Unlock()
+	if id, ok := s.idents[uname]; ok {
+		return id, nil
+	}
+	var c dircache.Creds
+	if cfg, ok := s.cfg.Users[uname]; ok {
+		c = cfg
+	} else if uname == "root" {
+		c = dircache.RootCreds()
+	} else if uid, err := strconv.ParseUint(uname, 10, 32); err == nil {
+		c = dircache.UserCreds(uint32(uid))
+	} else {
+		return nil, fmt.Errorf("unknown user %q", uname)
+	}
+	id := dircache.NewIdentity(c)
+	s.idents[uname] = id
+	return id, nil
+}
+
+// fidEntry is one live fid: a path handle bound to the attach identity's
+// Process, plus open-file state once Topen/Tcreate fires.
+type fidEntry struct {
+	path  string // absolute, lexically maintained
+	proc  *dircache.Process
+	qid   Qid
+	open  *dircache.File
+	omode uint8 // open mode byte, valid when open != nil
+	rclose bool
+	dirBuf []byte // marshalled stat records for directory reads
+	dirOff uint64 // next expected directory read offset
+}
+
+// conn is one client connection: its fid table and the Processes checked
+// out of the pool per attached uname.
+type conn struct {
+	srv   *Server
+	nc    net.Conn
+	msize uint32
+
+	fids  map[uint32]*fidEntry
+	procs map[string]*dircache.Process // uname → checked-out Process
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWG.Done()
+	s.stats.connsTotal.Add(1)
+	s.stats.connsLive.Add(1)
+	defer s.stats.connsLive.Add(-1)
+
+	c := &conn{
+		srv:   s,
+		nc:    nc,
+		msize: DefaultMsize,
+		fids:  map[uint32]*fidEntry{},
+		procs: map[string]*dircache.Process{},
+	}
+	s.connMu.Lock()
+	if s.closing.Load() {
+		s.connMu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+
+	defer func() {
+		c.reset()
+		for uname, p := range c.procs {
+			s.pool.Put(p)
+			delete(c.procs, uname)
+		}
+		nc.Close()
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+	}()
+
+	for {
+		body, err := ReadMsg(nc, s.cfg.MaxMsize)
+		if err != nil {
+			return // EOF, reset, or framing violation: drop the connection
+		}
+		s.stats.bytesRead.Add(int64(len(body) + 4))
+		req, err := Unmarshal(body)
+		if err != nil {
+			return
+		}
+		resp := c.dispatch(req)
+		resp.Tag = req.Tag
+		out, err := Marshal(resp)
+		if err != nil {
+			// Response exceeded wire limits (e.g. a >64KiB stat); report
+			// rather than killing the conn.
+			resp = &Fcall{Type: MsgRerror, Tag: req.Tag, Ename: ErrnoEname(fsapi.EINVAL)}
+			out, _ = Marshal(resp)
+		}
+		if resp.Type == MsgRerror {
+			s.stats.errorsSent.Add(1)
+		}
+		if _, err := c.nc.Write(out); err != nil {
+			return
+		}
+		s.stats.bytesWritten.Add(int64(len(out)))
+	}
+}
+
+// reset clunks every fid (closing open files), as Tversion demands.
+func (c *conn) reset() {
+	c.srv.stats.fidsLive.Add(-int64(len(c.fids)))
+	for n, f := range c.fids {
+		if f.open != nil {
+			f.open.Close()
+		}
+		delete(c.fids, n)
+	}
+}
+
+// histFor buckets a request type into its per-op histogram.
+func histFor(t uint8) telemetry.HistID {
+	switch t {
+	case MsgTversion, MsgTauth, MsgTattach:
+		return telemetry.HistServeAttach
+	case MsgTwalk:
+		return telemetry.HistServeWalk
+	case MsgTopen, MsgTcreate:
+		return telemetry.HistServeOpen
+	case MsgTread, MsgTwrite:
+		return telemetry.HistServeRead
+	case MsgTstat, MsgTwstat:
+		return telemetry.HistServeStat
+	default:
+		return telemetry.HistServeClunk
+	}
+}
+
+// dispatch handles one request and builds its response.
+func (c *conn) dispatch(req *Fcall) *Fcall {
+	c.srv.stats.ops.Add(1)
+	t0 := time.Now()
+	resp, err := c.handle(req)
+	c.srv.tel.Record(histFor(req.Type), time.Since(t0))
+	if err != nil {
+		return &Fcall{Type: MsgRerror, Ename: ErrnoEname(err)}
+	}
+	return resp
+}
+
+// protoErr is a non-errno protocol violation reported via Rerror.
+type protoErr string
+
+func (e protoErr) Error() string { return string(e) }
+
+func (c *conn) handle(req *Fcall) (*Fcall, error) {
+	switch req.Type {
+	case MsgTversion:
+		return c.tversion(req)
+	case MsgTauth:
+		return nil, protoErr("authentication not required")
+	case MsgTattach:
+		return c.tattach(req)
+	case MsgTflush:
+		// Requests are handled in order: by the time a Tflush is read,
+		// the flushed request has already been answered.
+		return &Fcall{Type: MsgRflush}, nil
+	case MsgTwalk:
+		return c.twalk(req)
+	case MsgTopen:
+		return c.topen(req)
+	case MsgTcreate:
+		return c.tcreate(req)
+	case MsgTread:
+		return c.tread(req)
+	case MsgTwrite:
+		return c.twrite(req)
+	case MsgTclunk:
+		return c.tclunk(req)
+	case MsgTremove:
+		return c.tremove(req)
+	case MsgTstat:
+		return c.tstat(req)
+	case MsgTwstat:
+		return c.twstat(req)
+	default:
+		return nil, protoErr("illegal message type " + MsgName(req.Type))
+	}
+}
+
+func (c *conn) tversion(req *Fcall) (*Fcall, error) {
+	c.reset()
+	ms := req.Msize
+	if ms > c.srv.cfg.MaxMsize {
+		ms = c.srv.cfg.MaxMsize
+	}
+	if ms < MinMsize {
+		return nil, protoErr("msize too small")
+	}
+	c.msize = ms
+	ver := Version
+	if !strings.HasPrefix(req.Version, Version) {
+		ver = VersionUnknown
+	}
+	return &Fcall{Type: MsgRversion, Msize: ms, Version: ver}, nil
+}
+
+// procFor returns the connection's Process for uname, checking one out of
+// the pool on first use. Connections attached under several unames hold
+// one Process per uname, each carrying that principal's shared identity.
+func (c *conn) procFor(uname string) (*dircache.Process, error) {
+	if p, ok := c.procs[uname]; ok {
+		return p, nil
+	}
+	id, err := c.srv.identity(uname)
+	if err != nil {
+		return nil, protoErr(err.Error())
+	}
+	p := c.srv.pool.Get(id)
+	c.procs[uname] = p
+	return p, nil
+}
+
+func (c *conn) tattach(req *Fcall) (*Fcall, error) {
+	if req.Afid != NoFid {
+		return nil, protoErr("authentication not required")
+	}
+	if _, busy := c.fids[req.Fid]; busy {
+		return nil, protoErr("fid already in use")
+	}
+	proc, err := c.procFor(req.Uname)
+	if err != nil {
+		return nil, err
+	}
+	root := "/"
+	if req.Aname != "" && req.Aname != "/" {
+		root = cleanAbs(req.Aname)
+	}
+	fi, err := proc.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return nil, fsapi.ENOTDIR
+	}
+	c.fids[req.Fid] = &fidEntry{path: root, proc: proc, qid: qidOf(fi)}
+	c.srv.stats.attaches.Add(1)
+	c.srv.stats.fidsLive.Add(1)
+	return &Fcall{Type: MsgRattach, Qid: qidOf(fi)}, nil
+}
+
+func (c *conn) lookupFid(n uint32) (*fidEntry, error) {
+	f, ok := c.fids[n]
+	if !ok {
+		return nil, fsapi.EBADF
+	}
+	return f, nil
+}
+
+// twalk resolves the whole name sequence with ONE multi-component kernel
+// walk — the wire request maps to a single Lstat of the joined path, so a
+// warm walk is a DLHT full-path hit (or a shortcut resume) regardless of
+// depth, and a cold one funnels through miss coalescing exactly like a
+// local walk. Intermediate qids are then read back per prefix; those
+// walks run entirely warm off the entries the full walk just populated.
+// Only when the full walk fails does the server fall back to
+// component-at-a-time resolution to honor 9P partial-walk semantics.
+func (c *conn) twalk(req *Fcall) (*Fcall, error) {
+	src, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	if src.open != nil {
+		return nil, protoErr("cannot walk an open fid")
+	}
+	if req.Newfid != req.Fid {
+		if _, busy := c.fids[req.Newfid]; busy {
+			return nil, protoErr("newfid already in use")
+		}
+	}
+	c.srv.stats.walks.Add(1)
+	c.srv.stats.walkNames.Add(int64(len(req.Wname)))
+
+	if len(req.Wname) == 0 { // clone
+		nf := &fidEntry{path: src.path, proc: src.proc, qid: src.qid}
+		if req.Newfid != req.Fid {
+			c.fids[req.Newfid] = nf
+			c.srv.stats.fidsLive.Add(1)
+		}
+		return &Fcall{Type: MsgRwalk}, nil
+	}
+
+	paths := make([]string, len(req.Wname))
+	cur := src.path
+	for i, name := range req.Wname {
+		if strings.ContainsRune(name, '/') || name == "" {
+			return nil, fsapi.EINVAL
+		}
+		cur = joinStep(cur, name)
+		paths[i] = cur
+	}
+
+	final := paths[len(paths)-1]
+	qids := make([]Qid, 0, len(paths))
+	fi, err := src.proc.Lstat(withDotDot(src.path, req.Wname)) // the one multi-component walk
+	if err == nil {
+		for _, p := range paths[:len(paths)-1] {
+			pfi, perr := src.proc.Lstat(p)
+			if perr != nil {
+				// The tree mutated between the full walk and the qid
+				// read-back; fall back to the component loop.
+				return c.twalkSlow(req, src, paths)
+			}
+			qids = append(qids, qidOf(pfi))
+		}
+		qids = append(qids, qidOf(fi))
+		nf := &fidEntry{path: final, proc: src.proc, qid: qidOf(fi)}
+		if req.Newfid == req.Fid {
+			*src = *nf
+		} else {
+			c.fids[req.Newfid] = nf
+			c.srv.stats.fidsLive.Add(1)
+		}
+		return &Fcall{Type: MsgRwalk, Wqid: qids}, nil
+	}
+	return c.twalkSlow(req, src, paths)
+}
+
+// twalkSlow implements 9P partial-walk semantics: resolve one name at a
+// time, stop at the first failure, and succeed with the prefix's qids
+// (error only when the very first name fails).
+func (c *conn) twalkSlow(req *Fcall, src *fidEntry, paths []string) (*Fcall, error) {
+	var qids []Qid
+	for _, p := range paths {
+		fi, err := src.proc.Lstat(p)
+		if err != nil {
+			if len(qids) == 0 {
+				return nil, err
+			}
+			return &Fcall{Type: MsgRwalk, Wqid: qids}, nil // partial: newfid not created
+		}
+		if len(qids) < len(paths)-1 && !fi.IsDir() {
+			if len(qids) == 0 {
+				return nil, fsapi.ENOTDIR
+			}
+			return &Fcall{Type: MsgRwalk, Wqid: qids}, nil
+		}
+		qids = append(qids, qidOf(fi))
+	}
+	last := paths[len(paths)-1]
+	nf := &fidEntry{path: last, proc: src.proc, qid: qids[len(qids)-1]}
+	if req.Newfid == req.Fid {
+		*src = *nf
+	} else {
+		c.fids[req.Newfid] = nf
+		c.srv.stats.fidsLive.Add(1)
+	}
+	return &Fcall{Type: MsgRwalk, Wqid: qids}, nil
+}
+
+func (c *conn) topen(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	if f.open != nil {
+		return nil, protoErr("fid already open")
+	}
+	flags, err := openFlags(req.Mode, f.qid.IsDir())
+	if err != nil {
+		return nil, err
+	}
+	of, err := f.proc.Open(f.path, flags, 0)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := of.Stat()
+	if err != nil {
+		of.Close()
+		return nil, err
+	}
+	f.open = of
+	f.omode = req.Mode
+	f.rclose = req.Mode&ORClose != 0
+	f.qid = qidOf(fi)
+	f.dirBuf = nil
+	f.dirOff = 0
+	return &Fcall{Type: MsgRopen, Qid: f.qid, Iounit: c.iounit()}, nil
+}
+
+func (c *conn) tcreate(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	if f.open != nil {
+		return nil, protoErr("fid already open")
+	}
+	if !f.qid.IsDir() {
+		return nil, fsapi.ENOTDIR
+	}
+	if strings.ContainsRune(req.Name, '/') || req.Name == "" || req.Name == "." || req.Name == ".." {
+		return nil, fsapi.EINVAL
+	}
+	path := joinStep(f.path, req.Name)
+	if req.Perm&DMDir != 0 {
+		if req.Mode&^ORClose != ORead {
+			return nil, fsapi.EISDIR
+		}
+		if err := f.proc.Mkdir(path, req.Perm&0o777); err != nil {
+			return nil, err
+		}
+		of, err := f.proc.Open(path, dircache.O_RDONLY|dircache.O_DIRECTORY, 0)
+		if err != nil {
+			return nil, err
+		}
+		return c.finishCreate(f, req, path, of)
+	}
+	flags, err := openFlags(req.Mode, false)
+	if err != nil {
+		return nil, err
+	}
+	of, err := f.proc.Open(path, flags|dircache.O_CREAT|dircache.O_EXCL, req.Perm&0o777)
+	if err != nil {
+		return nil, err
+	}
+	return c.finishCreate(f, req, path, of)
+}
+
+func (c *conn) finishCreate(f *fidEntry, req *Fcall, path string, of *dircache.File) (*Fcall, error) {
+	fi, err := of.Stat()
+	if err != nil {
+		of.Close()
+		return nil, err
+	}
+	f.path = path
+	f.open = of
+	f.omode = req.Mode
+	f.rclose = req.Mode&ORClose != 0
+	f.qid = qidOf(fi)
+	f.dirBuf = nil
+	f.dirOff = 0
+	return &Fcall{Type: MsgRcreate, Qid: f.qid, Iounit: c.iounit()}, nil
+}
+
+func (c *conn) tread(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	if f.open == nil {
+		return nil, protoErr("fid not open")
+	}
+	count := req.Count
+	if max := c.iounit(); count > max {
+		count = max
+	}
+	if f.qid.IsDir() {
+		return c.readDir(f, req.Offset, count)
+	}
+	buf := make([]byte, count)
+	n, err := f.open.ReadAt(buf, int64(req.Offset))
+	if err != nil && n == 0 && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return &Fcall{Type: MsgRread, Data: buf[:n]}, nil
+}
+
+// readDir serves directory reads from a per-open snapshot of marshalled
+// stat records, rebuilt whenever the client rewinds to offset 0. Each
+// entry's metadata comes from a relative Lstat under the directory — a
+// readdir-then-stat scan, exactly the shape DIR_COMPLETE and bulk
+// population are built to absorb.
+func (c *conn) readDir(f *fidEntry, offset uint64, count uint32) (*Fcall, error) {
+	if offset == 0 {
+		if _, err := f.open.Seek(0, 0); err != nil { // rewinddir
+			return nil, err
+		}
+		ents, err := f.open.ReadDirAll()
+		if err != nil {
+			return nil, err
+		}
+		f.dirBuf = f.dirBuf[:0]
+		for _, e := range ents {
+			fi, err := f.proc.Lstat(joinStep(f.path, e.Name))
+			if err != nil {
+				continue // raced a concurrent remove; skip the entry
+			}
+			f.dirBuf = append(f.dirBuf, MarshalStat(statOf(e.Name, fi))...)
+		}
+		f.dirOff = 0
+	} else if offset != f.dirOff {
+		return nil, protoErr("non-sequential directory read")
+	}
+	rest := f.dirBuf[min(int(offset), len(f.dirBuf)):]
+	// Truncate to whole stat records within count.
+	n := 0
+	for n < len(rest) {
+		rl := int(uint16(rest[n]) | uint16(rest[n+1])<<8) + 2
+		if n+rl > int(count) {
+			break
+		}
+		n += rl
+	}
+	f.dirOff = offset + uint64(n)
+	return &Fcall{Type: MsgRread, Data: rest[:n]}, nil
+}
+
+func (c *conn) twrite(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	if f.open == nil {
+		return nil, protoErr("fid not open")
+	}
+	if f.qid.IsDir() {
+		return nil, fsapi.EISDIR
+	}
+	if _, err := f.open.Seek(int64(req.Offset), 0); err != nil {
+		return nil, err
+	}
+	n, err := f.open.Write(req.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &Fcall{Type: MsgRwrite, Count: uint32(n)}, nil
+}
+
+func (c *conn) tclunk(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	delete(c.fids, req.Fid)
+	c.srv.stats.fidsLive.Add(-1)
+	if f.open != nil {
+		f.open.Close()
+	}
+	if f.rclose {
+		f.proc.Unlink(f.path) // best-effort, like Plan 9
+	}
+	return &Fcall{Type: MsgRclunk}, nil
+}
+
+func (c *conn) tremove(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	// Remove always clunks, success or not.
+	delete(c.fids, req.Fid)
+	c.srv.stats.fidsLive.Add(-1)
+	if f.open != nil {
+		f.open.Close()
+	}
+	if f.qid.IsDir() {
+		err = f.proc.Rmdir(f.path)
+	} else {
+		err = f.proc.Unlink(f.path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Fcall{Type: MsgRremove}, nil
+}
+
+func (c *conn) tstat(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.proc.Lstat(f.path)
+	if err != nil {
+		return nil, err
+	}
+	return &Fcall{Type: MsgRstat, Stat: statOf(baseName(f.path), fi)}, nil
+}
+
+func (c *conn) twstat(req *Fcall) (*Fcall, error) {
+	f, err := c.lookupFid(req.Fid)
+	if err != nil {
+		return nil, err
+	}
+	st := req.Stat
+	if st.Mode != noChange32 {
+		if err := f.proc.Chmod(f.path, st.Mode&0o777); err != nil {
+			return nil, err
+		}
+	}
+	if st.UID != "" || st.GID != "" {
+		fi, err := f.proc.Lstat(f.path)
+		if err != nil {
+			return nil, err
+		}
+		uid, gid := fi.UID, fi.GID
+		if st.UID != "" {
+			v, err := strconv.ParseUint(st.UID, 10, 32)
+			if err != nil {
+				return nil, fsapi.EINVAL
+			}
+			uid = uint32(v)
+		}
+		if st.GID != "" {
+			v, err := strconv.ParseUint(st.GID, 10, 32)
+			if err != nil {
+				return nil, fsapi.EINVAL
+			}
+			gid = uint32(v)
+		}
+		if err := f.proc.Chown(f.path, uid, gid); err != nil {
+			return nil, err
+		}
+	}
+	if st.Length != noChange64 {
+		if err := f.proc.Truncate(f.path, int64(st.Length)); err != nil {
+			return nil, err
+		}
+	}
+	if st.Name != "" && st.Name != baseName(f.path) {
+		if strings.ContainsRune(st.Name, '/') {
+			return nil, fsapi.EINVAL
+		}
+		dst := joinStep(parentOf(f.path), st.Name)
+		if err := f.proc.Rename(f.path, dst); err != nil {
+			return nil, err
+		}
+		f.path = dst
+	}
+	return &Fcall{Type: MsgRwstat}, nil
+}
+
+// iounit is the largest read/write payload within the negotiated msize.
+func (c *conn) iounit() uint32 { return c.msize - IOHeaderSize }
+
+// --- path and metadata helpers ---------------------------------------
+
+// joinStep appends one walk component to an absolute path, folding "."
+// and ".." lexically (9P fids are path handles; ".." at "/" stays put).
+func joinStep(dir, name string) string {
+	switch name {
+	case ".":
+		return dir
+	case "..":
+		return parentOf(dir)
+	}
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// withDotDot joins the walk names onto base for the kernel walk. The
+// kernel resolves "." and ".." itself, so the joined string is passed
+// through verbatim.
+func withDotDot(base string, names []string) string {
+	if base == "/" {
+		return "/" + strings.Join(names, "/")
+	}
+	return base + "/" + strings.Join(names, "/")
+}
+
+func parentOf(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i > 0 {
+		return p[:i]
+	}
+	return "/"
+}
+
+func baseName(p string) string {
+	if p == "/" {
+		return "/"
+	}
+	return p[strings.LastIndexByte(p, '/')+1:]
+}
+
+// cleanAbs lexically normalizes an attach aname into an absolute path.
+func cleanAbs(p string) string {
+	out := "/"
+	for _, seg := range strings.Split(p, "/") {
+		if seg != "" {
+			out = joinStep(out, seg)
+		}
+	}
+	return out
+}
+
+// qidOf derives the wire qid from file metadata: the inode as path, the
+// logical mtime as version, and the type bits.
+func qidOf(fi dircache.FileInfo) Qid {
+	q := Qid{Version: uint32(fi.Mtime), Path: fi.Inode}
+	switch fi.Type {
+	case dircache.TypeDirectory:
+		q.Type = QTDir
+	case dircache.TypeSymlink:
+		q.Type = QTSymlink
+	}
+	return q
+}
+
+// statOf builds the 9P stat record for one object.
+func statOf(name string, fi dircache.FileInfo) Stat {
+	mode := fi.Perm & 0o777
+	switch fi.Type {
+	case dircache.TypeDirectory:
+		mode |= DMDir
+	case dircache.TypeSymlink:
+		mode |= DMSymlink
+	}
+	return Stat{
+		Qid:    qidOf(fi),
+		Mode:   mode,
+		Mtime:  uint32(fi.Mtime),
+		Atime:  uint32(fi.Mtime),
+		Length: uint64(fi.Size),
+		Name:   name,
+		UID:    strconv.FormatUint(uint64(fi.UID), 10),
+		GID:    strconv.FormatUint(uint64(fi.GID), 10),
+		MUID:   strconv.FormatUint(uint64(fi.UID), 10),
+	}
+}
+
+// openFlags maps a 9P open mode byte onto the VFS open flags.
+func openFlags(mode uint8, isDir bool) (dircache.OpenFlag, error) {
+	var fl dircache.OpenFlag
+	switch mode &^ (OTrunc | ORClose) {
+	case ORead:
+		fl = dircache.O_RDONLY
+	case OWrite:
+		fl = dircache.O_WRONLY
+	case ORdWr:
+		fl = dircache.O_RDWR
+	case OExec:
+		fl = dircache.O_RDONLY
+	default:
+		return 0, fsapi.EINVAL
+	}
+	if isDir {
+		if fl != dircache.O_RDONLY || mode&OTrunc != 0 {
+			return 0, fsapi.EISDIR
+		}
+		fl |= dircache.O_DIRECTORY
+	}
+	if mode&OTrunc != 0 {
+		fl |= dircache.O_TRUNC
+	}
+	return fl, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -68,6 +68,26 @@ const (
 	// read directly as a resume-depth distribution.
 	HistShortcutDepth
 
+	// The 9P server's per-op cost centers (internal/ninep): end-to-end
+	// handling latency of each request class, from a parsed T-message to
+	// its queued R-message. ServeWalk is the wire mirror of HistWalk —
+	// one Twalk is one multi-component kernel walk plus qid assembly.
+
+	// HistServeAttach times Tversion/Tauth/Tattach handling (identity
+	// resolution and process-pool checkout included).
+	HistServeAttach
+	// HistServeWalk times Twalk handling.
+	HistServeWalk
+	// HistServeOpen times Topen/Tcreate handling.
+	HistServeOpen
+	// HistServeRead times Tread/Twrite handling (directory reads
+	// included).
+	HistServeRead
+	// HistServeStat times Tstat/Twstat handling.
+	HistServeStat
+	// HistServeClunk times Tclunk/Tremove/Tflush handling.
+	HistServeClunk
+
 	NumHistograms
 )
 
@@ -75,6 +95,7 @@ var histNames = [NumHistograms]string{
 	"walk", "fastpath", "slowpath", "fs_lookup", "pcc_probe", "pcc_resize", "evict",
 	"rename_invalidate", "chmod_seq_bump", "unlink_invalidate", "dlht_remove",
 	"miss_wait", "shortcut_depth",
+	"ninep_attach", "ninep_walk", "ninep_open", "ninep_read", "ninep_stat", "ninep_clunk",
 }
 
 var histHelp = [NumHistograms]string{
@@ -91,6 +112,12 @@ var histHelp = [NumHistograms]string{
 	"latency of one DLHT entry removal",
 	"wait of a coalesced miss on a concurrent in-flight lookup",
 	"components skipped per slow-walk shortcut resume (count, not latency)",
+	"9P server Tversion/Tauth/Tattach handling latency",
+	"9P server Twalk handling latency",
+	"9P server Topen/Tcreate handling latency",
+	"9P server Tread/Twrite handling latency",
+	"9P server Tstat/Twstat handling latency",
+	"9P server Tclunk/Tremove/Tflush handling latency",
 }
 
 // Name returns the histogram's exporter name.

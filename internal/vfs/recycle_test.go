@@ -1,0 +1,79 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"dircache/internal/cred"
+	"dircache/internal/fsapi"
+)
+
+// TestRecycleResetsTenantState covers the pooled-reuse contract: Recycle
+// must return a task to its newborn shape — initial namespace, root and
+// cwd at "/", the new credential installed, and the walk-resume shortcut
+// scratch cleared so a recycled task cannot hash-resume from the previous
+// tenant's prefix.
+func TestRecycleResetsTenantState(t *testing.T) {
+	k, root := newKernel(t, Config{})
+	defer root.Exit()
+
+	a := alice(k)
+	if err := a.Chdir("/home/alice/projects"); err != nil {
+		t.Fatal(err)
+	}
+	type fakeResume struct{ path string }
+	a.SetShortcutScratch(&fakeResume{path: "/home/alice/projects"})
+	if a.ShortcutScratch() == nil {
+		t.Fatal("scratch did not stick")
+	}
+
+	bobCred := cred.New(1001, 1001, nil, "")
+	a.Recycle(bobCred)
+
+	if got := a.ShortcutScratch(); got != nil {
+		t.Fatalf("shortcut scratch survived recycle: %#v", got)
+	}
+	if got := a.Getcwd(); got != "/" {
+		t.Fatalf("cwd after recycle = %q, want /", got)
+	}
+	if a.Cred() != bobCred {
+		t.Fatalf("cred after recycle = %+v", a.Cred())
+	}
+
+	// The recycled task operates under the NEW credential: bob's 0700
+	// subtree opens, alice's view of it would not.
+	if _, err := a.Stat("/home/bob/secret/key"); err != nil {
+		t.Fatalf("recycled task denied as bob: %v", err)
+	}
+
+	// Recycle again to a low-privilege cred: bob's subtree must now deny.
+	a.Recycle(cred.New(1000, 1000, nil, ""))
+	if _, err := a.Stat("/home/bob/secret/key"); !errors.Is(err, fsapi.EACCES) {
+		t.Fatalf("second recycle kept stale privilege: %v", err)
+	}
+	if got := a.ShortcutScratch(); got != nil {
+		t.Fatalf("scratch survived second recycle: %#v", got)
+	}
+	a.Exit() // refcounts must balance after recycles (lru_test audits pins)
+}
+
+// TestRecycleLeavesPrivateNamespace ensures a recycled task drops back to
+// the initial mount namespace even after UnshareNamespace.
+func TestRecycleLeavesPrivateNamespace(t *testing.T) {
+	k, root := newKernel(t, Config{})
+	defer root.Exit()
+
+	tk := k.NewTask(cred.Root())
+	priv := tk.UnshareNamespace()
+	if tk.Namespace() != priv {
+		t.Fatal("unshare did not install the private namespace")
+	}
+	tk.Recycle(cred.Root())
+	if tk.Namespace() == priv {
+		t.Fatal("recycled task kept the previous tenant's namespace")
+	}
+	if _, err := tk.Stat("/etc/passwd"); err != nil {
+		t.Fatalf("stat after recycle: %v", err)
+	}
+	tk.Exit()
+}

@@ -32,17 +32,25 @@ type Task struct {
 	// immutable value swapped whole (the walk-resume analogue of
 	// Dentry.fast). Concurrent walks on one task may race to replace it;
 	// readers validate whatever snapshot they load, so a lost store only
-	// costs a future resume opportunity.
-	shortcutP atomic.Value
+	// costs a future resume opportunity. Boxed so Recycle can clear it
+	// (atomic.Value cannot store nil or change concrete types).
+	shortcutP atomic.Value // scratchBox
 }
+
+// scratchBox wraps the hooks' scratch value so every shortcutP store uses
+// one concrete type, letting Recycle store an empty box to clear it.
+type scratchBox struct{ v any }
 
 // ShortcutScratch returns the hook-owned walk-resume scratch value, or
 // nil if none has been recorded.
-func (t *Task) ShortcutScratch() any { return t.shortcutP.Load() }
+func (t *Task) ShortcutScratch() any {
+	b, _ := t.shortcutP.Load().(scratchBox)
+	return b.v
+}
 
 // SetShortcutScratch records the hook-owned walk-resume scratch. Values
 // must be immutable and of one concrete type per hooks implementation.
-func (t *Task) SetShortcutScratch(v any) { t.shortcutP.Store(v) }
+func (t *Task) SetShortcutScratch(v any) { t.shortcutP.Store(scratchBox{v: v}) }
 
 // acquireSegs returns a 1-length segment stack for a slow walk: the
 // task's scratch buffer when free, a fresh allocation otherwise.
@@ -116,6 +124,30 @@ func (t *Task) Fork() *Task {
 	n.Root().D.Ref()
 	n.Cwd().D.Ref()
 	return n
+}
+
+// Recycle returns the task to its newborn state under new credentials:
+// initial namespace, root and cwd at "/", and — critically for pooled
+// multi-tenant reuse — the walk-resume shortcut scratch cleared, so a
+// recycled task can never hash-resume from a previous tenant's prefix.
+// The segment scratch buffer is kept (its contents are zeroed on every
+// release). Must not race in-flight walks on the same task.
+func (t *Task) Recycle(c *cred.Cred) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRoot := *t.rootp.Load()
+	oldCwd := *t.cwdp.Load()
+	ns := t.k.initNS
+	rootRef := PathRef{Mnt: ns.RootMount(), D: ns.RootMount().Root()}
+	rootRef.D.Ref()
+	rootRef.D.Ref() // one pin for root, one for cwd
+	t.nsp.Store(ns)
+	t.rootp.Store(&rootRef)
+	t.cwdp.Store(&rootRef)
+	t.credp.Store(c)
+	t.shortcutP.Store(scratchBox{})
+	oldRoot.D.Unref()
+	oldCwd.D.Unref()
 }
 
 // Exit releases the task's directory pins.

@@ -1,0 +1,106 @@
+package dircache_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dircache"
+)
+
+// TestPCCIsolationInvariantUnderConcurrentCreds is the satellite-3
+// contract behind serving many principals from one cache: K goroutines
+// with DISTINCT uids hammer the same shared subtree concurrently, and
+// every goroutine must observe exactly the permission outcome its own
+// credential earns — never a neighbour's. The prefix check cache is
+// per-credential, so a positive entry cached for the subtree's owner
+// must not leak a fastpath grant to the other uids, and the negative
+// outcome cached for a stranger must not mask the owner's access.
+// `make audit` runs this under -race.
+func TestPCCIsolationInvariantUnderConcurrentCreds(t *testing.T) {
+	const (
+		K     = 8
+		iters = 50
+		owner = uint32(2000) // uids 2000..2007; 2000 owns the 0750 subtree
+	)
+
+	sys := dircache.New(dircache.Optimized())
+	root := sys.Start(dircache.RootCreds())
+	defer root.Exit()
+
+	// /shared/team is 0750 owned by uid 2000 (group 2000): only the owner
+	// may descend. /shared/pub/... is world-readable: everyone succeeds.
+	if err := root.MkdirAll("/shared", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.MkdirAll("/shared/team/docs", 0o750); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.WriteFile("/shared/team/docs/plan.txt", []byte("q3"), 0o640); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/shared/team", "/shared/team/docs", "/shared/team/docs/plan.txt"} {
+		if err := root.Chown(p, owner, owner); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := root.MkdirAll("/shared/pub/a/b/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.WriteFile("/shared/pub/a/b/c/readme", []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, K)
+	for g := 0; g < K; g++ {
+		wg.Add(1)
+		go func(uid uint32) {
+			defer wg.Done()
+			p := sys.Start(dircache.UserCreds(uid))
+			defer p.Exit()
+			for i := 0; i < iters; i++ {
+				// Everyone succeeds on the world-readable deep path: this
+				// keeps all K credentials warming PCC entries for the same
+				// directories at once.
+				if _, err := p.Stat("/shared/pub/a/b/c/readme"); err != nil {
+					errs <- fmt.Errorf("uid %d: public path: %w", uid, err)
+					return
+				}
+				// The 0750 subtree splits by credential.
+				_, err := p.Stat("/shared/team/docs/plan.txt")
+				if uid == owner {
+					if err != nil {
+						errs <- fmt.Errorf("uid %d (owner) denied on own subtree: %w", uid, err)
+						return
+					}
+				} else if !errors.Is(err, dircache.ErrPermission) {
+					errs <- fmt.Errorf("uid %d: want ErrPermission on 0750 subtree, got %v", uid, err)
+					return
+				}
+				// Mid-walk denial too: the stranger must be stopped AT the
+				// 0750 directory, not ride a cached full-path entry past it.
+				_, err = p.Stat("/shared/team/docs")
+				if uid == owner {
+					if err != nil {
+						errs <- fmt.Errorf("uid %d (owner) denied on docs dir: %w", uid, err)
+						return
+					}
+				} else if !errors.Is(err, dircache.ErrPermission) {
+					errs <- fmt.Errorf("uid %d: want ErrPermission on docs dir, got %v", uid, err)
+					return
+				}
+			}
+		}(owner + uint32(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if rep := sys.Doctor(); rep.Violations() != 0 {
+		t.Fatalf("auditor found violations after concurrent-cred storm:\n%s", rep.Summary())
+	}
+}

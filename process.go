@@ -23,8 +23,19 @@ type Creds struct {
 // RootCreds returns uid/gid 0.
 func RootCreds() Creds { return Creds{} }
 
-// UserCreds returns simple single-user credentials.
-func UserCreds(uid uint32) Creds { return Creds{UID: uid, GID: uid} }
+// UserCreds returns unix-style single-user credentials: uid with a
+// matching primary gid, the primary gid mirrored into the supplementary
+// groups (as login(1) does), plus any extra supplementary groups. Root
+// (uid 0) gets no implicit groups.
+func UserCreds(uid uint32, groups ...uint32) Creds {
+	c := Creds{UID: uid, GID: uid}
+	if uid != 0 {
+		c.Groups = append([]uint32{uid}, groups...)
+	} else {
+		c.Groups = append([]uint32(nil), groups...)
+	}
+	return c
+}
 
 func (c Creds) toCred() *cred.Cred {
 	return cred.New(c.UID, c.GID, c.Groups, c.Label)

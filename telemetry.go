@@ -163,11 +163,24 @@ func (tl *Telemetry) SetTraceSample(n int) { tl.t.SetTraceSample(n) }
 // lost; the trace ring and registered counters are unaffected.
 func (tl *Telemetry) ResetHistograms() { tl.t.ResetHistograms() }
 
+// Raw exposes the underlying telemetry instance to in-repo subsystems
+// (internal/ninep records its per-op server histograms through it).
+// Nil-safe: a nil *Telemetry returns a nil raw instance, whose Record and
+// Emit are themselves nil-safe no-ops.
+func (tl *Telemetry) Raw() *telemetry.Telemetry {
+	if tl == nil {
+		return nil
+	}
+	return tl.t
+}
+
 // HistogramQuantiles reports the estimated p50/p95/p99 of the named
 // latency histogram. Names: "walk", "fastpath", "slowpath", "fs_lookup",
-// "pcc_probe", "pcc_resize", "evict", "miss_wait", and the mutation-side
+// "pcc_probe", "pcc_resize", "evict", "miss_wait", the mutation-side
 // cost centers "rename_invalidate", "chmod_seq_bump", "unlink_invalidate",
-// "dlht_remove". ok is false for an unknown name or an empty histogram.
+// "dlht_remove", and the 9P server's per-op centers "ninep_attach",
+// "ninep_walk", "ninep_open", "ninep_read", "ninep_stat", "ninep_clunk".
+// ok is false for an unknown name or an empty histogram.
 func (tl *Telemetry) HistogramQuantiles(name string) (p50, p95, p99 time.Duration, ok bool) {
 	id, ok := telemetry.HistIDByName(name)
 	if !ok {

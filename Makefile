@@ -19,9 +19,9 @@ help:
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
-	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve trajectories vs BENCH_*.json"
-	@echo "  serve-smoke    boot dcserve on loopback and drive the in-repo 9P client through it"
-	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve JSON files"
+	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve trajectories vs BENCH_*.json + tracing-tax gate (<3%)"
+	@echo "  serve-smoke    boot dcserve on loopback: 9P client round trips + end-to-end trace stitching on /slow"
+	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve/trace JSON files"
 
 build:
 	$(GO) build ./...
@@ -59,15 +59,20 @@ bench-parallel:
 # tolerance from the committed BENCH_apps.json baseline, then re-run the
 # deterministic cold-miss scan and deep-walk trajectories and compare
 # their exact per-op counts against the committed BENCH_cold.json and
-# BENCH_deep.json (regenerate all three via `make dcbench`).
+# BENCH_deep.json (regenerate via `make dcbench`), and finally gate the
+# tracing tax: walk tracing at 1/64 sampling must cost <3% on the warm
+# fastpath vs tracing disabled (trajectory in BENCH_trace.json).
 bench-smoke:
 	$(GO) run ./cmd/dcbench -scale small -smoke BENCH_apps.json
 
 # 9P server smoke: boot dcserve on an ephemeral loopback port, run the
 # in-repo client through attach/walk/stat/readdir/read round trips under
-# two principals, and assert a clean drain on shutdown.
+# two principals, assert a clean drain on shutdown — and the tracing
+# acceptance: a cold 14-component wire walk stitches into ONE
+# client+server trace and a warm sibling walk records a shortcut resume
+# with depth saved, both readable off /slow and /metrics.json.
 serve-smoke:
-	$(GO) test -run 'TestServeSmoke' -count=1 ./cmd/dcserve
+	$(GO) test -run 'TestServeSmoke|TestServeTraceSmoke' -count=1 ./cmd/dcserve
 
 # Paper tables/figures plus the machine-readable perf trajectory files.
 dcbench:

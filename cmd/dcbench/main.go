@@ -179,8 +179,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		tracePath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_trace.json")
+		if err := writeTrace(tracePath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath)
+			fmt.Printf("wrote %s, %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath, tracePath)
 		}
 	}
 	if tel != nil {
@@ -320,6 +325,29 @@ func writeDeep(path, scale string, sc bench.Scale) error {
 // drift is a behavior change in the server or coalescing machinery.
 func writeServe(path, scale string, sc bench.Scale) error {
 	metrics, err := bench.ServeTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeTrace emits BENCH_trace.json: the tracing-tax trajectory
+// (bench.TraceTrajectory) in the same schema as BENCH_micro.json. The
+// headline metric is trace/ratio — warm fastpath cost with tracing at
+// 1/64 sampling over the same loop with tracing disabled — gated
+// absolutely (< 1.03) rather than against the committed file, since a
+// same-machine ratio is machine-independent.
+func writeTrace(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.TraceTrajectory(sc)
 	if err != nil {
 		return err
 	}
@@ -550,5 +578,26 @@ func runServeSmoke(baselinePath string, sc bench.Scale) error {
 		return fmt.Errorf("%d serve metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
 	}
 	fmt.Println("smoke: 9P connection-storm trajectory within tolerance")
+	return runTraceSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_trace.json"), sc)
+}
+
+// runTraceSmoke gates the observability tax. Unlike the other smoke
+// gates it does not drift-compare against the committed BENCH_trace.json
+// (absolute ns/op are machine-dependent and the interesting number — the
+// on/off ratio — hovers at 1.0 where a relative band is meaningless);
+// the committed file records the trajectory, and the gate is the
+// absolute budget enforced inside bench.TraceOverhead: tracing at 1/64
+// sampling must cost < 3% on the warm fastpath.
+func runTraceSmoke(baselinePath string, sc bench.Scale) error {
+	if _, err := os.Stat(baselinePath); os.IsNotExist(err) {
+		fmt.Printf("smoke: no trace baseline at %s, skipping tracing-tax gate\n", baselinePath)
+		return nil
+	}
+	now, err := bench.TraceTrajectory(sc)
+	if err != nil {
+		return fmt.Errorf("tracing tax: %w", err)
+	}
+	fmt.Printf("smoke: tracing tax %.1f%% at 1/64 sampling (on %.0f ns/op, off %.0f ns/op; budget <3%%)\n",
+		(now["trace/ratio"]-1)*100, now["trace/on_ns"], now["trace/off_ns"])
 	return nil
 }

@@ -44,21 +44,28 @@ func main() {
 	poolIdle := flag.Int("pool-idle", 0, "max idle Processes parked in the pool (0 = 1024)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address")
 	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N walks (0 disables tracing)")
+	slowUS := flag.Int64("slow-us", 0, "flight-record traced ops slower than this many microseconds (0 = 1ms default)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof on the metrics endpoint; implies -metrics-addr localhost:0")
 	flag.Parse()
 
 	if err := run(*addr, *baseline, *seed, *users, uint32(*msize), *poolIdle,
-		*metricsAddr, *traceSample, *pprofOn, nil, nil); err != nil {
+		*metricsAddr, *traceSample, *slowUS, *pprofOn, nil, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "dcserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// testSysHook, when non-nil, receives the built System before serving
+// starts. Tests use it to reach telemetry and drop caches in-process.
+var testSysHook func(*dircache.System)
+
 // run builds the System, seeds it, and serves until stop closes (nil =
 // wait for SIGINT/SIGTERM). Split from main so tests can drive it: ready,
-// when non-nil, receives the bound listener address.
+// when non-nil, receives the bound listener address, then — if a metrics
+// endpoint was requested — the metrics address as a second send.
 func run(addr string, baseline bool, seed, users string, msize uint32, poolIdle int,
-	metricsAddr string, traceSample int, pprofOn bool, stop chan struct{}, ready chan<- string) error {
+	metricsAddr string, traceSample int, slowUS int64, pprofOn bool,
+	stop chan struct{}, ready chan<- string) error {
 	if pprofOn && metricsAddr == "" {
 		metricsAddr = "localhost:0"
 	}
@@ -66,8 +73,13 @@ func run(addr string, baseline bool, seed, users string, msize uint32, poolIdle 
 	if baseline {
 		cfg = dircache.Baseline()
 	}
-	cfg.Telemetry = dircache.TelemetryOptions{Enabled: true, TraceSample: traceSample}
+	cfg.Telemetry = dircache.TelemetryOptions{
+		Enabled: true, TraceSample: traceSample, SlowNS: slowUS * 1000,
+	}
 	sys := dircache.New(cfg)
+	if testSysHook != nil {
+		testSysHook(sys)
+	}
 	if err := seedTree(sys, seed); err != nil {
 		return err
 	}
@@ -101,6 +113,9 @@ func run(addr string, baseline bool, seed, users string, msize uint32, poolIdle 
 		}
 		defer ms.Close()
 		fmt.Printf("dcserve: metrics on http://%s/metrics\n", ms.Addr())
+		if ready != nil {
+			ready <- ms.Addr()
+		}
 	}
 
 	if stop == nil {

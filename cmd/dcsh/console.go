@@ -1,0 +1,157 @@
+// The live ops console. 'top' renders windowed per-second rates over
+// the whole stack — kernel lookup mix and hit ratios, stage latency
+// breakdowns, 9P per-op and per-principal rates, Process-pool occupancy,
+// and telemetry drop rates. 'slow' dumps the flight recorder: every
+// retained slow or anomalous trace, stitched across the wire.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dircache"
+	"dircache/internal/telemetry"
+)
+
+// topInterval is the sampling window per tick (a var so tests can
+// shrink it).
+var topInterval = time.Second
+
+// cmdSlow prints the flight recorder contents and its drop count.
+func cmdSlow(sys *dircache.System) error {
+	tl := sys.Telemetry()
+	if tl == nil {
+		return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+	}
+	traces, dropped := tl.SlowTraces()
+	if len(traces) == 0 && dropped == 0 {
+		fmt.Println("flight recorder empty: no trace has crossed its op's slow threshold (see -slow-us)")
+		return nil
+	}
+	os.Stdout.Write(tl.SlowJSON())
+	return nil
+}
+
+// topShot is one tick's snapshot of every counter 'top' derives rates
+// from.
+type topShot struct {
+	at    time.Time
+	st    dircache.CacheStats
+	hist  map[string]uint64 // histogram observation counts
+	users map[string]int64  // per-principal 9P ops (when serving)
+	ops   int64             // total 9P ops (when serving)
+	errs  int64
+	evDrop, trDrop, slDrop uint64
+}
+
+// topOps are the 9P per-op cost centers shown as rate columns.
+var topOps = []string{"ninep_attach", "ninep_walk", "ninep_open", "ninep_read", "ninep_stat", "ninep_clunk"}
+
+func topSnapshot(sys *dircache.System) topShot {
+	tl := sys.Telemetry()
+	s := topShot{
+		at:     time.Now(),
+		st:     sys.Stats(),
+		hist:   map[string]uint64{},
+		evDrop: tl.EventsDropped(),
+		trDrop: tl.TracesDropped(),
+	}
+	_, slDrop := tl.SlowTraces()
+	s.slDrop = slDrop
+	raw := tl.Raw()
+	for _, name := range append([]string{"walk"}, topOps...) {
+		if id, ok := telemetry.HistIDByName(name); ok {
+			s.hist[name] = raw.SnapshotHist(id).Count
+		}
+	}
+	if nineSrv != nil {
+		st := nineSrv.Stats()
+		s.ops, s.errs = st.Ops, st.ErrorsSent
+		s.users = nineSrv.UserOps()
+	}
+	return s
+}
+
+// cmdTop samples the stack every topInterval for ticks windows and
+// prints one rate block per window.
+func cmdTop(sys *dircache.System, ticks int) error {
+	tl := sys.Telemetry()
+	if tl == nil {
+		return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+	}
+	prev := topSnapshot(sys)
+	for i := 1; i <= ticks; i++ {
+		time.Sleep(topInterval)
+		cur := topSnapshot(sys)
+		renderTop(sys, prev, cur, i, ticks)
+		prev = cur
+	}
+	return nil
+}
+
+func renderTop(sys *dircache.System, prev, cur topShot, tick, ticks int) {
+	sec := cur.at.Sub(prev.at).Seconds()
+	if sec <= 0 {
+		sec = 1
+	}
+	rate := func(a, b int64) float64 { return float64(b-a) / sec }
+	d := func(a, b int64) int64 { return b - a }
+	tl := sys.Telemetry()
+
+	fmt.Printf("── top %d/%d ── window %.1fs ──\n", tick, ticks, sec)
+	dl := d(prev.st.Lookups, cur.st.Lookups)
+	fastPct, hitPct := 0.0, 0.0
+	if dl > 0 {
+		fastPct = 100 * float64(d(prev.st.FastHits, cur.st.FastHits)) / float64(dl)
+		hitPct = 100 * (1 - float64(d(prev.st.FSLookups, cur.st.FSLookups))/float64(dl))
+	}
+	fmt.Printf("walks   %8.0f/s   fastpath %5.1f%%   cache hit %5.1f%%   slow %.0f/s   fs %.0f/s\n",
+		rate(prev.st.Lookups, cur.st.Lookups), fastPct, hitPct,
+		rate(prev.st.SlowWalks, cur.st.SlowWalks),
+		rate(prev.st.FSLookups, cur.st.FSLookups))
+	fmt.Printf("assists %8.0f resumes/s (%.0f components saved/s)   coalesced %.0f/s   bulk %.0f/s\n",
+		rate(prev.st.ShortcutResumes, cur.st.ShortcutResumes),
+		rate(prev.st.ShortcutDepthSaved, cur.st.ShortcutDepthSaved),
+		rate(prev.st.MissCoalesced, cur.st.MissCoalesced),
+		rate(prev.st.BulkPopulations, cur.st.BulkPopulations))
+
+	fmt.Printf("stages ")
+	for _, name := range []string{"walk", "fastpath", "slowpath", "fs_lookup"} {
+		if p50, _, p99, ok := tl.HistogramQuantiles(name); ok {
+			fmt.Printf("  %s p50 %v p99 %v", name, p50, p99)
+		}
+	}
+	fmt.Println()
+
+	if nineSrv != nil {
+		fmt.Printf("9P      %8.0f ops/s   errors %.0f/s   pool idle %d (reuse %d/%d gets)\n",
+			rate(prev.ops, cur.ops), rate(prev.errs, cur.errs),
+			nineSrv.Stats().PoolIdle, nineSrv.Stats().PoolReuses, nineSrv.Stats().PoolGets)
+		fmt.Printf("        per-op/s:")
+		for _, name := range topOps {
+			if r := float64(cur.hist[name]-prev.hist[name]) / sec; r > 0 {
+				fmt.Printf("  %s %.0f", name[len("ninep_"):], r)
+			}
+		}
+		fmt.Println()
+		if len(cur.users) > 0 {
+			names := make([]string, 0, len(cur.users))
+			for u := range cur.users {
+				names = append(names, u)
+			}
+			sort.Strings(names)
+			fmt.Printf("        per-principal/s:")
+			for _, u := range names {
+				fmt.Printf("  %s %.0f", u, float64(cur.users[u]-prev.users[u])/sec)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("drops   journal %d (+%d)   trace ring %d (+%d)   flight %d (+%d)   slow retained %d\n",
+		cur.evDrop, cur.evDrop-prev.evDrop,
+		cur.trDrop, cur.trDrop-prev.trDrop,
+		cur.slDrop, cur.slDrop-prev.slDrop,
+		func() int { tr, _ := tl.SlowTraces(); return len(tr) }())
+}

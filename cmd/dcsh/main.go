@@ -41,6 +41,7 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the unmodified baseline cache")
 	telemetryOn := flag.Bool("telemetry", false, "attach the telemetry subsystem (enables 'lat' and 'traces')")
 	traceSample := flag.Int("trace-sample", 32, "with -telemetry, trace 1-in-N walks (0 disables tracing)")
+	slowUS := flag.Int64("slow-us", 0, "with -telemetry, flight-record traced ops slower than this many microseconds (0 = 1ms default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
 	serveAddr := flag.String("serve", "", "export the kernel over 9P2000 on this address from startup (same listener as the 'serve' command)")
@@ -54,7 +55,9 @@ func main() {
 		cfg = dircache.Baseline()
 	}
 	if *telemetryOn || *metricsAddr != "" {
-		cfg.Telemetry = dircache.TelemetryOptions{Enabled: true, TraceSample: *traceSample}
+		cfg.Telemetry = dircache.TelemetryOptions{
+			Enabled: true, TraceSample: *traceSample, SlowNS: *slowUS * 1000,
+		}
 	}
 	sys := dircache.New(cfg)
 	p := sys.Start(dircache.RootCreds())
@@ -134,6 +137,9 @@ cache:  stats  buckets  dentries  dropcaches
 	doctor (online invariant audit; reports violations)
 telem:  lat (walk latency quantiles)  traces (sampled walk traces)
 	events (coherence event journal: seq bumps, shootdowns, evictions)
+	slow (flight recorder: slow/anomalous traces stitched across the wire)
+	top [TICKS] (live ops console: rates, hit ratios, stage latencies,
+	per-principal 9P ops, pool occupancy, drop counters; default 3 ticks)
 	(run dcsh with -telemetry; -metrics-addr serves them over HTTP,
 	-pprof adds /debug/pprof and runtime metrics)
 serve:  serve [ADDR]  (export this kernel over 9P2000; default localhost:5640)
@@ -289,6 +295,19 @@ other:  help  exit
 			return nil
 		}
 		os.Stdout.Write(tl.TracesJSON())
+	case "slow":
+		return cmdSlow(sys)
+	case "top":
+		if sys.Telemetry() == nil {
+			return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
+		}
+		ticks := 3
+		if len(args) > 1 {
+			if _, err := fmt.Sscanf(args[1], "%d", &ticks); err != nil || ticks < 1 {
+				return fmt.Errorf("usage: top [TICKS]")
+			}
+		}
+		return cmdTop(sys, ticks)
 	case "dropcaches":
 		n := sys.DropCaches()
 		fmt.Printf("evicted %d dentries\n", n)

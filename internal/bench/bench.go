@@ -191,6 +191,7 @@ func Experiments() []Experiment {
 		{"coldstorm", "cold-miss storms over remotefs: bulk population and miss coalescing", ColdStorm},
 		{"deepwalk", "deep-tree walks: directory shortcut resume vs path depth", Deepwalk},
 		{"connstorm", "9P connection storm: coalesced cold walks, warm wire RPCs and latency", ConnStorm},
+		{"traceoverhead", "walk tracing tax: warm stat loop at 1/64 sampling vs disabled", TraceOverhead},
 	}
 }
 

@@ -208,6 +208,12 @@ type Core struct {
 	// exists so the audit tests can prove the shortcut_resume cross-check
 	// catches an unauthorized resume.
 	testSkipShortcutPCC bool
+
+	// testSkewShortcutTraceDepth, when set, journals a shortcut resume's
+	// depth off by one for traced walks while the span keeps the true
+	// depth. Test-only: it exists so the audit tests can prove the
+	// trace_journal_shortcut cross-check catches a span/journal mismatch.
+	testSkewShortcutTraceDepth bool
 }
 
 // pccReg pairs a registered PCC with the credential it caches for.

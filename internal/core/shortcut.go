@@ -212,7 +212,7 @@ func (c *Core) noteShortcut(t *vfs.Task, dl *DLHT, pcc *PCC, start vfs.PathRef, 
 // passes the full legality check, the walk starts at the resume dentry
 // with only the unresolved suffix. The returned token is handed to
 // ShortcutCommit after the walk.
-func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string) (vfs.PathRef, string, any, bool) {
+func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string, tr *telemetry.WalkTrace) (vfs.PathRef, string, any, bool) {
 	if !c.cfg.DirShortcuts {
 		return vfs.PathRef{}, "", nil, false
 	}
@@ -226,9 +226,19 @@ func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string) (vfs.
 	}
 	c.stats.shortcutResumes.Add(1)
 	c.stats.shortcutDepthSaved.Add(int64(rp.depth))
+	var trID uint64
+	if tr != nil {
+		trID = tr.ID
+		tr.Event(telemetry.EvShortcutResume,
+			fmt.Sprintf("depth=%d prefix=%s", rp.depth, rp.prefix))
+	}
 	if tel := c.tele(); tel != nil {
+		jdepth := rp.depth
+		if c.testSkewShortcutTraceDepth && trID != 0 {
+			jdepth++ // injected bug: journal disagrees with the span
+		}
 		tel.Emit(telemetry.JShortcut, rp.d.ID(), int64(dentrySeq(rp.d)),
-			fmt.Sprintf("cred=%d depth=%d", t.Cred().ID(), rp.depth))
+			fmt.Sprintf("cred=%d depth=%d trace=%d", t.Cred().ID(), jdepth, trID))
 		tel.Record(telemetry.HistShortcutDepth, time.Duration(rp.depth))
 	}
 	return vfs.PathRef{Mnt: rp.mnt, D: rp.d}, path[len(rp.prefix):], rp, true

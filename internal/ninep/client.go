@@ -5,6 +5,9 @@ import (
 	"net"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"dircache/internal/telemetry"
 )
 
 // Client is a minimal 9P2000 client for tests, smoke checks, and the
@@ -17,26 +20,63 @@ type Client struct {
 	tag     uint16
 	nextFid uint32
 	rpcs    atomic.Int64
+
+	trace bool                 // server negotiated the dctrace extension
+	tel   *telemetry.Telemetry // client-side span sink (SetTelemetry)
 }
 
-// Dial connects to a dcserve address and negotiates the protocol version.
+// Dial connects to a dcserve address and negotiates the protocol
+// version, offering the dctrace extension. A stock 9P2000 server
+// answers "9P2000" and the client silently runs untraced.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{nc: nc, msize: DefaultMsize}
-	resp, err := c.rpc(&Fcall{Type: MsgTversion, Tag: NoTag, Msize: DefaultMsize, Version: Version})
+	resp, err := c.rpc(&Fcall{Type: MsgTversion, Tag: NoTag, Msize: DefaultMsize, Version: VersionTrace})
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	if resp.Version != Version {
+	switch resp.Version {
+	case VersionTrace:
+		c.trace = true
+	case Version:
+		// plain 9P2000 peer: fall back, never send trace ids
+	default:
 		nc.Close()
 		return nil, fmt.Errorf("server speaks %q, want %q", resp.Version, Version)
 	}
 	c.msize = resp.Msize
 	return c, nil
+}
+
+// SetTelemetry attaches a span sink: Walk/Open/Stat RPCs then open
+// client-origin spans (subject to the sink's sampling rate) carrying a
+// wire trace id the server's span stitches to — when the server
+// negotiated dctrace. Pass nil to detach.
+func (c *Client) SetTelemetry(tel *telemetry.Telemetry) { c.tel = tel }
+
+// Traced reports whether the server negotiated the dctrace extension.
+func (c *Client) Traced() bool { return c.trace }
+
+// startSpan opens a client RPC span and allocates the wire trace id it
+// carries (span.RemoteID). Nil when tracing is off or unsampled.
+func (c *Client) startSpan(op, path string) (*telemetry.WalkTrace, time.Time) {
+	if !c.trace || !c.tel.On() || !c.tel.Sampled() {
+		return nil, time.Time{}
+	}
+	wid := c.tel.NextTraceID()
+	return c.tel.StartSpan("client", op, path, wid), time.Now()
+}
+
+// finishSpan completes a client span opened by startSpan.
+func (c *Client) finishSpan(tr *telemetry.WalkTrace, err error, t0 time.Time) {
+	if tr == nil {
+		return
+	}
+	c.tel.FinishSpan(tr, err, time.Since(t0))
 }
 
 // Close drops the connection (the server clunks all fids).
@@ -111,6 +151,13 @@ func (c *Client) Attach(uname, aname string) (*Fid, error) {
 // A partial walk (fewer qids than names) is reported as an error carrying
 // how far it got.
 func (f *Fid) Walk(names ...string) (*Fid, error) {
+	span, t0 := f.c.startSpan("Twalk", strings.Join(names, "/"))
+	nf, err := f.walk(span, names)
+	f.c.finishSpan(span, err, t0)
+	return nf, err
+}
+
+func (f *Fid) walk(span *telemetry.WalkTrace, names []string) (*Fid, error) {
 	c := f.c
 	cur := f
 	owned := false // does cur need clunking on error?
@@ -120,7 +167,13 @@ func (f *Fid) Walk(names ...string) (*Fid, error) {
 			batch = batch[:MaxWalkNames]
 		}
 		n := c.fid()
-		resp, err := c.rpc(&Fcall{Type: MsgTwalk, Fid: cur.n, Newfid: n, Wname: batch})
+		req := &Fcall{Type: MsgTwalk, Fid: cur.n, Newfid: n, Wname: batch}
+		if span != nil {
+			req.TraceID = span.RemoteID
+		}
+		r0 := time.Now()
+		resp, err := c.rpc(req)
+		span.EventDur(telemetry.EvRPC, fmt.Sprintf("Twalk %d names", len(batch)), time.Since(r0))
 		if err == nil && len(resp.Wqid) < len(batch) {
 			// Partial walk: Rwalk reports how far it got but swallows why.
 			// Re-ask for the failing name alone from a fid parked at the
@@ -176,7 +229,14 @@ func (f *Fid) WalkPath(path string) (*Fid, error) {
 
 // Open prepares the fid for I/O.
 func (f *Fid) Open(mode uint8) error {
-	resp, err := f.c.rpc(&Fcall{Type: MsgTopen, Fid: f.n, Mode: mode})
+	span, t0 := f.c.startSpan("Topen", "")
+	req := &Fcall{Type: MsgTopen, Fid: f.n, Mode: mode}
+	if span != nil {
+		req.TraceID = span.RemoteID
+	}
+	resp, err := f.c.rpc(req)
+	span.EventDur(telemetry.EvRPC, "Topen", time.Since(t0))
+	f.c.finishSpan(span, err, t0)
 	if err != nil {
 		return err
 	}
@@ -236,7 +296,14 @@ func (f *Fid) Write(b []byte, offset uint64) (int, error) {
 
 // Stat fetches the fid's metadata.
 func (f *Fid) Stat() (Stat, error) {
-	resp, err := f.c.rpc(&Fcall{Type: MsgTstat, Fid: f.n})
+	span, t0 := f.c.startSpan("Tstat", "")
+	req := &Fcall{Type: MsgTstat, Fid: f.n}
+	if span != nil {
+		req.TraceID = span.RemoteID
+	}
+	resp, err := f.c.rpc(req)
+	span.EventDur(telemetry.EvRPC, "Tstat", time.Since(t0))
+	f.c.finishSpan(span, err, t0)
 	if err != nil {
 		return Stat{}, err
 	}

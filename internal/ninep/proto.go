@@ -81,6 +81,15 @@ func MsgName(t uint8) string {
 const (
 	// Version is the protocol identifier negotiated by Tversion.
 	Version = "9P2000"
+	// VersionTrace is the dctrace vendor extension: same wire format as
+	// 9P2000 plus an optional trailing trace-id[8] on Twalk, Topen, and
+	// Tstat, letting a client stitch its RPC span to the server's walk
+	// span. Negotiated by exact match at Tversion; a stock 9P2000 peer
+	// on either side silently falls back to the base protocol (servers
+	// because the extra field is only sent once negotiated, clients
+	// because a trailing field on a known message is ignored by any
+	// length-framed decoder, including ours).
+	VersionTrace = "9P2000.dctrace"
 	// VersionUnknown is the Rversion reply to an unsupported version.
 	VersionUnknown = "unknown"
 	// NoTag is the Tversion tag.
@@ -203,6 +212,11 @@ type Fcall struct {
 	Count   uint32 // Tread, Rread, Rwrite
 	Data    []byte // Rread, Twrite
 	Stat    Stat   // Rstat, Twstat
+
+	// TraceID is the dctrace extension's end-to-end trace id, carried as
+	// a trailing u64 on Twalk/Topen/Tstat when nonzero (and only after
+	// VersionTrace was negotiated). Zero means untraced.
+	TraceID uint64
 }
 
 // --- wire primitives -------------------------------------------------
@@ -394,6 +408,9 @@ func Marshal(f *Fcall) ([]byte, error) {
 		for _, n := range f.Wname {
 			e.str(n)
 		}
+		if f.TraceID != 0 {
+			e.u64(f.TraceID) // dctrace trailing trace-id[8]
+		}
 	case MsgRwalk:
 		e.u16(uint16(len(f.Wqid)))
 		for _, q := range f.Wqid {
@@ -402,6 +419,9 @@ func Marshal(f *Fcall) ([]byte, error) {
 	case MsgTopen:
 		e.u32(f.Fid)
 		e.u8(f.Mode)
+		if f.TraceID != 0 {
+			e.u64(f.TraceID) // dctrace trailing trace-id[8]
+		}
 	case MsgRopen, MsgRcreate:
 		e.qid(f.Qid)
 		e.u32(f.Iounit)
@@ -424,8 +444,13 @@ func Marshal(f *Fcall) ([]byte, error) {
 		e.buf = append(e.buf, f.Data...)
 	case MsgRwrite:
 		e.u32(f.Count)
-	case MsgTclunk, MsgTremove, MsgTstat:
+	case MsgTclunk, MsgTremove:
 		e.u32(f.Fid)
+	case MsgTstat:
+		e.u32(f.Fid)
+		if f.TraceID != 0 {
+			e.u64(f.TraceID) // dctrace trailing trace-id[8]
+		}
 	case MsgRclunk, MsgRremove, MsgRwstat:
 	case MsgRstat:
 		// Rstat carries stat[n]: an outer byte count around the
@@ -513,6 +538,9 @@ func Unmarshal(buf []byte) (*Fcall, error) {
 				return nil, err
 			}
 		}
+		if len(d.buf) >= 8 {
+			f.TraceID, _ = d.u64() // dctrace trailing trace-id[8]
+		}
 	case MsgRwalk:
 		var n uint16
 		if n, err = d.u16(); err != nil {
@@ -531,7 +559,12 @@ func Unmarshal(buf []byte) (*Fcall, error) {
 		if f.Fid, err = d.u32(); err != nil {
 			return nil, err
 		}
-		f.Mode, err = d.u8()
+		if f.Mode, err = d.u8(); err != nil {
+			return nil, err
+		}
+		if len(d.buf) >= 8 {
+			f.TraceID, _ = d.u64() // dctrace trailing trace-id[8]
+		}
 	case MsgRopen, MsgRcreate:
 		if f.Qid, err = d.qid(); err != nil {
 			return nil, err
@@ -582,8 +615,15 @@ func Unmarshal(buf []byte) (*Fcall, error) {
 		f.Data = append([]byte(nil), d.buf[:n]...)
 	case MsgRwrite:
 		f.Count, err = d.u32()
-	case MsgTclunk, MsgTremove, MsgTstat:
+	case MsgTclunk, MsgTremove:
 		f.Fid, err = d.u32()
+	case MsgTstat:
+		if f.Fid, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if len(d.buf) >= 8 {
+			f.TraceID, _ = d.u64() // dctrace trailing trace-id[8]
+		}
 	case MsgRclunk, MsgRremove, MsgRwstat:
 	case MsgRstat:
 		if _, err = d.u16(); err != nil { // outer stat[n] count

@@ -43,9 +43,11 @@ func TestCodecRoundTrips(t *testing.T) {
 		{Type: MsgRflush, Tag: 3},
 		{Type: MsgTwalk, Tag: 4, Fid: 1, Newfid: 2, Wname: []string{"a", "b", "c"}},
 		{Type: MsgTwalk, Tag: 4, Fid: 1, Newfid: 2}, // clone: zero names
+		{Type: MsgTwalk, Tag: 4, Fid: 1, Newfid: 2, Wname: []string{"a"}, TraceID: 0x1122334455667788}, // dctrace
 		{Type: MsgRwalk, Tag: 4, Wqid: []Qid{qid, {Type: QTFile, Version: 1, Path: 42}}},
 		{Type: MsgRwalk, Tag: 4}, // clone response: zero qids
 		{Type: MsgTopen, Tag: 5, Fid: 2, Mode: ORdWr | OTrunc},
+		{Type: MsgTopen, Tag: 5, Fid: 2, Mode: ORead, TraceID: 99}, // dctrace
 		{Type: MsgRopen, Tag: 5, Qid: qid, Iounit: 8168},
 		{Type: MsgTcreate, Tag: 6, Fid: 2, Name: "f.txt", Perm: 0o644, Mode: OWrite},
 		{Type: MsgRcreate, Tag: 6, Qid: qid, Iounit: 8168},
@@ -59,6 +61,7 @@ func TestCodecRoundTrips(t *testing.T) {
 		{Type: MsgTremove, Tag: 10, Fid: 2},
 		{Type: MsgRremove, Tag: 10},
 		{Type: MsgTstat, Tag: 11, Fid: 1},
+		{Type: MsgTstat, Tag: 11, Fid: 1, TraceID: 7}, // dctrace
 		{Type: MsgRstat, Tag: 11, Stat: st},
 		{Type: MsgTwstat, Tag: 12, Fid: 1, Stat: EmptyStat()},
 		{Type: MsgRwstat, Tag: 12},

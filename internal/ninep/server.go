@@ -49,7 +49,8 @@ type Server struct {
 	conns   map[*conn]struct{}
 	closing atomic.Bool
 
-	stats serverStats
+	stats   serverStats
+	userOps sync.Map // uname → *atomic.Int64: per-principal op counts
 }
 
 // serverStats are the server's own counters, exported through the
@@ -82,6 +83,7 @@ type ServerStats struct {
 	BytesWritten int64
 	PoolGets   int64
 	PoolReuses int64
+	PoolIdle   int64 // Processes currently parked in the pool
 }
 
 // NewServer builds a server for sys (not yet listening).
@@ -143,12 +145,37 @@ func (s *Server) Stats() ServerStats {
 		BytesWritten: s.stats.bytesWritten.Load(),
 		PoolGets:   ps.Gets,
 		PoolReuses: ps.Reuses,
+		PoolIdle:   ps.Idle,
 	}
+}
+
+// bumpUser counts one op against the fid's attach principal.
+func (s *Server) bumpUser(uname string) {
+	if uname == "" {
+		return
+	}
+	v, ok := s.userOps.Load(uname)
+	if !ok {
+		v, _ = s.userOps.LoadOrStore(uname, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// UserOps snapshots the per-principal op counters (uname → ops) — the
+// ops console's per-principal view.
+func (s *Server) UserOps() map[string]int64 {
+	out := map[string]int64{}
+	s.userOps.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
 }
 
 func (s *Server) statCounters() map[string]int64 {
 	st := s.Stats()
-	return map[string]int64{
+	m := s.UserOps()
+	out := map[string]int64{
 		"conns_total":   st.ConnsTotal,
 		"conns_live":    st.ConnsLive,
 		"attaches":      st.Attaches,
@@ -161,7 +188,12 @@ func (s *Server) statCounters() map[string]int64 {
 		"bytes_written": st.BytesWritten,
 		"pool_gets":     st.PoolGets,
 		"pool_reuses":   st.PoolReuses,
+		"pool_idle":     st.PoolIdle,
 	}
+	for uname, n := range m {
+		out["ops_user_"+uname] = n
+	}
+	return out
 }
 
 // Close stops the listener, closes every live connection, and waits for
@@ -223,6 +255,7 @@ func (s *Server) identity(uname string) (*dircache.Identity, error) {
 // Process, plus open-file state once Topen/Tcreate fires.
 type fidEntry struct {
 	path  string // absolute, lexically maintained
+	uname string // attach principal, for per-user op accounting
 	proc  *dircache.Process
 	qid   Qid
 	open  *dircache.File
@@ -238,6 +271,13 @@ type conn struct {
 	srv   *Server
 	nc    net.Conn
 	msize uint32
+	trace bool // dctrace negotiated: honor trailing trace ids
+
+	// span is the server span for the request currently being handled
+	// (requests on a connection are serviced in order, so one slot
+	// suffices). Handlers that trigger a kernel walk arm it on their
+	// Process so the walk annotates its stages into the wire span.
+	span *telemetry.WalkTrace
 
 	fids  map[uint32]*fidEntry
 	procs map[string]*dircache.Process // uname → checked-out Process
@@ -335,12 +375,29 @@ func histFor(t uint8) telemetry.HistID {
 	}
 }
 
-// dispatch handles one request and builds its response.
+// dispatch handles one request and builds its response. A request
+// carrying a dctrace trace id gets a server span stitched (by that wire
+// id) to the client's RPC span; the handler arms it on its Process so
+// the kernel walk it triggers annotates per-stage events in place.
 func (c *conn) dispatch(req *Fcall) *Fcall {
 	c.srv.stats.ops.Add(1)
+	var span *telemetry.WalkTrace
+	if c.trace && req.TraceID != 0 {
+		span = c.srv.tel.StartSpan("server", MsgName(req.Type), "", req.TraceID)
+	}
+	c.span = span
 	t0 := time.Now()
 	resp, err := c.handle(req)
-	c.srv.tel.Record(histFor(req.Type), time.Since(t0))
+	d := time.Since(t0)
+	c.span = nil
+	var spanID uint64
+	if span != nil {
+		spanID = span.ID
+	}
+	c.srv.tel.RecordEx(histFor(req.Type), d, spanID)
+	if span != nil {
+		c.srv.tel.FinishSpan(span, err, d)
+	}
 	if err != nil {
 		return &Fcall{Type: MsgRerror, Ename: ErrnoEname(err)}
 	}
@@ -398,7 +455,13 @@ func (c *conn) tversion(req *Fcall) (*Fcall, error) {
 	}
 	c.msize = ms
 	ver := Version
-	if !strings.HasPrefix(req.Version, Version) {
+	c.trace = false
+	if req.Version == VersionTrace {
+		// Exact match only — checked before the 9P2000 prefix fallback,
+		// which VersionTrace would otherwise satisfy.
+		ver = VersionTrace
+		c.trace = true
+	} else if !strings.HasPrefix(req.Version, Version) {
 		ver = VersionUnknown
 	}
 	return &Fcall{Type: MsgRversion, Msize: ms, Version: ver}, nil
@@ -442,9 +505,10 @@ func (c *conn) tattach(req *Fcall) (*Fcall, error) {
 	if !fi.IsDir() {
 		return nil, fsapi.ENOTDIR
 	}
-	c.fids[req.Fid] = &fidEntry{path: root, proc: proc, qid: qidOf(fi)}
+	c.fids[req.Fid] = &fidEntry{path: root, uname: req.Uname, proc: proc, qid: qidOf(fi)}
 	c.srv.stats.attaches.Add(1)
 	c.srv.stats.fidsLive.Add(1)
+	c.srv.bumpUser(req.Uname)
 	return &Fcall{Type: MsgRattach, Qid: qidOf(fi)}, nil
 }
 
@@ -453,6 +517,7 @@ func (c *conn) lookupFid(n uint32) (*fidEntry, error) {
 	if !ok {
 		return nil, fsapi.EBADF
 	}
+	c.srv.bumpUser(f.uname)
 	return f, nil
 }
 
@@ -481,7 +546,7 @@ func (c *conn) twalk(req *Fcall) (*Fcall, error) {
 	c.srv.stats.walkNames.Add(int64(len(req.Wname)))
 
 	if len(req.Wname) == 0 { // clone
-		nf := &fidEntry{path: src.path, proc: src.proc, qid: src.qid}
+		nf := &fidEntry{path: src.path, uname: src.uname, proc: src.proc, qid: src.qid}
 		if req.Newfid != req.Fid {
 			c.fids[req.Newfid] = nf
 			c.srv.stats.fidsLive.Add(1)
@@ -501,6 +566,14 @@ func (c *conn) twalk(req *Fcall) (*Fcall, error) {
 
 	final := paths[len(paths)-1]
 	qids := make([]Qid, 0, len(paths))
+	if c.span != nil {
+		// Arm the wire span on the walk the full-path Lstat triggers; the
+		// walk consumes it, so the per-prefix qid read-backs (and any
+		// twalkSlow fallback steps) stay out of the span.
+		c.span.Path = withDotDot(src.path, req.Wname)
+		src.proc.ArmTrace(c.span)
+		defer src.proc.ArmTrace(nil)
+	}
 	fi, err := src.proc.Lstat(withDotDot(src.path, req.Wname)) // the one multi-component walk
 	if err == nil {
 		for _, p := range paths[:len(paths)-1] {
@@ -513,7 +586,7 @@ func (c *conn) twalk(req *Fcall) (*Fcall, error) {
 			qids = append(qids, qidOf(pfi))
 		}
 		qids = append(qids, qidOf(fi))
-		nf := &fidEntry{path: final, proc: src.proc, qid: qidOf(fi)}
+		nf := &fidEntry{path: final, uname: src.uname, proc: src.proc, qid: qidOf(fi)}
 		if req.Newfid == req.Fid {
 			*src = *nf
 		} else {
@@ -547,7 +620,7 @@ func (c *conn) twalkSlow(req *Fcall, src *fidEntry, paths []string) (*Fcall, err
 		qids = append(qids, qidOf(fi))
 	}
 	last := paths[len(paths)-1]
-	nf := &fidEntry{path: last, proc: src.proc, qid: qids[len(qids)-1]}
+	nf := &fidEntry{path: last, uname: src.uname, proc: src.proc, qid: qids[len(qids)-1]}
 	if req.Newfid == req.Fid {
 		*src = *nf
 	} else {
@@ -568,6 +641,11 @@ func (c *conn) topen(req *Fcall) (*Fcall, error) {
 	flags, err := openFlags(req.Mode, f.qid.IsDir())
 	if err != nil {
 		return nil, err
+	}
+	if c.span != nil {
+		c.span.Path = f.path
+		f.proc.ArmTrace(c.span)
+		defer f.proc.ArmTrace(nil)
 	}
 	of, err := f.proc.Open(f.path, flags, 0)
 	if err != nil {
@@ -768,6 +846,11 @@ func (c *conn) tstat(req *Fcall) (*Fcall, error) {
 	f, err := c.lookupFid(req.Fid)
 	if err != nil {
 		return nil, err
+	}
+	if c.span != nil {
+		c.span.Path = f.path
+		f.proc.ArmTrace(c.span)
+		defer f.proc.ArmTrace(nil)
 	}
 	fi, err := f.proc.Lstat(f.path)
 	if err != nil {

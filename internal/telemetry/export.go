@@ -53,6 +53,10 @@ func (t *Telemetry) mountHandlers(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(t.TracesJSON())
 	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(t.SlowJSON())
+	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(t.EventsJSON())
@@ -66,7 +70,7 @@ func (t *Telemetry) mountHandlers(mux *http.ServeMux) {
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "dircache telemetry: /metrics /traces /events /metrics.json\n")
+		io.WriteString(w, "dircache telemetry: /metrics /traces /slow /events /metrics.json\n")
 	})
 }
 
@@ -189,9 +193,31 @@ func (t *Telemetry) WritePrometheus(w io.Writer) {
 		}
 	}
 
+	fmt.Fprintf(w, "# HELP dircache_latency_exemplar most recent trace ID in the bucket holding the named quantile\n")
+	fmt.Fprintf(w, "# TYPE dircache_latency_exemplar gauge\n")
+	for _, s := range t.Snapshot() {
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			if ex := s.QuantileExemplar(q.q); ex != 0 {
+				fmt.Fprintf(w, "dircache_latency_exemplar{hist=%q,quantile=%q} %d\n", s.Name, q.label, ex)
+			}
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP dircache_traces_retained sampled walk traces currently in the ring\n")
 	fmt.Fprintf(w, "# TYPE dircache_traces_retained gauge\n")
 	fmt.Fprintf(w, "dircache_traces_retained %d\n", t.TraceCount())
+	fmt.Fprintf(w, "# HELP dircache_traces_dropped_total sampled traces overwritten by the drop-oldest ring\n")
+	fmt.Fprintf(w, "# TYPE dircache_traces_dropped_total counter\n")
+	fmt.Fprintf(w, "dircache_traces_dropped_total %d\n", t.TracesDropped())
+	fmt.Fprintf(w, "# HELP dircache_slow_traces_retained flight-recorded slow/anomalous traces currently retained\n")
+	fmt.Fprintf(w, "# TYPE dircache_slow_traces_retained gauge\n")
+	fmt.Fprintf(w, "dircache_slow_traces_retained %d\n", t.SlowCount())
+	fmt.Fprintf(w, "# HELP dircache_slow_traces_dropped_total flight-recorded traces overwritten by the drop-oldest ring\n")
+	fmt.Fprintf(w, "# TYPE dircache_slow_traces_dropped_total counter\n")
+	fmt.Fprintf(w, "dircache_slow_traces_dropped_total %d\n", t.SlowDropped())
 
 	perKind, _ := t.EventCounts()
 	fmt.Fprintf(w, "# HELP dircache_journal_events_total coherence events emitted, by kind\n")
@@ -242,6 +268,57 @@ func (t *Telemetry) TracesJSON() []byte {
 	return append(buf, '\n')
 }
 
+// StitchedTrace is one end-to-end trace reassembled from its spans: the
+// client RPC span and the server dispatch span (with the kernel walk's
+// stage events folded in) that share a wire trace ID, or a single
+// in-process walk trace (WireID 0).
+type StitchedTrace struct {
+	WireID uint64       `json:"wire_id,omitempty"`
+	Spans  []*WalkTrace `json:"spans"`
+}
+
+// StitchTraces groups traces by wire trace ID, preserving oldest-first
+// order of first appearance. Traces without a wire ID stay singletons.
+func StitchTraces(traces []*WalkTrace) []StitchedTrace {
+	var out []StitchedTrace
+	byWire := map[uint64]int{}
+	for _, tr := range traces {
+		if tr.RemoteID == 0 {
+			out = append(out, StitchedTrace{Spans: []*WalkTrace{tr}})
+			continue
+		}
+		if i, ok := byWire[tr.RemoteID]; ok {
+			out[i].Spans = append(out[i].Spans, tr)
+			continue
+		}
+		byWire[tr.RemoteID] = len(out)
+		out = append(out, StitchedTrace{WireID: tr.RemoteID, Spans: []*WalkTrace{tr}})
+	}
+	return out
+}
+
+// slowDoc is the JSON shape of the flight recorder dump: qualifying
+// traces stitched into end-to-end groups by wire trace ID.
+type slowDoc struct {
+	Dropped uint64          `json:"dropped"`
+	Traces  []StitchedTrace `json:"traces"`
+}
+
+// SlowJSON renders the flight recorder as JSON: slow and anomalous
+// traces, oldest first, spans stitched across the wire by trace ID.
+func (t *Telemetry) SlowJSON() []byte {
+	traces, dropped := t.SlowTraces()
+	groups := StitchTraces(traces)
+	if groups == nil {
+		groups = []StitchedTrace{}
+	}
+	buf, err := json.MarshalIndent(slowDoc{Dropped: dropped, Traces: groups}, "", "  ")
+	if err != nil {
+		return []byte(`{"error":"marshal failed"}`)
+	}
+	return append(buf, '\n')
+}
+
 // histJSON is the JSON shape of one histogram.
 type histJSON struct {
 	Name    string  `json:"name"`
@@ -251,12 +328,14 @@ type histJSON struct {
 	P50NS   int64   `json:"p50_ns"`
 	P95NS   int64   `json:"p95_ns"`
 	P99NS   int64   `json:"p99_ns"`
-	Buckets []buckJ `json:"buckets,omitempty"` // non-empty buckets only
+	P99Ex   uint64  `json:"p99_exemplar,omitempty"` // trace ID in the p99 bucket
+	Buckets []buckJ `json:"buckets,omitempty"`      // non-empty buckets only
 }
 
 type buckJ struct {
-	LeNS  uint64 `json:"le_ns"`
-	Count uint64 `json:"count"`
+	LeNS    uint64 `json:"le_ns"`
+	Count   uint64 `json:"count"`
+	TraceID uint64 `json:"trace_id,omitempty"` // most recent trace in this bucket
 }
 
 type journalJSON struct {
@@ -268,13 +347,19 @@ type metricsDoc struct {
 	Histograms []histJSON                  `json:"histograms"`
 	Stats      map[string]map[string]int64 `json:"stats,omitempty"`
 	Traces     int                         `json:"traces_retained"`
+	TracesDrop uint64                      `json:"traces_dropped"`
+	Slow       int                         `json:"slow_traces_retained"`
+	SlowDrop   uint64                      `json:"slow_traces_dropped"`
 	Journal    journalJSON                 `json:"journal"`
 }
 
-// MetricsJSON renders histograms (with precomputed quantiles) and
-// registered counters as one JSON document.
+// MetricsJSON renders histograms (with precomputed quantiles and
+// exemplars) and registered counters as one JSON document.
 func (t *Telemetry) MetricsJSON() []byte {
-	doc := metricsDoc{Stats: t.statsSnapshot(), Traces: t.TraceCount()}
+	doc := metricsDoc{
+		Stats: t.statsSnapshot(), Traces: t.TraceCount(), TracesDrop: t.TracesDropped(),
+		Slow: t.SlowCount(), SlowDrop: t.SlowDropped(),
+	}
 	perKind, _ := t.EventCounts()
 	doc.Journal = journalJSON{Emitted: make(map[string]uint64, len(perKind)), Dropped: t.EventsDropped()}
 	for k, n := range perKind {
@@ -289,10 +374,11 @@ func (t *Telemetry) MetricsJSON() []byte {
 			P50NS:  s.Quantile(0.50).Nanoseconds(),
 			P95NS:  s.Quantile(0.95).Nanoseconds(),
 			P99NS:  s.Quantile(0.99).Nanoseconds(),
+			P99Ex:  s.QuantileExemplar(0.99),
 		}
 		for b := 0; b < NumBuckets; b++ {
 			if s.Counts[b] != 0 {
-				h.Buckets = append(h.Buckets, buckJ{LeNS: BucketUpper(b), Count: s.Counts[b]})
+				h.Buckets = append(h.Buckets, buckJ{LeNS: BucketUpper(b), Count: s.Counts[b], TraceID: s.Exemplars[b]})
 			}
 		}
 		doc.Histograms = append(doc.Histograms, h)

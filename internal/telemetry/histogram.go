@@ -67,6 +67,12 @@ type histCell struct {
 // instantaneously slightly stale distribution. The zero value is ready.
 type Histogram struct {
 	cells [stripe.Stripes]histCell
+
+	// exemplars[b] is the most recent trace ID whose observation landed
+	// in bucket b — the link from a quantile back to a flight-recorder
+	// trace. One shared array (not striped): last-writer-wins is exactly
+	// the semantic wanted, and only traced observations write it.
+	exemplars [NumBuckets]atomic.Uint64
 }
 
 // Record adds one observation. Negative durations (clock steps) clamp to
@@ -81,6 +87,22 @@ func (h *Histogram) Record(d time.Duration) {
 	c.sum.Add(ns)
 }
 
+// RecordEx is Record plus an exemplar: the bucket remembers traceID as
+// the most recent trace that landed in it (0 = untraced, no exemplar).
+func (h *Histogram) RecordEx(d time.Duration, traceID uint64) {
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	b := bucketOf(ns)
+	c := &h.cells[stripe.Index()]
+	c.counts[b].Add(1)
+	c.sum.Add(ns)
+	if traceID != 0 {
+		h.exemplars[b].Store(traceID)
+	}
+}
+
 // Reset zeroes every cell. Like stripe.Int64.Reset it is only approximate
 // under concurrent Records; callers use it to scope a measurement window,
 // not for accounting.
@@ -92,14 +114,18 @@ func (h *Histogram) Reset() {
 		}
 		c.sum.Store(0)
 	}
+	for b := range h.exemplars {
+		h.exemplars[b].Store(0)
+	}
 }
 
 // HistSnapshot is a merged point-in-time copy of a Histogram.
 type HistSnapshot struct {
-	Name   string
-	Counts [NumBuckets]uint64
-	Count  uint64 // total observations
-	Sum    uint64 // total nanoseconds
+	Name      string
+	Counts    [NumBuckets]uint64
+	Exemplars [NumBuckets]uint64 // most recent trace ID per bucket (0 = none)
+	Count     uint64             // total observations
+	Sum       uint64             // total nanoseconds
 }
 
 // Snapshot merges all stripes.
@@ -114,7 +140,50 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		s.Sum += c.sum.Load()
 	}
+	for b := range s.Exemplars {
+		s.Exemplars[b] = h.exemplars[b].Load()
+	}
 	return s
+}
+
+// QuantileExemplar returns the most recent trace ID recorded in the
+// bucket where the q-th quantile lands (0 if that bucket never saw a
+// traced observation) — "the p99 is X, and here is a trace that slow".
+func (s *HistSnapshot) QuantileExemplar(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for b := 0; b < NumBuckets; b++ {
+		n := float64(s.Counts[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			// Walk down from the landing bucket to the nearest one with
+			// an exemplar: a nearby slower trace beats no trace.
+			for j := NumBuckets - 1; j >= b; j-- {
+				if s.Counts[j] > 0 && s.Exemplars[j] != 0 {
+					return s.Exemplars[j]
+				}
+			}
+			for j := b - 1; j >= 0; j-- {
+				if s.Exemplars[j] != 0 {
+					return s.Exemplars[j]
+				}
+			}
+			return 0
+		}
+		cum += n
+	}
+	return 0
 }
 
 // Quantile returns the q-th latency quantile (q in [0,1]), interpolating

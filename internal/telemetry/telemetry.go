@@ -144,6 +144,11 @@ type Options struct {
 	// JournalBuffer is the coherence event journal capacity (0 = 4096),
 	// split across its stripes. The journal drops oldest per stripe.
 	JournalBuffer int
+	// FlightBuffer is the slow-walk flight recorder capacity (0 = 256).
+	FlightBuffer int
+	// SlowNS is the default flight-recorder slow threshold in
+	// nanoseconds (0 = 1ms); per-op overrides via SetSlowThreshold.
+	SlowNS int64
 }
 
 // Telemetry owns the histograms, the trace ring, and the registered
@@ -158,6 +163,7 @@ type Telemetry struct {
 
 	hists   [NumHistograms]Histogram
 	ring    *traceRing
+	flight  *flightRecorder
 	journal *Journal
 
 	statsMu sync.Mutex
@@ -168,6 +174,7 @@ type Telemetry struct {
 func New(o Options) *Telemetry {
 	t := &Telemetry{
 		ring:    newTraceRing(o.TraceBuffer),
+		flight:  newFlightRecorder(o.FlightBuffer, o.SlowNS),
 		journal: newJournal(o.JournalBuffer),
 		stats:   make(map[string]func() map[string]int64),
 	}
@@ -196,6 +203,15 @@ func (t *Telemetry) Record(id HistID, d time.Duration) {
 	t.hists[id].Record(d)
 }
 
+// RecordEx is Record plus a bucket exemplar: the observation's bucket
+// remembers traceID (0 = no trace, plain Record).
+func (t *Telemetry) RecordEx(id HistID, d time.Duration, traceID uint64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.hists[id].RecordEx(d, traceID)
+}
+
 // SampleWalk starts a trace for this walk if it falls in the sample, or
 // returns nil (the common case — every downstream trace call is nil-safe).
 func (t *Telemetry) SampleWalk(path string) *WalkTrace {
@@ -209,20 +225,128 @@ func (t *Telemetry) SampleWalk(path string) *WalkTrace {
 	return &WalkTrace{ID: t.traceID.Add(1), Path: path, Start: time.Now()}
 }
 
-// FinishWalk completes tr (nil-safe) and pushes it into the ring.
-func (t *Telemetry) FinishWalk(tr *WalkTrace, fastpath bool, err error, d time.Duration) {
+// Sampled reports whether the next walk falls in the 1-in-N sample,
+// advancing the sampling counter. Callers that pass only decide where
+// the trace lives (per-Task scratch or a fresh allocation) and call
+// StartWalk.
+func (t *Telemetry) Sampled() bool {
+	n := t.sampleN.Load()
+	if n <= 0 {
+		return false
+	}
+	return n == 1 || t.walkSeq.Add(1)%uint64(n) == 0
+}
+
+// StartWalk begins a sampled walk trace in the caller-owned scratch —
+// reset in place (fresh ID, retained Events capacity) so the walk path
+// allocates nothing; FinishWalk pushes a private copy and leaves the
+// scratch reusable. A nil scratch falls back to a fresh allocation.
+func (t *Telemetry) StartWalk(scratch *WalkTrace, path string) *WalkTrace {
+	if scratch == nil {
+		return &WalkTrace{ID: t.traceID.Add(1), Path: path, Start: time.Now()}
+	}
+	scratch.reset(t.traceID.Add(1), path)
+	return scratch
+}
+
+// SampleWalkInto is Sampled + StartWalk in one call: nil unless the walk
+// falls in the sample.
+func (t *Telemetry) SampleWalkInto(scratch *WalkTrace, path string) *WalkTrace {
+	if !t.Sampled() {
+		return nil
+	}
+	return t.StartWalk(scratch, path)
+}
+
+// StartSpan opens an externally owned span of an end-to-end trace: a 9P
+// server dispatch (origin "server") or client RPC (origin "client")
+// correlated across the wire by remoteID. The kernel walk annotates a
+// server span in place (FinishWalk sees ext and appends a summary
+// instead of pushing); the owner completes it with FinishSpan. Returns
+// nil when recording is off.
+func (t *Telemetry) StartSpan(origin, op, path string, remoteID uint64) *WalkTrace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &WalkTrace{
+		ID: t.traceID.Add(1), Origin: origin, Op: op, Path: path,
+		RemoteID: remoteID, Start: time.Now(), ext: true,
+	}
+}
+
+// NextTraceID allocates a wire trace ID (the client side of StartSpan
+// stamps it on the outgoing T-message before the span exists).
+func (t *Telemetry) NextTraceID() uint64 {
+	if t == nil || !t.enabled.Load() {
+		return 0
+	}
+	return t.traceID.Add(1)
+}
+
+// FinishSpan completes a span from StartSpan (nil-safe) and pushes it
+// into the trace ring and, if it qualifies, the flight recorder.
+func (t *Telemetry) FinishSpan(tr *WalkTrace, err error, d time.Duration) {
 	if tr == nil {
 		return
 	}
-	tr.Fastpath = fastpath
 	tr.DurNS = d.Nanoseconds()
 	if err == nil {
 		tr.Outcome = "ok"
 	} else {
 		tr.Outcome = err.Error()
 	}
+	tr.ext = false
 	t.ring.push(tr)
+	t.flight.offer(tr)
 }
+
+// FinishWalk completes tr (nil-safe). A plain sampled trace is pushed
+// into the ring (a scratch trace as a private copy) and offered to the
+// flight recorder; an externally owned span only gains a kernel-walk
+// summary event — its owner pushes it via FinishSpan.
+func (t *Telemetry) FinishWalk(tr *WalkTrace, fastpath bool, err error, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Fastpath = fastpath
+	if tr.ext {
+		tr.Events = append(tr.Events, TraceEvent{Kind: EvWalkDone, Detail: outcomeText(err), DurNS: d.Nanoseconds()})
+		return
+	}
+	tr.DurNS = d.Nanoseconds()
+	tr.Outcome = outcomeText(err)
+	if tr.scratch {
+		tr = tr.clone()
+	}
+	t.ring.push(tr)
+	t.flight.offer(tr)
+}
+
+func outcomeText(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
+// SetSlowThreshold changes the flight recorder's slow threshold for one
+// op ("" = the default used by ops without an override and by in-process
+// kernel walks).
+func (t *Telemetry) SetSlowThreshold(op string, d time.Duration) {
+	t.flight.setThreshold(op, d.Nanoseconds())
+}
+
+// SlowThreshold returns the flight recorder's slow threshold for op.
+func (t *Telemetry) SlowThreshold(op string) time.Duration {
+	return time.Duration(t.flight.threshold(op))
+}
+
+// SlowTraces returns the flight recorder's retained traces (oldest
+// first) and how many qualifying traces were dropped to make room.
+func (t *Telemetry) SlowTraces() ([]*WalkTrace, uint64) { return t.flight.ring.dump() }
+
+// SlowCount returns how many traces the flight recorder retains.
+func (t *Telemetry) SlowCount() int { return t.flight.ring.count() }
 
 // Snapshot returns merged copies of every histogram.
 func (t *Telemetry) Snapshot() []HistSnapshot {
@@ -278,6 +402,15 @@ func (t *Telemetry) Traces() ([]*WalkTrace, uint64) { return t.ring.dump() }
 
 // TraceCount returns how many traces the ring currently retains.
 func (t *Telemetry) TraceCount() int { return t.ring.count() }
+
+// TracesDropped returns how many sampled traces the ring has overwritten
+// — the drop counter the exporter surfaces so storm load no longer loses
+// traces silently.
+func (t *Telemetry) TracesDropped() uint64 { return t.ring.dropped() }
+
+// SlowDropped returns how many qualifying traces the flight recorder has
+// overwritten.
+func (t *Telemetry) SlowDropped() uint64 { return t.flight.ring.dropped() }
 
 // RegisterStats adds a named counter source the exporter will include
 // (e.g. a System's CacheStats). Re-registering a source replaces it.

@@ -32,19 +32,48 @@ const (
 	EvPCCMiss       = "pcc_miss"       // prefix check not memoized/stale
 	EvAlias         = "alias"          // symlink alias dentry hit
 	EvFastAbort     = "fast_abort"     // fastpath bailed to the slow walk
+
+	// Span event kinds added by the end-to-end tracing layer: stage
+	// timings recorded below walkOnce and across the 9P wire.
+	EvShortcutResume = "shortcut_resume" // slow walk resumed from a cached ancestor
+	EvCoalesceWait   = "coalesce_wait"   // miss parked on a concurrent in-flight lookup
+	EvBulkPopulate   = "bulk_populate"   // miss streak answered by one backend ReadDir
+	EvWalkDone       = "walk"            // kernel walk summary inside a server span
+	EvRPC            = "rpc"             // client-side wire round trip
 )
 
-// WalkTrace is the recorded event sequence of one sampled walk. It is
-// built by the walking goroutine alone and becomes immutable once pushed
-// into the ring, so readers need no synchronization beyond the ring's.
+// Anomaly kinds: a completed trace with a non-empty Anomaly is always
+// retained by the flight recorder regardless of its latency.
+const (
+	AnomShortcutTorn = "shortcut_torn" // re-walk after a torn resume prefix
+	AnomRefWalk      = "refwalk"       // optimistic walk fell back to the ref-walk lock
+	AnomCoalesceWait = "coalesce_wait" // coalesced-miss wait exceeded the slow threshold
+)
+
+// WalkTrace is the recorded event sequence of one sampled walk — or, with
+// a non-empty Origin, one span of an end-to-end trace that crosses the 9P
+// wire. It is built by the walking goroutine alone and becomes immutable
+// once pushed into the ring, so readers need no synchronization beyond
+// the ring's.
 type WalkTrace struct {
 	ID       uint64       `json:"id"`
+	Origin   string       `json:"origin,omitempty"` // "" in-process walk, "client" or "server" wire span
+	Op       string       `json:"op,omitempty"`     // wire op for spans ("Twalk", "Tstat", ...)
+	RemoteID uint64       `json:"remote_id,omitempty"`
 	Path     string       `json:"path"`
 	Start    time.Time    `json:"start"`
 	DurNS    int64        `json:"dur_ns"`
 	Outcome  string       `json:"outcome"` // "ok" or the errno text
 	Fastpath bool         `json:"fastpath"`
+	Anomaly  string       `json:"anomaly,omitempty"` // anomalous-path marker (flight recorder keeps these)
 	Events   []TraceEvent `json:"events"`
+
+	// scratch marks a per-Task reusable trace: FinishWalk pushes a
+	// private copy and leaves this one to be reset by the next sample.
+	scratch bool
+	// ext marks an externally owned span (a 9P server dispatch): the
+	// kernel walk annotates it but its owner finishes and pushes it.
+	ext bool
 }
 
 // Event appends a step. Nil-safe so instrumentation sites can call it
@@ -62,6 +91,32 @@ func (tr *WalkTrace) EventDur(kind, detail string, d time.Duration) {
 		return
 	}
 	tr.Events = append(tr.Events, TraceEvent{Kind: kind, Detail: detail, DurNS: d.Nanoseconds()})
+}
+
+// SetAnomaly marks the trace as having taken an anomalous path (the
+// first marker wins). Nil-safe like Event.
+func (tr *WalkTrace) SetAnomaly(kind string) {
+	if tr == nil || tr.Anomaly != "" {
+		return
+	}
+	tr.Anomaly = kind
+}
+
+// reset rearms a scratch trace for a new sample, keeping the Events
+// backing array so steady-state sampled walks stop allocating.
+func (tr *WalkTrace) reset(id uint64, path string) {
+	ev := tr.Events[:0]
+	*tr = WalkTrace{ID: id, Path: path, Start: time.Now(), Events: ev, scratch: true}
+}
+
+// clone returns a private immutable copy (pushed into rings in place of
+// a scratch trace, which its Task will reuse).
+func (tr *WalkTrace) clone() *WalkTrace {
+	c := *tr
+	c.scratch = false
+	c.ext = false
+	c.Events = append([]TraceEvent(nil), tr.Events...)
+	return &c
 }
 
 // traceRing is a fixed-size drop-oldest buffer of completed traces.
@@ -112,4 +167,16 @@ func (r *traceRing) count() int {
 		return int(r.total)
 	}
 	return len(r.buf)
+}
+
+// dropped returns how many traces the ring has overwritten. Unlike dump
+// it takes no copies, so the exporter can surface the drop count as a
+// cheap gauge instead of silently losing sampled traces under storm load.
+func (r *traceRing) dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := uint64(len(r.buf)); r.total > n {
+		return r.total - n
+	}
+	return 0
 }

@@ -111,8 +111,9 @@ type Hooks interface {
 	// prefix of path for this task, they return its location and the
 	// unresolved suffix, and the walk starts there instead of
 	// re-stepping the cached prefix. The returned token is handed to
-	// ShortcutCommit after the walk. ok=false walks from start.
-	ShortcutResume(t *Task, start PathRef, path string) (rs PathRef, rest string, token any, ok bool)
+	// ShortcutCommit after the walk. ok=false walks from start. tr is
+	// the walk's sampled span (nil almost always) for resume events.
+	ShortcutResume(t *Task, start PathRef, path string, tr *telemetry.WalkTrace) (rs PathRef, rest string, token any, ok bool)
 
 	// ShortcutCommit re-validates the resume point a walk just used.
 	// False means the skipped prefix may have changed under the walk

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dircache/internal/cred"
+	"dircache/internal/telemetry"
 )
 
 // Task is a process as the VFS sees it: credentials, a root directory
@@ -35,6 +36,19 @@ type Task struct {
 	// costs a future resume opportunity. Boxed so Recycle can clear it
 	// (atomic.Value cannot store nil or change concrete types).
 	shortcutP atomic.Value // scratchBox
+
+	// traceScratch is the per-task span scratch: a reusable WalkTrace so
+	// sampled walks append stage events with zero walk-path allocations
+	// (FinishWalk pushes a private copy). traceBusy guards it the same
+	// way segBusy guards segScratch.
+	traceScratch *telemetry.WalkTrace
+	traceBusy    atomic.Bool
+
+	// armedTrace is a server-installed span for the task's next walk:
+	// the 9P dispatch arms it so the kernel walk annotates the wire span
+	// in place, stitching client RPC, server dispatch, and walk stages
+	// into one end-to-end trace. Consumed (cleared) by the first walk.
+	armedTrace atomic.Pointer[telemetry.WalkTrace]
 }
 
 // scratchBox wraps the hooks' scratch value so every shortcutP store uses
@@ -51,6 +65,39 @@ func (t *Task) ShortcutScratch() any {
 // SetShortcutScratch records the hook-owned walk-resume scratch. Values
 // must be immutable and of one concrete type per hooks implementation.
 func (t *Task) SetShortcutScratch(v any) { t.shortcutP.Store(scratchBox{v: v}) }
+
+// ArmTrace installs (or with nil clears) a span for the task's next walk.
+// The walk consumes it via takeArmedTrace; its owner finishes it. Used by
+// the 9P server to stitch a wire span around the kernel walk it triggers.
+func (t *Task) ArmTrace(tr *telemetry.WalkTrace) { t.armedTrace.Store(tr) }
+
+// takeArmedTrace consumes the armed span, if any.
+func (t *Task) takeArmedTrace() *telemetry.WalkTrace {
+	if t.armedTrace.Load() == nil {
+		return nil
+	}
+	return t.armedTrace.Swap(nil)
+}
+
+// acquireTrace returns the task's reusable span scratch (nil if an
+// overlapping walk on the same task holds it — the sampler then
+// allocates a throwaway trace instead).
+func (t *Task) acquireTrace() (*telemetry.WalkTrace, bool) {
+	if t.traceBusy.CompareAndSwap(false, true) {
+		if t.traceScratch == nil {
+			t.traceScratch = &telemetry.WalkTrace{}
+		}
+		return t.traceScratch, true
+	}
+	return nil, false
+}
+
+// releaseTrace returns the span scratch to the task.
+func (t *Task) releaseTrace(held bool) {
+	if held {
+		t.traceBusy.Store(false)
+	}
+}
 
 // acquireSegs returns a 1-length segment stack for a slow walk: the
 // task's scratch buffer when free, a fresh allocation otherwise.
@@ -146,6 +193,7 @@ func (t *Task) Recycle(c *cred.Cred) {
 	t.cwdp.Store(&rootRef)
 	t.credp.Store(c)
 	t.shortcutP.Store(scratchBox{})
+	t.armedTrace.Store(nil)
 	oldRoot.D.Unref()
 	oldCwd.D.Unref()
 }

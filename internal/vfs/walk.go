@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"dircache/internal/fsapi"
@@ -155,20 +156,35 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 	tel := k.tel.Load()
 	var walkStart time.Time
 	var tr *telemetry.WalkTrace
+	var trHeld bool
 	if !tel.On() {
 		tel = nil
 	} else {
 		walkStart = time.Now()
-		tr = tel.SampleWalk(path)
+		if armed := t.takeArmedTrace(); armed != nil {
+			// A wire span armed by the 9P server: annotate it in place so
+			// the walk's stage events stitch into the end-to-end trace.
+			// Its owner finishes it; FinishWalk only appends a summary.
+			tr = armed
+		} else if tel.Sampled() {
+			var scratch *telemetry.WalkTrace
+			scratch, trHeld = t.acquireTrace()
+			tr = tel.StartWalk(scratch, path)
+		}
 	}
 
 	if k.hooks != nil && fl&WalkNoFast == 0 {
 		if res, err, handled := k.hooks.TryFast(t, start, path, fl, tr); handled {
 			if tel != nil {
 				d := time.Since(walkStart)
-				tel.Record(telemetry.HistFastpath, d)
-				tel.Record(telemetry.HistWalk, d)
+				var trID uint64
+				if tr != nil {
+					trID = tr.ID
+				}
+				tel.RecordEx(telemetry.HistFastpath, d, trID)
+				tel.RecordEx(telemetry.HistWalk, d, trID)
 				tel.FinishWalk(tr, true, err, d)
+				t.releaseTrace(trHeld)
 			}
 			return res, err
 		}
@@ -187,7 +203,7 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 	slowStart, slowPath := start, path
 	var scTok any
 	if k.hooks != nil && fl&WalkNoFast == 0 {
-		if rs, rest, tok, ok := k.hooks.ShortcutResume(t, start, path); ok {
+		if rs, rest, tok, ok := k.hooks.ShortcutResume(t, start, path, tr); ok {
 			slowStart, slowPath, scTok = rs, rest, tok
 		}
 	}
@@ -196,6 +212,8 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 		// The resume point went stale while the walk ran (rename or
 		// shootdown of the skipped prefix): the result may reflect the
 		// ancestor's old location. Redo authoritatively from the start.
+		tr.SetAnomaly(telemetry.AnomShortcutTorn)
+		tr.Event(telemetry.EvSeqRetry, "shortcut torn, authoritative redo")
 		slowStart, slowPath = start, path
 		res, lexical, err = k.walkSlow(t, slowStart, slowPath, fl, tr)
 	}
@@ -211,9 +229,14 @@ func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) 
 	}
 	if tel != nil {
 		d := time.Since(walkStart)
-		tel.Record(telemetry.HistSlowpath, d)
-		tel.Record(telemetry.HistWalk, d)
+		var trID uint64
+		if tr != nil {
+			trID = tr.ID
+		}
+		tel.RecordEx(telemetry.HistSlowpath, d, trID)
+		tel.RecordEx(telemetry.HistWalk, d, trID)
 		tel.FinishWalk(tr, false, err, d)
+		t.releaseTrace(trHeld)
 	}
 	return res, err
 }
@@ -254,6 +277,7 @@ func (k *Kernel) walkSlow(t *Task, start PathRef, path string, fl WalkFlags, tr 
 		// ref-walk fallback: block out structural changes and redo.
 		sc.retryWalks.Add(1)
 		tr.Event(telemetry.EvRefWalk, "")
+		tr.SetAnomaly(telemetry.AnomRefWalk)
 		k.renameRW.RLock()
 		defer k.renameRW.RUnlock()
 		return k.walkOnce(t, start, path, fl, tr)
@@ -428,7 +452,7 @@ func (k *Kernel) walkOnce(t *Task, start PathRef, path string, fl WalkFlags, tr 
 			var werr error
 			if tr != nil {
 				fsStart := time.Now()
-				d, werr = k.missLookup(cur, comp)
+				d, werr = k.missLookupTraced(cur, comp, tr)
 				tr.EventDur(telemetry.EvFSLookup, comp, time.Since(fsStart))
 			} else {
 				d, werr = k.missLookup(cur, comp)
@@ -614,6 +638,13 @@ func (k *Kernel) hydrate(d *Dentry) error {
 // negative dentry, or is removed on backend error so a later walk can
 // retry.
 func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
+	return k.missLookupTraced(cur, comp, nil)
+}
+
+// missLookupTraced is missLookup with an optional trace: the coalesce
+// wait, bulk population, and backend consultation under this miss become
+// stage events on tr (nil for untraced walks).
+func (k *Kernel) missLookupTraced(cur PathRef, comp string, tr *telemetry.WalkTrace) (*Dentry, error) {
 	parent := cur.D
 	pIno := parent.Inode()
 	if pIno == nil {
@@ -625,7 +656,7 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 		if d.Flags()&DInLookup != 0 {
 			il := d.inLookup
 			parent.mu.Unlock()
-			return k.joinInLookup(d, il)
+			return k.joinInLookup(d, il, comp, tr)
 		}
 		parent.mu.Unlock()
 		if d.IsNegative() {
@@ -663,14 +694,14 @@ func (k *Kernel) missLookup(cur PathRef, comp string) (*Dentry, error) {
 	k.cacheMutEnd()
 	k.inLookupCount.Add(1)
 
-	return k.resolveMiss(parent, pIno, comp, d, il)
+	return k.resolveMiss(parent, pIno, comp, d, il, tr)
 }
 
 // joinInLookup coalesces a concurrent miss onto the in-flight lookup that
 // owns the placeholder: wait for the winner's resolution and adopt its
 // outcome — positive, ENOENT, or the backend's error — so K racing walks
 // cost exactly one backend round trip.
-func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState) (*Dentry, error) {
+func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState, comp string, tr *telemetry.WalkTrace) (*Dentry, error) {
 	sc := k.stats.cell()
 	sc.missCoalesced.Add(1)
 	tel := k.journal()
@@ -680,6 +711,7 @@ func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState) (*Dentry, error) {
 		if tel != nil {
 			tel.Emit(telemetry.JCoalesce, d.ID(), 0, "")
 		}
+		tr.Event(telemetry.EvCoalesceWait, comp+" (resolved)")
 	default:
 		sc.inLookupWaits.Add(1)
 		if tel != nil {
@@ -687,8 +719,13 @@ func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState) (*Dentry, error) {
 		}
 		waitStart := time.Now()
 		<-il.done
+		wait := time.Since(waitStart)
 		if tel != nil {
-			tel.Record(telemetry.HistMissWait, time.Since(waitStart))
+			tel.Record(telemetry.HistMissWait, wait)
+		}
+		tr.EventDur(telemetry.EvCoalesceWait, comp, wait)
+		if tr != nil && tel != nil && wait > tel.SlowThreshold("") {
+			tr.SetAnomaly(telemetry.AnomCoalesceWait)
 		}
 	}
 	if il.err != nil {
@@ -710,9 +747,9 @@ func (k *Kernel) joinInLookup(d *Dentry, il *inLookupState) (*Dentry, error) {
 // crosses Config.BulkAfter on a CheapReadDir file system, one ReadDir
 // that populates the whole directory — then an in-place resolution of the
 // placeholder that wakes every coalesced waiter.
-func (k *Kernel) resolveMiss(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState) (*Dentry, error) {
+func (k *Kernel) resolveMiss(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState, tr *telemetry.WalkTrace) (*Dentry, error) {
 	if streak := parent.missStreak.Add(1); k.bulkEligible(parent, streak) {
-		if res, err, handled := k.bulkPopulate(parent, pIno, comp, d, il); handled {
+		if res, err, handled := k.bulkPopulate(parent, pIno, comp, d, il, tr); handled {
 			return res, err
 		}
 	}
@@ -853,7 +890,7 @@ func (k *Kernel) bulkEligible(parent *Dentry, streak int32) bool {
 // is answered from the cache — O(children) round trips become one.
 // handled=false (the ReadDir itself failed) falls back to the per-name
 // Lookup.
-func (k *Kernel) bulkPopulate(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState) (res *Dentry, err error, handled bool) {
+func (k *Kernel) bulkPopulate(parent *Dentry, pIno *Inode, comp string, d *Dentry, il *inLookupState, tr *telemetry.WalkTrace) (res *Dentry, err error, handled bool) {
 	startEpoch := k.lru.Epoch()
 	tel := k.tel.Load()
 	var fsStart time.Time
@@ -862,7 +899,9 @@ func (k *Kernel) bulkPopulate(parent *Dentry, pIno *Inode, comp string, d *Dentr
 	}
 	ents, _, eof, rerr := parent.sb.fs.ReadDir(pIno.ID(), 0, -1)
 	if !fsStart.IsZero() {
-		tel.Record(telemetry.HistFSLookup, time.Since(fsStart))
+		dur := time.Since(fsStart)
+		tel.Record(telemetry.HistFSLookup, dur)
+		tr.EventDur(telemetry.EvBulkPopulate, fmt.Sprintf("%s: %d entries", comp, len(ents)), dur)
 	}
 	if rerr != nil {
 		return nil, nil, false

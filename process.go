@@ -8,6 +8,7 @@ import (
 	"dircache/internal/cred"
 	"dircache/internal/fsapi"
 	"dircache/internal/lsm"
+	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
 
@@ -99,6 +100,12 @@ func (p *Process) Fork() *Process {
 
 // Exit releases the process's directory references.
 func (p *Process) Exit() { p.t.Exit() }
+
+// ArmTrace installs (nil clears) an externally owned telemetry span on
+// the process's next kernel walk: the walk annotates its stage events
+// into the span in place and the span's owner finishes it. Used by the
+// 9P server to stitch wire spans to the walks they trigger.
+func (p *Process) ArmTrace(tr *telemetry.WalkTrace) { p.t.ArmTrace(tr) }
 
 // SetCreds commits new credentials through the copy-on-write discipline:
 // if they equal the current ones, the current credential (and its PCC) is

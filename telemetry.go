@@ -27,6 +27,13 @@ type TelemetryOptions struct {
 	// (0 = 4096). The journal is striped by subject and drops each
 	// subject's oldest events when full.
 	JournalBuffer int
+	// FlightBuffer is the slow-walk flight recorder capacity in traces
+	// (0 = 64): completed traces that exceeded their op's slow threshold
+	// or took an anomalous path are retained here, drop-oldest.
+	FlightBuffer int
+	// SlowNS is the flight recorder's default slow threshold in
+	// nanoseconds (0 = 1ms). Per-op overrides via SetSlowThreshold.
+	SlowNS int64
 }
 
 // Telemetry is a System's attached observability subsystem: latency
@@ -44,9 +51,17 @@ type MetricsServer = telemetry.Server
 // recording, not yet attached to any System. Pair with
 // SetDefaultTelemetry to share one exporter across many Systems.
 func NewTelemetry(o TelemetryOptions) *Telemetry {
-	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer, JournalBuffer: o.JournalBuffer})
+	t := telemetry.New(o.rawOptions())
 	t.Enable()
 	return &Telemetry{t: t}
+}
+
+func (o TelemetryOptions) rawOptions() telemetry.Options {
+	return telemetry.Options{
+		TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer,
+		JournalBuffer: o.JournalBuffer,
+		FlightBuffer:  o.FlightBuffer, SlowNS: o.SlowNS,
+	}
 }
 
 // SetDefaultTelemetry installs tl (nil clears) as the process-wide
@@ -75,7 +90,7 @@ func (s *System) Telemetry() *Telemetry {
 // System (replacing any previous one) and starts recording. The System's
 // CacheStats are registered with the exporter under source "system".
 func (s *System) EnableTelemetry(o TelemetryOptions) *Telemetry {
-	t := telemetry.New(telemetry.Options{TraceSample: o.TraceSample, TraceBuffer: o.TraceBuffer, JournalBuffer: o.JournalBuffer})
+	t := telemetry.New(o.rawOptions())
 	t.RegisterStats("system", func() map[string]int64 { return s.Stats().counters() })
 	t.RegisterStats("inspect", func() map[string]int64 { return s.Inspect().counters() })
 	t.Enable()
@@ -154,6 +169,24 @@ type JournalEvent = telemetry.Event
 
 // TraceCount reports how many sampled walk traces the ring retains.
 func (tl *Telemetry) TraceCount() int { return tl.t.TraceCount() }
+
+// TracesDropped reports how many sampled traces the ring has dropped
+// (overwritten oldest-first) since creation.
+func (tl *Telemetry) TracesDropped() uint64 { return tl.t.TracesDropped() }
+
+// SlowJSON renders the flight recorder's retained slow/anomalous traces
+// as JSON, stitched end-to-end by wire trace id, oldest first.
+func (tl *Telemetry) SlowJSON() []byte { return tl.t.SlowJSON() }
+
+// SlowTraces returns the flight recorder's retained traces (oldest
+// first) and how many qualifying traces it has dropped to make room.
+func (tl *Telemetry) SlowTraces() ([]*telemetry.WalkTrace, uint64) { return tl.t.SlowTraces() }
+
+// SetSlowThreshold sets the flight recorder's slow threshold for op
+// ("" = the default applied to ops without an override): completed
+// traces at least this slow are retained for dcsh slow / the /slow
+// endpoint.
+func (tl *Telemetry) SetSlowThreshold(op string, d time.Duration) { tl.t.SetSlowThreshold(op, d) }
 
 // SetTraceSample changes the 1-in-N walk trace sampling rate (0 disables).
 func (tl *Telemetry) SetTraceSample(n int) { tl.t.SetTraceSample(n) }

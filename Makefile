@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke serve-smoke dcbench
+.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke memscale-smoke serve-smoke dcbench
 
 all: ci
 
@@ -20,6 +20,7 @@ help:
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
 	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve trajectories vs BENCH_*.json + tracing-tax gate (<3%)"
+	@echo "  memscale-smoke alloc-regression gate: warm walks at 0 allocs/op (AllocsPerRun test + BenchmarkParallelWalk -benchmem)"
 	@echo "  serve-smoke    boot dcserve on loopback: 9P client round trips + end-to-end trace stitching on /slow"
 	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve/trace JSON files"
 
@@ -41,7 +42,7 @@ audit:
 	$(GO) test -run 'Audit|Invariant' -race ./...
 
 # The tier-1 gate, folded into one target.
-ci: vet check race audit serve-smoke bench-smoke
+ci: vet check race audit serve-smoke bench-smoke memscale-smoke
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:
@@ -64,6 +65,16 @@ bench-parallel:
 # fastpath vs tracing disabled (trajectory in BENCH_trace.json).
 bench-smoke:
 	$(GO) run ./cmd/dcbench -scale small -smoke BENCH_apps.json
+
+# Alloc-regression gate for the slab work: dentries, fast-dentries, and
+# DLHT chain nodes live in slab arenas, so a warm fastpath walk must not
+# allocate — testing.AllocsPerRun asserts exactly 0, and the parallel
+# walk benchmark must report 0 allocs/op (awk gates the -benchmem column
+# so a regression fails the target, not just prints a number).
+memscale-smoke:
+	$(GO) test -run 'TestWarmWalkZeroAlloc' -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelWalk/optimized/goroutines-1$$' -benchtime 2000x -benchmem . | \
+		tee /dev/stderr | awk '/allocs\/op/ { if ($$(NF-1)+0 != 0) bad=1 } END { exit bad }'
 
 # 9P server smoke: boot dcserve on an ephemeral loopback port, run the
 # in-repo client through attach/walk/stat/readdir/read round trips under

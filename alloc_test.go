@@ -1,0 +1,41 @@
+package dircache_test
+
+import (
+	"testing"
+
+	"dircache"
+)
+
+// TestWarmWalkZeroAlloc is the alloc-regression gate behind
+// `make memscale-smoke`: with dentries, fast-dentries, and hash-chain
+// nodes carved out of slab arenas, a warm fastpath walk must not touch
+// the GC heap at all — 0 allocs per Stat, serially and with every
+// goroutine hammering the same path. A regression here is how GC
+// pressure at 10M entries sneaks back in, so it fails fast at unit-test
+// scale.
+func TestWarmWalkZeroAlloc(t *testing.T) {
+	const path = "/a/b/c/d/e/f/g/file"
+	cfg := dircache.Optimized()
+	cfg.SignatureSeed = 1
+	sys := dircache.New(cfg)
+	setup := sys.Start(dircache.RootCreds())
+	if err := setup.MkdirAll("/a/b/c/d/e/f/g", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Start(dircache.RootCreds())
+	for i := 0; i < 8; i++ {
+		if _, err := p.Stat(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, err := p.Stat(path); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm walk allocates: %.2f allocs/op (want 0 — the slab arenas exist so this path never touches the GC heap)", avg)
+	}
+}

@@ -184,8 +184,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		memPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_mem.json")
+		if err := writeMem(memPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath, tracePath)
+			fmt.Printf("wrote %s, %s, %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath, tracePath, memPath)
 		}
 	}
 	if tel != nil {
@@ -363,12 +368,46 @@ func writeTrace(path, scale string, sc bench.Scale) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
+// writeMem emits BENCH_mem.json: the memory-scale ladder
+// (bench.MemTrajectory — bytes per entry, worst GC pause, warm walk p99
+// for slab arenas vs the pointer-heap baseline) in the same schema as
+// BENCH_micro.json. Bytes/entry is the trackable series; the pause and
+// p99 series are timing-derived, so the smoke gate for this work is
+// `make memscale-smoke` (zero allocs on the warm path), not a ratio
+// band on this file.
+func writeMem(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.MemTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
 // smokeTolerance bounds how far an app's opt/unmod wall-time ratio may
 // drift from the committed baseline before the smoke run fails. Ratios
 // (not absolute times) make the check robust to machine speed; the wide
 // band absorbs scheduler noise while still catching gross regressions
 // like a teardown path going 2x slower than baseline.
 const smokeTolerance = 0.35
+
+// appTolerance narrows the band for applications whose ratio a change is
+// specifically accountable for. "rm -r" is the teardown gate of the
+// memory-scale work: lazy slab reclaim plus the fastpath child hop
+// brought its opt/unmod ratio from ~1.25 to ~1.08, and this band keeps
+// the regression headroom at the acceptance bar (within 10% of
+// unmodified, plus measurement noise) instead of the generic 35%.
+var appTolerance = map[string]float64{
+	"rm -r": 0.15,
+}
 
 // runSmoke re-runs the warm-app suite and compares each application's
 // opt/unmod ratio against the committed BENCH_apps.json baseline.
@@ -417,15 +456,19 @@ func runSmoke(baselinePath string, sc bench.Scale) error {
 			continue
 		}
 		drift := n - b
+		tol := smokeTolerance
+		if t, ok := appTolerance[app]; ok {
+			tol = t
+		}
 		mark := ""
-		if drift > smokeTolerance || drift < -smokeTolerance {
+		if drift > tol || drift < -tol {
 			bad++
-			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", tol)
 		}
 		fmt.Printf("%-18s %-10.2f %-10.2f %+.2f%s\n", app, b, n, drift, mark)
 	}
 	if bad > 0 {
-		return fmt.Errorf("%d app ratio(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+		return fmt.Errorf("%d app ratio(s) drifted beyond the committed baseline band", bad)
 	}
 	fmt.Println("smoke: app ratios within tolerance")
 	return runColdSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_cold.json"), sc)

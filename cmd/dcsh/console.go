@@ -1,8 +1,9 @@
 // The live ops console. 'top' renders windowed per-second rates over
 // the whole stack — kernel lookup mix and hit ratios, stage latency
 // breakdowns, 9P per-op and per-principal rates, Process-pool occupancy,
-// and telemetry drop rates. 'slow' dumps the flight recorder: every
-// retained slow or anomalous trace, stitched across the wire.
+// slab-arena occupancy and reclamation rates, and telemetry drop rates.
+// 'slow' dumps the flight recorder: every retained slow or anomalous
+// trace, stitched across the wire.
 package main
 
 import (
@@ -39,6 +40,7 @@ func cmdSlow(sys *dircache.System) error {
 type topShot struct {
 	at    time.Time
 	st    dircache.CacheStats
+	mem   dircache.MemStats
 	hist  map[string]uint64 // histogram observation counts
 	users map[string]int64  // per-principal 9P ops (when serving)
 	ops   int64             // total 9P ops (when serving)
@@ -54,6 +56,7 @@ func topSnapshot(sys *dircache.System) topShot {
 	s := topShot{
 		at:     time.Now(),
 		st:     sys.Stats(),
+		mem:    sys.MemStats(),
 		hist:   map[string]uint64{},
 		evDrop: tl.EventsDropped(),
 		trDrop: tl.TracesDropped(),
@@ -149,6 +152,25 @@ func renderTop(sys *dircache.System, prev, cur topShot, tick, ticks int) {
 			fmt.Println()
 		}
 	}
+	memSum := func(m dircache.MemStats) (live, slots, free, limbo, reclaimed int64) {
+		for _, a := range []dircache.ArenaStats{m.Dentries, m.ChainNodes, m.FastDentries, m.DLHTNodes} {
+			live += a.Live
+			slots += int64(a.Slots)
+			free += a.Free
+			limbo += a.Limbo
+			reclaimed += int64(a.Reclaimed)
+		}
+		return
+	}
+	live, slots, free, limbo, rec := memSum(cur.mem)
+	_, _, _, _, prevRec := memSum(prev.mem)
+	occ := 0.0
+	if slots > 0 {
+		occ = 100 * float64(live) / float64(slots)
+	}
+	fmt.Printf("mem     %8d live slots (occ %.1f%%)   free %d   limbo %d (+%d queued)   reclaim %.0f/s   sweep %.0f/s\n",
+		live, occ, free, limbo, cur.mem.LimboQueue,
+		rate(prevRec, rec), rate(int64(prev.mem.Swept), int64(cur.mem.Swept)))
 	fmt.Printf("drops   journal %d (+%d)   trace ring %d (+%d)   flight %d (+%d)   slow retained %d\n",
 		cur.evDrop, cur.evDrop-prev.evDrop,
 		cur.trDrop, cur.trDrop-prev.trDrop,

@@ -139,7 +139,8 @@ telem:  lat (walk latency quantiles)  traces (sampled walk traces)
 	events (coherence event journal: seq bumps, shootdowns, evictions)
 	slow (flight recorder: slow/anomalous traces stitched across the wire)
 	top [TICKS] (live ops console: rates, hit ratios, stage latencies,
-	per-principal 9P ops, pool occupancy, drop counters; default 3 ticks)
+	per-principal 9P ops, pool and slab-arena occupancy, reclaim rates,
+	drop counters; default 3 ticks)
 	(run dcsh with -telemetry; -metrics-addr serves them over HTTP,
 	-pprof adds /debug/pprof and runtime metrics)
 serve:  serve [ADDR]  (export this kernel over 9P2000; default localhost:5640)
@@ -257,8 +258,20 @@ other:  help  exit
 		fmt.Printf("miss storms   %d coalesced (%d waited), %d bulk populations\n",
 			st.MissCoalesced, st.InLookupWaits, st.BulkPopulations)
 		fmt.Printf("invalidations %d, populations %d\n", st.Invalidations, st.Populations)
-		fmt.Printf("shortcuts     %d resumes, %d components skipped, %d bytes hashed\n",
-			st.ShortcutResumes, st.ShortcutDepthSaved, st.HashedBytes)
+		fmt.Printf("shortcuts     %d resumes, %d components skipped, %d bytes hashed, %d child hops\n",
+			st.ShortcutResumes, st.ShortcutDepthSaved, st.HashedBytes, st.ChildHops)
+		m := sys.MemStats()
+		live := m.Dentries.Live + m.ChainNodes.Live + m.FastDentries.Live + m.DLHTNodes.Live
+		slots := int64(m.Dentries.Slots + m.ChainNodes.Slots + m.FastDentries.Slots + m.DLHTNodes.Slots)
+		free := m.Dentries.Free + m.ChainNodes.Free + m.FastDentries.Free + m.DLHTNodes.Free
+		limbo := m.Dentries.Limbo + m.ChainNodes.Limbo + m.FastDentries.Limbo + m.DLHTNodes.Limbo
+		reclaimed := m.Dentries.Reclaimed + m.ChainNodes.Reclaimed + m.FastDentries.Reclaimed + m.DLHTNodes.Reclaimed
+		occ := 0.0
+		if slots > 0 {
+			occ = 100 * float64(live) / float64(slots)
+		}
+		fmt.Printf("mem           %d/%d slab slots live (%.1f%%), free %d, limbo %d (+%d queued), %d reclaimed, %d swept\n",
+			live, slots, occ, free, limbo, m.LimboQueue, reclaimed, m.Swept)
 	case "buckets":
 		empty, one, two, more := sys.BucketStats()
 		total := empty + one + two + more

@@ -134,6 +134,11 @@ type Config struct {
 	// instead of one per-name Lookup each. 0 = the default of 3; negative
 	// disables. Requires Features.DirCompleteness.
 	BulkAfter int
+	// HeapAlloc switches the dentry/fast-dentry/chain-node slab arenas to
+	// one-GC-object-per-slot mode with recycling disabled — the pointer-heap
+	// allocation model the memscale experiment measures against. Strictly a
+	// measurement baseline: it leaks retired slots by design. Leave off.
+	HeapAlloc bool
 	// Root supplies the root file system backend; nil means a fresh
 	// in-memory backend.
 	Root *Backend
@@ -177,6 +182,7 @@ func New(cfg Config) *System {
 		AggressiveNegatives: cfg.Features.AggressiveNegatives,
 		BulkAfter:           cfg.BulkAfter,
 		PhaseTrace:          cfg.PhaseTrace,
+		HeapAlloc:           cfg.HeapAlloc,
 	}, root.fs)
 	s := &System{k: k, root: root}
 	if cfg.Features.DirectLookup {

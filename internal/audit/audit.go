@@ -144,6 +144,12 @@ func stampsEqual(a, b []uint64) bool {
 //   - dead_in_lru: no dead dentry is still charged to the LRU.
 //   - detached: every live cached dentry is reachable from its parent's
 //     child map under its own name.
+//   - slab_liveness: every LRU entry and hash-chain reference resolves
+//     against the slab arenas under the generation discipline — no live
+//     structure reaches a free or recycled slot, and no resolving
+//     reference disagrees with its dentry about identity (an ABA
+//     breach). The pass drains the lazy teardown queue first
+//     (ReclaimAll) so legitimately-dead leftovers don't mask real bugs.
 //   - dir_complete: a DIR_COMPLETE directory's cached children exactly
 //     cover the low-level FS listing (§5.1's contract — serving readdir
 //     from the cache is only sound if nothing is missing or extra).
@@ -154,9 +160,15 @@ func stampsEqual(a, b []uint64) bool {
 //     PCC prefix re-verification, journal/DLHT cross-check).
 func (a *Auditor) Run() Report {
 	r := Report{Start: time.Now(), Checked: map[string]int{}}
+	// Settle the lazy-teardown machinery before stamping: draining limbo
+	// and recycling grace-elapsed slots here means the slab_liveness scan
+	// distinguishes "awaiting sweep" from "prematurely freed", and the
+	// drain's own structure edits happen before the bracketing stamp.
+	a.k.ReclaimAll()
 	before, quietBefore := a.stamp()
 
 	a.checkLRU(&r)
+	a.checkSlabLiveness(&r)
 	a.checkDirComplete(&r)
 	a.checkJournalDirComplete(&r)
 	a.checkTraceJournalShortcut(&r)
@@ -256,6 +268,23 @@ func (a *Auditor) checkLRU(r *Report) {
 				Detail: fmt.Sprintf("parent's child %q does not resolve to this dentry", d.Name())})
 		}
 	})
+}
+
+// checkSlabLiveness delegates to the kernel's arena-reference scan: every
+// LRU entry must resolve to a live slot of matching generation, and every
+// hash-chain reference that resolves must agree with its dentry about
+// identity. Unresolvable chain refs are lazy-teardown leftovers and pass;
+// Run's ReclaimAll pre-pass keeps them from hiding anything.
+func (a *Auditor) checkSlabLiveness(r *Report) {
+	limit := a.Limit - len(r.Findings)
+	if limit <= 0 {
+		return
+	}
+	checked, msgs := a.k.CheckSlabLiveness(limit)
+	r.Checked["slab_liveness"] += checked
+	for _, msg := range msgs {
+		a.add(r, Finding{Check: "slab_liveness", Detail: msg})
+	}
 }
 
 // checkDirComplete verifies §5.1's completeness contract against the

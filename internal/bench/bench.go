@@ -44,6 +44,9 @@ type Scale struct {
 	DeepDepths []int
 	// DeepLeaves is the number of leaf files per deepwalk tree.
 	DeepLeaves int
+	// MemEntries is the entry-count ladder for the memscale experiment
+	// (cached dentries held live per measurement point).
+	MemEntries []int
 }
 
 // Subtree is one Figure 7 configuration.
@@ -71,6 +74,7 @@ func SmallScale() Scale {
 		AppReps:      15,
 		DeepDepths:   []int{16, 32, 64},
 		DeepLeaves:   6,
+		MemEntries:   []int{20_000, 100_000},
 	}
 }
 
@@ -90,6 +94,7 @@ func PaperScale() Scale {
 		AppReps:      5,
 		DeepDepths:   []int{16, 32, 64},
 		DeepLeaves:   24,
+		MemEntries:   []int{1_000_000, 10_000_000},
 	}
 }
 
@@ -192,6 +197,7 @@ func Experiments() []Experiment {
 		{"deepwalk", "deep-tree walks: directory shortcut resume vs path depth", Deepwalk},
 		{"connstorm", "9P connection storm: coalesced cold walks, warm wire RPCs and latency", ConnStorm},
 		{"traceoverhead", "walk tracing tax: warm stat loop at 1/64 sampling vs disabled", TraceOverhead},
+		{"memscale", "memory-scale dentries: slab arenas vs pointer heap (bytes/entry, GC pause, walk p99)", Memscale},
 	}
 }
 

@@ -60,6 +60,10 @@ func (ar *auditRun) add(f audit.Finding) {
 //     have bumped the dentry's seq, staling the entry — so live entries
 //     must re-verify). Skipped once any task has chrooted: entries
 //     memoize task-root-relative checks the auditor cannot reconstruct.
+//   - slab_liveness (DLHT half; the LRU/hash-chain half runs in the
+//     auditor's kernel-side pass): every chain node whose
+//     generation-tagged dentry ref resolves must name a dentry agreeing
+//     it occupies that slot — no recycled slab slot is reachable.
 //   - journal_dlht: per-subject journal striping retains each subject's
 //     newest events, so if the newest retained insert/remove event for a
 //     dentry is a remove, the dentry must not be in any table.
@@ -104,6 +108,12 @@ func (c *Core) AuditFindings(limit int) ([]audit.Finding, map[string]int) {
 	aliasFree := c.k.AliasingEpoch() == 0
 	for _, dl := range dlhts {
 		c.auditDLHT(ar, dl, aliasFree)
+		// slab_liveness, DLHT half: chain nodes whose packed dentry ref
+		// resolves must agree with the dentry about its slot. (The LRU and
+		// vfs hash-chain half runs in the auditor's kernel-side pass.)
+		ar.checked["slab_liveness"] += dl.auditSlabRefs(func(d *vfs.Dentry, detail string) {
+			ar.add(audit.Finding{Check: "slab_liveness", Ref: d.ID(), Path: d.PathTo(), Detail: detail})
+		})
 	}
 	if c.k.ChrootCount() == 0 {
 		c.auditPCCs(ar, pccs)

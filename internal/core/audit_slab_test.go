@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"dircache/internal/audit"
+)
+
+// TestAuditCatchesPrematureFree injects the slab bug class slab_liveness
+// exists for: a live dentry's slot is retired and recycled onto the
+// free-list while the LRU, the hash chains, and its parent still
+// reference it — the moral equivalent of a kernel use-after-free. The
+// auditor must flag it; dropping the poisoned cache state repairs it.
+func TestAuditCatchesPrematureFree(t *testing.T) {
+	k, c, root := auditFixture(t)
+	warmBatchSubtree(t, c, root)
+
+	aud := audit.New(k, c)
+	if r := aud.RunUntilValid(5); !r.Valid || r.Violations() != 0 {
+		t.Fatalf("audit not clean before injection: %s", r.Summary())
+	}
+
+	ref, err := root.Walk("/a/b/c/file", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.InjectPrematureFree(ref.D)
+
+	r := aud.RunUntilValid(5)
+	if !r.Valid {
+		t.Fatalf("no valid audit pass after injection: %s", r.Summary())
+	}
+	caught := 0
+	for _, f := range r.Findings {
+		if f.Check == "slab_liveness" {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("auditor missed the prematurely freed slot: %s", r.Summary())
+	}
+	if r.Checked["slab_liveness"] == 0 {
+		t.Fatal("slab_liveness examined nothing")
+	}
+
+	// Repair: dropping caches discards the stale LRU handle (victims()
+	// deletes unresolvable entries on sight) and evicts everything else;
+	// the teardown sweep then clears the chain residue and the auditor
+	// goes clean.
+	k.DropCaches()
+	if r := aud.RunUntilValid(5); !r.Valid || r.Violations() != 0 {
+		t.Fatalf("audit still dirty after repair: %s", r.Summary())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"dircache/internal/cred"
 	"dircache/internal/sig"
+	"dircache/internal/slab"
 	"dircache/internal/stripe"
 	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
@@ -82,6 +83,7 @@ type Stats struct {
 	ShortcutResumes    int64 // walks resumed from a cached ancestor
 	ShortcutDepthSaved int64 // path components skipped by those resumes
 	HashedBytes        int64 // bytes fed to the path hash (all paths)
+	ChildHops          int64 // DLHT misses answered from the base dir's cached children
 }
 
 // statsCell holds the fastpath counters. The miss counters sit on the
@@ -94,6 +96,10 @@ type statsCell struct {
 	// Shortcut-resume counters ride the warm fastpath (seeded scans) and
 	// every scan feeds hashedBytes, so all three are striped too.
 	shortcutResumes, shortcutDepthSaved, hashedBytes stripe.Int64
+
+	// childHops counts fastpath answers taken directly from the base
+	// directory's cached children on a DLHT miss (hot path too).
+	childHops stripe.Int64
 
 	populations, invalidations, staleTokens, aliasCreated,
 	deepNegCreated, seqBumps atomic.Int64
@@ -108,6 +114,10 @@ type statsCell struct {
 // that invalidates PCC entries, the mount pointer, and — for symlinks —
 // the cached resolution target.
 type fastDentry struct {
+	// self is the dentry's slot in the core's fast-dentry arena, kept so
+	// OnReclaim can retire it alongside the dentry's own slot.
+	self slab.Ref
+
 	seq atomic.Uint64
 
 	// validGen is the batch-shootdown generation this dentry's fastpath
@@ -142,10 +152,11 @@ type fastDentry struct {
 	mntP atomic.Pointer[vfs.Mount]
 
 	// target caches a followed symlink's (or alias's) resolution (§4.2
-	// stores the target-path signature; a dentry pointer pinned to the
-	// target's version counter is equivalent: any structural or
-	// permission change to the target bumps its seq and stales this).
-	target    atomic.Pointer[vfs.Dentry]
+	// stores the target-path signature; a generation-tagged dentry ref
+	// pinned to the target's version counter is equivalent: any structural
+	// or permission change to the target bumps its seq and stales this,
+	// and slot recycling makes the packed ref stop resolving). 0 = none.
+	target    atomic.Uint64
 	targetSeq atomic.Uint64
 
 	// pubSeq records seq as of the moment the current table entry was
@@ -156,11 +167,39 @@ type fastDentry struct {
 	pubSeq uint64 // guarded by mu
 }
 
+// reset re-initializes a fast-dentry slot for a new tenant. Explicit
+// per-field stores rather than a struct assignment: the struct embeds a
+// mutex (vet copylocks), and the previous tenant is guaranteed to have
+// unlocked it before the slot cleared its grace period.
+func (fd *fastDentry) reset(self slab.Ref) {
+	fd.self = self
+	fd.seq.Store(0)
+	fd.validGen.Store(0)
+	fd.shootMark.Store(0)
+	fd.touches.Store(0)
+	fd.hasState = false
+	fd.state = sig.State{}
+	fd.idx = 0
+	fd.sg = sig.Signature{}
+	fd.inTable = nil
+	fd.statePtr.Store(nil)
+	fd.mntP.Store(nil)
+	fd.target.Store(0)
+	fd.targetSeq.Store(0)
+	fd.pubSeq = 0
+}
+
 // Core implements vfs.Hooks.
 type Core struct {
 	cfg Config
 	k   *vfs.Kernel
 	key *sig.Key
+
+	// fds and nodes are the core's slab arenas — per-dentry fastpath
+	// state and DLHT chain nodes — driven by the kernel's epoch gate so
+	// one grace period covers dentries and everything hanging off them.
+	fds   *slab.Arena[fastDentry]
+	nodes *slab.Arena[dnode]
 
 	// epoch is the global invalidation counter (§3.2): odd while a
 	// structural/permission mutation is in flight; slowpath results are
@@ -230,6 +269,8 @@ func Install(k *vfs.Kernel, cfg Config) *Core {
 		cfg.Seed = 0x5ca1ab1e0ddba11 ^ (seedCounter.Add(1) * 0x9e3779b97f4a7c15)
 	}
 	c := &Core{cfg: cfg, k: k, key: sig.NewKey(cfg.Seed)}
+	c.fds = slab.New[fastDentry](k.Gate(), k.SlabOptions())
+	c.nodes = slab.New[dnode](k.Gate(), k.SlabOptions())
 	c.admitAfter = cfg.AdmitAfter
 	if c.admitAfter == 0 {
 		c.admitAfter = 2
@@ -269,7 +310,15 @@ func (c *Core) Stats() Stats {
 		ShortcutResumes:    c.stats.shortcutResumes.Load(),
 		ShortcutDepthSaved: c.stats.shortcutDepthSaved.Load(),
 		HashedBytes:        c.stats.hashedBytes.Load(),
+		ChildHops:          c.stats.childHops.Load(),
 	}
+}
+
+// MemStats snapshots the core's slab arenas — fast-dentry side-table
+// slots and DLHT chain nodes — for telemetry's "mem" gauges and the
+// memscale experiment.
+func (c *Core) MemStats() (fds, nodes slab.Stats) {
+	return c.fds.Stats(), c.nodes.Stats()
 }
 
 func (c *Core) sumDLHTSweeps() int64 {
@@ -310,13 +359,53 @@ func fast(d *vfs.Dentry) *fastDentry {
 	return fd
 }
 
-// NewDentry implements vfs.Hooks. The fresh dentry's validGen starts at
-// the current shootdown generation: it holds no state a past range
-// shootdown could have staled, so there is nothing to climb for.
+// NewDentry implements vfs.Hooks. The fastDentry comes from the core's
+// slab arena (one slot per dentry, same lifecycle), not the GC heap. The
+// fresh dentry's validGen starts at the current shootdown generation: it
+// holds no state a past range shootdown could have staled, so there is
+// nothing to climb for.
 func (c *Core) NewDentry(d *vfs.Dentry) any {
-	fd := &fastDentry{}
+	r, fd := c.fds.Alloc()
+	fd.reset(r)
 	fd.validGen.Store(c.shootGen.Load())
 	return fd
+}
+
+// OnReclaim implements vfs.Hooks: the lazy-teardown sweeper is about to
+// retire a dead dentry's slab slot. Finish the fastpath half of the
+// teardown that kill time deferred — drop the residual DLHT entry and
+// cached state, then retire the fast-dentry slot into the same
+// grace-period limbo. In-section readers still holding the dentry can
+// keep dereferencing fd until the grace period ends.
+func (c *Core) OnReclaim(d *vfs.Dentry) {
+	fd := fast(d)
+	if fd == nil {
+		return
+	}
+	tel := c.tele()
+	fd.mu.Lock()
+	if fd.inTable != nil {
+		removeTimed(tel, fd.inTable, fd.idx, fd.sg, d)
+		fd.inTable = nil
+		if tel != nil {
+			tel.Emit(telemetry.JDLHTRemove, d.ID(), int64(fd.idx), "reclaim")
+		}
+	}
+	fd.hasState = false
+	fd.statePtr.Store(nil)
+	fd.target.Store(0)
+	fd.mu.Unlock()
+	c.fds.Retire(fd.self)
+}
+
+// OnReap implements vfs.Hooks: the kernel's reclamation cadence. Return
+// grace-elapsed fast-dentry and DLHT-node slots to their free-lists so
+// churn recycles slots instead of growing the arenas. Reclaim bounds
+// match the kernel's own per-call batches; the DLHT-node budget is
+// larger because insert-time sweeps retire nodes in bursts.
+func (c *Core) OnReap() {
+	c.fds.Reclaim(8192)
+	c.nodes.Reclaim(16384)
 }
 
 // OnRecycle implements vfs.Hooks: the dentry changed identity (a positive
@@ -335,7 +424,7 @@ func (c *Core) dlhtFor(ns *vfs.Namespace) *DLHT {
 	if v := ns.FastLoad(); v != nil {
 		return v.(*DLHT)
 	}
-	fresh := newDLHT()
+	fresh := newDLHT(c.nodes, c.k)
 	fresh.tel = c.k.Telemetry
 	dl := ns.FastStoreIfAbsent(fresh).(*DLHT)
 	c.regMu.Lock()
@@ -472,7 +561,7 @@ func (c *Core) batchShoot(d *vfs.Dentry, why vfs.Invalidation, tel *telemetry.Te
 		}
 		fd.hasState = false
 		fd.statePtr.Store(nil)
-		fd.target.Store(nil)
+		fd.target.Store(0)
 		fd.mu.Unlock()
 		if !c.testSkipBatchMark {
 			fd.shootMark.Store(gen)
@@ -552,7 +641,7 @@ func (c *Core) lazyInvalidate(d *vfs.Dentry, fd *fastDentry) {
 	}
 	fd.hasState = false
 	fd.statePtr.Store(nil)
-	fd.target.Store(nil)
+	fd.target.Store(0)
 	fd.mu.Unlock()
 	if e := c.epoch.Load(); e&1 == 0 {
 		fd.validGen.Store(c.shootGen.Load())
@@ -621,7 +710,7 @@ func (c *Core) invalidateSubtree(d *vfs.Dentry, tel *telemetry.Telemetry) int {
 			// signature state lazily on next population.
 			fd.hasState = false
 			fd.statePtr.Store(nil)
-			fd.target.Store(nil)
+			fd.target.Store(0)
 			fd.mu.Unlock()
 		}
 	}

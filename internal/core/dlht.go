@@ -1,31 +1,43 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dircache/internal/sig"
+	"dircache/internal/slab"
 	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
 
-// dnode is one immutable chain node of the direct lookup hash table.
-// Chains are prepend-on-insert and copy-on-remove, so lock-free readers
-// always see a consistent snapshot.
+// dnode is one chain node of the direct lookup hash table, carved out of
+// the core's shared slab arena and linked by 32-bit handles. The dentry
+// is held as a generation-tagged packed ref, not a pointer: when its slab
+// slot is retired and recycled the ref stops resolving, so a stale chain
+// node self-invalidates instead of aliasing the slot's next tenant. The
+// node struct is pointer-free, which is the point — the GC scans chunk
+// headers, not millions of chain nodes.
 type dnode struct {
 	sg   sig.Signature
-	d    *vfs.Dentry
-	next atomic.Pointer[dnode]
+	dref uint64        // packed slab.Ref of the dentry (kernel arena)
+	next atomic.Uint32 // handle of the next node; 0 = end of chain
 }
 
 // DLHT is the direct lookup hash table (§3.1): a system-wide (per mount
 // namespace, §4.3) table mapping 240-bit full-path signatures to dentries.
 // The 16-bit index peeled from the hash selects the bucket; the stored
 // signature is compared with four word compares instead of a string
-// compare.
+// compare. Chains are prepend-on-insert with in-place unlink on remove:
+// lock-free readers stay coherent because an unlinked node's fields and
+// next-link survive until the epoch gate's grace period has passed every
+// reader that could still be traversing it.
 type DLHT struct {
-	buckets []atomic.Pointer[dnode]
-	locks   []sync.Mutex // writer locks, sharded
+	buckets []atomic.Uint32 // head handles into nodes; 0 = empty
+	locks   []sync.Mutex    // writer locks, sharded
+
+	nodes *slab.Arena[dnode]
+	k     *vfs.Kernel // resolves drefs against the dentry arena
 
 	entries atomic.Int64
 	sweeps  atomic.Int64 // dead nodes reclaimed by inserts
@@ -38,10 +50,12 @@ type DLHT struct {
 
 const dlhtLockShards = 256
 
-func newDLHT() *DLHT {
+func newDLHT(nodes *slab.Arena[dnode], k *vfs.Kernel) *DLHT {
 	return &DLHT{
-		buckets: make([]atomic.Pointer[dnode], 1<<sig.IndexBits),
+		buckets: make([]atomic.Uint32, 1<<sig.IndexBits),
 		locks:   make([]sync.Mutex, dlhtLockShards),
+		nodes:   nodes,
+		k:       k,
 	}
 }
 
@@ -49,15 +63,31 @@ func (h *DLHT) lockFor(idx uint16) *sync.Mutex {
 	return &h.locks[idx%dlhtLockShards]
 }
 
-// Lookup returns the live dentry stored under (idx, sg), or nil. Lock-free.
+// resolveLive returns the live dentry a node's ref names, or nil when the
+// slot has been retired/recycled (generation mismatch) or the dentry is
+// dead. Lazy teardown leaves dead nodes chained; callers skip them.
+func (h *DLHT) resolveLive(n *dnode) *vfs.Dentry {
+	d := h.k.DentryFromRef(slab.Unpack(n.dref))
+	if d == nil || d.IsDead() {
+		return nil
+	}
+	return d
+}
+
+// Lookup returns the live dentry stored under (idx, sg), or nil.
+// Lock-free; the caller must hold an epoch section (every walk does).
+// Dead or unresolvable nodes are skipped, not terminal: a re-created path
+// prepends a fresh node ahead of its dead predecessor.
 func (h *DLHT) Lookup(idx uint16, sg sig.Signature) *vfs.Dentry {
-	for n := h.buckets[idx].Load(); n != nil; n = n.next.Load() {
+	for hn := slab.Handle(h.buckets[idx].Load()); hn != 0; {
+		n := h.nodes.Get(hn)
+		next := slab.Handle(n.next.Load())
 		if n.sg == sg {
-			if n.d.IsDead() {
-				return nil
+			if d := h.resolveLive(n); d != nil {
+				return d
 			}
-			return n.d
 		}
+		hn = next
 	}
 	return nil
 }
@@ -65,32 +95,36 @@ func (h *DLHT) Lookup(idx uint16, sg sig.Signature) *vfs.Dentry {
 // Insert adds (idx, sg) → d. The caller serializes per-dentry insertion
 // (each dentry is in at most one DLHT at a time, guarded by its fastDentry
 // lock), but distinct dentries may insert concurrently. Insertion sweeps
-// the bucket's dead-dentry nodes (evictions leave them behind lazily;
-// lookups already skip dead dentries).
+// the bucket's dead nodes (lazy teardown leaves them behind; lookups skip
+// them) by unlinking them in place and retiring their slots into the
+// arena's grace-period limbo — a bulk free-list refill, not per-object
+// garbage.
 func (h *DLHT) Insert(idx uint16, sg sig.Signature, d *vfs.Dentry) {
 	mu := h.lockFor(idx)
 	mu.Lock()
-	head := h.buckets[idx].Load()
-	// Sweep: rebuild the chain without dead nodes (copy-on-write so
-	// concurrent readers keep a consistent snapshot).
 	swept := 0
-	var newHead, last *dnode
-	for n := head; n != nil; n = n.next.Load() {
-		if n.d.IsDead() {
+	prev := slab.Handle(0)
+	for hn := slab.Handle(h.buckets[idx].Load()); hn != 0; {
+		n := h.nodes.Get(hn)
+		next := slab.Handle(n.next.Load())
+		if h.resolveLive(n) == nil {
+			if prev == 0 {
+				h.buckets[idx].Store(uint32(next))
+			} else {
+				h.nodes.Get(prev).next.Store(uint32(next))
+			}
+			h.nodes.Retire(slab.Ref{H: hn, G: h.nodes.GenOf(hn)})
 			swept++
-			continue
-		}
-		cp := &dnode{sg: n.sg, d: n.d}
-		if last == nil {
-			newHead = cp
 		} else {
-			last.next.Store(cp)
+			prev = hn
 		}
-		last = cp
+		hn = next
 	}
-	n := &dnode{sg: sg, d: d}
-	n.next.Store(newHead)
-	h.buckets[idx].Store(n)
+	r, n := h.nodes.Alloc()
+	n.sg = sg
+	n.dref = d.SelfRef().Pack()
+	n.next.Store(h.buckets[idx].Load())
+	h.buckets[idx].Store(uint32(r.H))
 	mu.Unlock()
 	h.entries.Add(int64(1 - swept))
 	if swept > 0 {
@@ -103,40 +137,32 @@ func (h *DLHT) Insert(idx uint16, sg sig.Signature, d *vfs.Dentry) {
 	}
 }
 
-// Remove deletes the entry for (idx, sg, d), rebuilding the chain prefix
-// copy-on-write.
+// Remove deletes the entry for (idx, sg, d) by direct in-place unlink —
+// no chain-prefix copying. Concurrent readers mid-chain keep a coherent
+// view: the unlinked node's fields live on until its grace period ends.
 func (h *DLHT) Remove(idx uint16, sg sig.Signature, d *vfs.Dentry) {
+	dref := d.SelfRef().Pack()
 	mu := h.lockFor(idx)
 	mu.Lock()
-	defer mu.Unlock()
-	head := h.buckets[idx].Load()
-	var target *dnode
-	for n := head; n != nil; n = n.next.Load() {
-		if n.sg == sg && n.d == d {
-			target = n
-			break
+	prev := slab.Handle(0)
+	for hn := slab.Handle(h.buckets[idx].Load()); hn != 0; {
+		n := h.nodes.Get(hn)
+		next := slab.Handle(n.next.Load())
+		if n.sg == sg && n.dref == dref {
+			if prev == 0 {
+				h.buckets[idx].Store(uint32(next))
+			} else {
+				h.nodes.Get(prev).next.Store(uint32(next))
+			}
+			h.nodes.Retire(slab.Ref{H: hn, G: h.nodes.GenOf(hn)})
+			mu.Unlock()
+			h.entries.Add(-1)
+			return
 		}
+		prev = hn
+		hn = next
 	}
-	if target == nil {
-		return
-	}
-	tail := target.next.Load()
-	newHead := tail
-	var last *dnode
-	for n := head; n != target; n = n.next.Load() {
-		cp := &dnode{sg: n.sg, d: n.d}
-		if last == nil {
-			newHead = cp
-		} else {
-			last.next.Store(cp)
-		}
-		last = cp
-	}
-	if last != nil {
-		last.next.Store(tail)
-	}
-	h.buckets[idx].Store(newHead)
-	h.entries.Add(-1)
+	mu.Unlock()
 }
 
 // Len returns the number of live entries (approximate under concurrency).
@@ -164,15 +190,20 @@ type DLHTStats struct {
 
 // Introspect scans the table and returns its occupancy statistics.
 func (h *DLHT) Introspect() DLHTStats {
+	ep := h.k.Gate().Enter()
+	defer h.k.Gate().Exit(ep)
 	var s DLHTStats
 	for i := range h.buckets {
 		live := 0
-		for n := h.buckets[i].Load(); n != nil; n = n.next.Load() {
-			if n.d.IsDead() {
+		for hn := slab.Handle(h.buckets[i].Load()); hn != 0; {
+			n := h.nodes.Get(hn)
+			next := slab.Handle(n.next.Load())
+			if h.resolveLive(n) == nil {
 				s.Dead++
-				continue
+			} else {
+				live++
 			}
-			live++
+			hn = next
 		}
 		if live == 0 {
 			continue
@@ -198,15 +229,48 @@ func (h *DLHT) Introspect() DLHTStats {
 	return s
 }
 
-// forEachEntry calls fn for every live (bucket, signature, dentry) entry.
-// Lock-free: concurrent writers may add or remove entries around the scan.
-func (h *DLHT) forEachEntry(fn func(idx uint16, sg sig.Signature, d *vfs.Dentry)) {
+// auditSlabRefs scans every chain node for the slab_liveness invariant's
+// DLHT half: a node's dref may legitimately fail to resolve (lazy
+// teardown), but a resolving node must name a dentry that agrees it
+// occupies that exact slot — Resolve matching by generation while the
+// dentry's own self ref points elsewhere means a slot was recycled under
+// a live reference (ABA breach). Returns the number of resolving nodes
+// examined; violations go to report.
+func (h *DLHT) auditSlabRefs(report func(d *vfs.Dentry, detail string)) int {
+	ep := h.k.Gate().Enter()
+	defer h.k.Gate().Exit(ep)
+	checked := 0
 	for i := range h.buckets {
-		for n := h.buckets[i].Load(); n != nil; n = n.next.Load() {
-			if n.d.IsDead() {
-				continue
+		for hn := slab.Handle(h.buckets[i].Load()); hn != 0; {
+			n := h.nodes.Get(hn)
+			next := slab.Handle(n.next.Load())
+			if d := h.k.DentryFromRef(slab.Unpack(n.dref)); d != nil {
+				checked++
+				if d.SelfRef().Pack() != n.dref {
+					report(d, fmt.Sprintf("DLHT bucket %d node resolves to dentry #%d whose self ref disagrees (recycled slot reached by a live chain node)", i, d.ID()))
+				}
 			}
-			fn(uint16(i), n.sg, n.d)
+			hn = next
+		}
+	}
+	return checked
+}
+
+// forEachEntry calls fn for every live (bucket, signature, dentry) entry.
+// Lock-free under its own epoch section: concurrent writers may add or
+// remove entries around the scan, but every dentry handed to fn stays
+// resolvable for the scan's duration.
+func (h *DLHT) forEachEntry(fn func(idx uint16, sg sig.Signature, d *vfs.Dentry)) {
+	ep := h.k.Gate().Enter()
+	defer h.k.Gate().Exit(ep)
+	for i := range h.buckets {
+		for hn := slab.Handle(h.buckets[i].Load()); hn != 0; {
+			n := h.nodes.Get(hn)
+			next := slab.Handle(n.next.Load())
+			if d := h.resolveLive(n); d != nil {
+				fn(uint16(i), n.sg, d)
+			}
+			hn = next
 		}
 	}
 }

@@ -125,7 +125,7 @@ func (c *Core) EndSlowLookup(token uint64, t *vfs.Task, start vfs.PathRef, path 
 		// target dentry").
 		if fd := fast(lexical.D); fd != nil && lexical.D.IsSymlink() {
 			fd.targetSeq.Store(dentrySeq(res.D))
-			fd.target.Store(res.D)
+			fd.target.Store(res.D.SelfRef().Pack())
 		}
 		// Make sure the result's own canonical state exists so its
 		// children can be hashed (e.g. a later lookup under a resolved

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dircache/internal/sig"
+	"dircache/internal/slab"
 	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
@@ -34,17 +35,19 @@ import (
 type resumePoint struct {
 	// Identity of the walk start this point is relative to: prefix is a
 	// lexical prefix of paths interpreted from exactly this start in
-	// this namespace.
-	startD *vfs.Dentry
-	startM *vfs.Mount
-	ns     *vfs.Namespace
+	// this namespace. The start dentry is held as a packed
+	// generation-tagged ref — resume points outlive walks, so a raw
+	// pointer could alias a recycled slab slot's next tenant.
+	startRef uint64
+	startM   *vfs.Mount
+	ns       *vfs.Namespace
 
-	// The resume target: a published directory dentry whose canonical
-	// path is prefix, with its mount and canonical signature state at
-	// record time.
-	d   *vfs.Dentry
-	mnt *vfs.Mount
-	st  sig.State
+	// The resume target: a published directory dentry (packed ref, same
+	// recycling rule) whose canonical path is prefix, with its mount and
+	// canonical signature state at record time.
+	dref uint64
+	mnt  *vfs.Mount
+	st   sig.State
 
 	prefix string // lexical prefix resolved by d (no trailing slash)
 	depth  int    // components skipped when resuming at d
@@ -120,32 +123,37 @@ func (c *Core) probeResume(dl *DLHT, pcc *PCC, st sig.State) (*vfs.Dentry, *vfs.
 // walk start and namespace, and the target still passes every probe
 // condition with its state unchanged. Called before every use, so a
 // point staled by any mutation (seq bump, re-sign, batch shootdown,
-// eviction) is silently dropped.
-func (c *Core) resumeValid(t *vfs.Task, pcc *PCC, start vfs.PathRef, rp *resumePoint) bool {
-	if rp == nil || rp.d == nil || rp.startD != start.D || rp.startM != start.Mnt ||
-		rp.ns != t.Namespace() {
-		return false
+// eviction, slab-slot recycling) is silently dropped. Returns the
+// resolved resume dentry on success.
+func (c *Core) resumeValid(t *vfs.Task, pcc *PCC, start vfs.PathRef, rp *resumePoint) (*vfs.Dentry, bool) {
+	if rp == nil || rp.dref == 0 || rp.startM != start.Mnt ||
+		rp.ns != t.Namespace() ||
+		start.D == nil || rp.startRef != start.D.SelfRef().Pack() {
+		return nil, false
 	}
-	d := rp.d
-	if d.IsDead() || !d.IsDir() ||
+	d := c.k.DentryFromRef(slab.Unpack(rp.dref))
+	if d == nil || d.IsDead() || !d.IsDir() ||
 		d.Flags()&(vfs.DAlias|vfs.DNegative|vfs.DUnhydrated|vfs.DMounted) != 0 {
-		return false
+		return nil, false
 	}
 	if !c.fresh(d) {
-		return false
+		return nil, false
 	}
 	fd := fast(d)
 	if fd == nil {
-		return false
+		return nil, false
 	}
 	sp := fd.statePtr.Load()
 	if sp == nil || *sp != rp.st {
-		return false
+		return nil, false
 	}
 	if fd.mntP.Load() != rp.mnt {
-		return false
+		return nil, false
 	}
-	return c.resumeAuthorized(pcc, d, fd)
+	if !c.resumeAuthorized(pcc, d, fd) {
+		return nil, false
+	}
+	return d, true
 }
 
 // noteShortcut runs when the fastpath could not answer a path: it
@@ -194,15 +202,18 @@ func (c *Core) noteShortcut(t *vfs.Task, dl *DLHT, pcc *PCC, start vfs.PathRef, 
 	if seeded != nil {
 		baseDepth = seeded.depth
 	}
+	if start.D == nil {
+		return
+	}
 	rp := &resumePoint{
-		startD: start.D,
-		startM: start.Mnt,
-		ns:     t.Namespace(),
-		d:      bestD,
-		mnt:    bestM,
-		st:     cur.stateAt(best),
-		prefix: path[:cur.offAt(best-1)],
-		depth:  baseDepth + best,
+		startRef: start.D.SelfRef().Pack(),
+		startM:   start.Mnt,
+		ns:       t.Namespace(),
+		dref:     bestD.SelfRef().Pack(),
+		mnt:      bestM,
+		st:       cur.stateAt(best),
+		prefix:   path[:cur.offAt(best-1)],
+		depth:    baseDepth + best,
 	}
 	t.SetShortcutScratch(rp)
 }
@@ -221,7 +232,8 @@ func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string, tr *t
 		return vfs.PathRef{}, "", nil, false
 	}
 	pcc := c.pccFor(t.Cred())
-	if !c.resumeValid(t, pcc, start, rp) {
+	d, ok := c.resumeValid(t, pcc, start, rp)
+	if !ok {
 		return vfs.PathRef{}, "", nil, false
 	}
 	c.stats.shortcutResumes.Add(1)
@@ -237,11 +249,11 @@ func (c *Core) ShortcutResume(t *vfs.Task, start vfs.PathRef, path string, tr *t
 		if c.testSkewShortcutTraceDepth && trID != 0 {
 			jdepth++ // injected bug: journal disagrees with the span
 		}
-		tel.Emit(telemetry.JShortcut, rp.d.ID(), int64(dentrySeq(rp.d)),
+		tel.Emit(telemetry.JShortcut, d.ID(), int64(dentrySeq(d)),
 			fmt.Sprintf("cred=%d depth=%d trace=%d", t.Cred().ID(), jdepth, trID))
 		tel.Record(telemetry.HistShortcutDepth, time.Duration(rp.depth))
 	}
-	return vfs.PathRef{Mnt: rp.mnt, D: rp.d}, path[len(rp.prefix):], rp, true
+	return vfs.PathRef{Mnt: rp.mnt, D: d}, path[len(rp.prefix):], rp, true
 }
 
 // ShortcutCommit implements vfs.Hooks: after a walk that resumed from a
@@ -253,8 +265,8 @@ func (c *Core) ShortcutCommit(token any) bool {
 	if rp == nil {
 		return true
 	}
-	d := rp.d
-	if d.IsDead() || !c.fresh(d) {
+	d := c.k.DentryFromRef(slab.Unpack(rp.dref))
+	if d == nil || d.IsDead() || !c.fresh(d) {
 		return false
 	}
 	fd := fast(d)

@@ -5,6 +5,7 @@ import (
 
 	"dircache/internal/fsapi"
 	"dircache/internal/sig"
+	"dircache/internal/slab"
 	"dircache/internal/telemetry"
 	"dircache/internal/vfs"
 )
@@ -77,12 +78,14 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 	var seeded *resumePoint
 	if c.cfg.DirShortcuts {
 		if rp, _ := t.ShortcutScratch().(*resumePoint); rp != nil &&
-			extendsPrefix(path, rp.prefix) && c.resumeValid(t, pcc, start, rp) {
-			seeded = rp
-			cur.seed(vfs.PathRef{Mnt: rp.mnt, D: rp.d}, rp.st)
-			rem = path[len(rp.prefix):]
-			c.stats.shortcutResumes.Add(1)
-			c.stats.shortcutDepthSaved.Add(int64(rp.depth))
+			extendsPrefix(path, rp.prefix) {
+			if rd, ok := c.resumeValid(t, pcc, start, rp); ok {
+				seeded = rp
+				cur.seed(vfs.PathRef{Mnt: rp.mnt, D: rd}, rp.st)
+				rem = path[len(rp.prefix):]
+				c.stats.shortcutResumes.Add(1)
+				c.stats.shortcutDepthSaved.Add(int64(rp.depth))
+			}
 		}
 	}
 	if seeded == nil && !cur.init(c, start) {
@@ -95,6 +98,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 
 	mustDir := fl&vfs.WalkDirectory != 0
 	sawTrailingSlash := false
+	var lastComp string
 
 	for {
 		var comp string
@@ -134,6 +138,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 			if !cur.push(comp, len(path)-len(rem)) {
 				return vfs.PathRef{}, nil, false
 			}
+			lastComp = comp
 		}
 	}
 	if sawTrailingSlash {
@@ -171,15 +176,17 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		ph.HashLookup = time.Since(t0)
 		t0 = time.Now()
 	}
-	if d == nil {
-		c.stats.dlhtMiss.Add(1)
-		tr.Event(telemetry.EvDLHTMiss, path)
-		return miss()
-	}
 	// Batch-shootdown freshness: one generation compare on the hot path;
 	// a stale entry (covered by a range shootdown) is lazily discarded and
 	// the walk falls back.
-	if !c.fresh(d) {
+	if d == nil || !c.fresh(d) {
+		// Only a true absence is hop-eligible: a stale entry must take
+		// the slow walk so EndSlowLookup refreshes it in place.
+		if d == nil {
+			if res, err, ok := c.childHop(t, &cur, lastComp, seeded != nil, fl, mustDir, tr); ok {
+				return res, err, true
+			}
+		}
 		c.stats.dlhtMiss.Add(1)
 		tr.Event(telemetry.EvDLHTMiss, path)
 		return miss()
@@ -253,7 +260,7 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 				c.stats.pccMiss.Add(1)
 				return miss()
 			}
-			tgt := fd.target.Load()
+			tgt := c.k.DentryFromRef(slab.Unpack(fd.target.Load()))
 			if tgt == nil || tgt.IsDead() || fd.targetSeq.Load() != dentrySeq(tgt) {
 				return miss()
 			}
@@ -313,6 +320,84 @@ func (c *Core) TryFast(t *vfs.Task, start vfs.PathRef, path string, fl vfs.WalkF
 		k.RecordPhases(ph)
 	}
 	return vfs.PathRef{Mnt: mnt, D: d}, nil, true
+}
+
+// childHop answers a one-component scan from the base directory's cached
+// children when the DLHT has no entry for the target — the
+// readdir-then-operate shape whose terminals admission control
+// deliberately defers (tar extraction streams, rm -r teardown scans,
+// stat streaks before their Nth touch). The base is either the task's
+// own start reference or a fully validated resume point, so the prefix
+// check to it holds; FastChildLookup verifies search permission on the
+// base itself and probes the same hash table a slow walk's component
+// step would, making the answer authoritative without DLHT or PCC state.
+// Final-symlink resolution stays with the slow walk unless the caller
+// asked for the link itself.
+func (c *Core) childHop(t *vfs.Task, cur *pathCursor, comp string, seeded bool, fl vfs.WalkFlags, mustDir bool, tr *telemetry.WalkTrace) (vfs.PathRef, error, bool) {
+	if cur.depth() != 1 || cur.dotted || comp == "" {
+		return vfs.PathRef{}, nil, false
+	}
+	base := cur.base
+	if !seeded && base.D != nil && base.D.Flags()&vfs.DComplete != 0 {
+		// An unseeded one-component walk over a complete directory is
+		// scan-shaped: admission control admits those eagerly (they
+		// revisit), so the slow walk publishes them and later visits pay
+		// one DLHT+PCC probe instead of a per-walk permission evaluation
+		// here. The hop is for the seeded shape — absolute-path
+		// readdir-then-operate streaks resumed at the parent.
+		return vfs.PathRef{}, nil, false
+	}
+	d, errno, known := c.k.FastChildLookup(t, base, comp)
+	if !known {
+		return vfs.PathRef{}, nil, false
+	}
+	if errno == nil && d.IsSymlink() && (fl&vfs.WalkNoFollow == 0 || mustDir) {
+		return vfs.PathRef{}, nil, false
+	}
+	if d != nil && !c.hopAdmissible(d) {
+		return vfs.PathRef{}, nil, false
+	}
+	if errno != nil {
+		c.stats.childHops.Add(1)
+		tr.Event(telemetry.EvNegative, comp)
+		c.k.AddFastHit(true)
+		return vfs.PathRef{}, errno, true
+	}
+	c.stats.childHops.Add(1)
+	if mustDir && !d.IsDir() {
+		c.k.AddFastHit(false)
+		return vfs.PathRef{}, fsapi.ENOTDIR, true
+	}
+	c.k.AddFastHit(false)
+	return vfs.PathRef{Mnt: base.Mnt, D: d}, nil, true
+}
+
+// hopAdmissible decides whether the child hop may answer with d without
+// starving admission control. Published entries are answered outright
+// (population already happened; the DLHT probe just missed — e.g. a
+// seeded scan hashing a different prefix). Unpublished entries accrue a
+// touch on the same counter EndSlowLookup uses, but the touch that would
+// cross the admission threshold declines the hop: that walk still goes
+// slow, and admitPopulate sees the Nth touch and publishes into the
+// DLHT. Deferred entries — the readdir-then-operate streaks the hop
+// exists for — stay below the threshold and are answered from the
+// parent's children.
+func (c *Core) hopAdmissible(d *vfs.Dentry) bool {
+	fd := fast(d)
+	if fd == nil {
+		return false
+	}
+	fd.mu.Lock()
+	published := fd.inTable != nil
+	fd.mu.Unlock()
+	if published {
+		return true
+	}
+	if int(fd.touches.Load())+1 >= c.admitAfter {
+		return false
+	}
+	fd.touches.Add(1)
+	return true
 }
 
 // checkPrefixDir resolves the current lexical prefix (the base directory

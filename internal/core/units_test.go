@@ -102,10 +102,10 @@ func TestPCCConcurrent(t *testing.T) {
 }
 
 func TestDLHTBasics(t *testing.T) {
-	h := newDLHT()
 	key := sig.NewKey(9)
 	k := vfs.NewKernel(vfs.Config{}, newTestFS())
-	Install(k, Config{Seed: 9})
+	c := Install(k, Config{Seed: 9})
+	h := newDLHT(c.nodes, k)
 	root := k.NewTask(cred.Root())
 	if err := root.Mkdir("/d", 0o755); err != nil {
 		t.Fatal(err)
@@ -138,9 +138,9 @@ func TestDLHTBasics(t *testing.T) {
 }
 
 func TestDLHTChainRemoveMiddle(t *testing.T) {
-	h := newDLHT()
 	k := vfs.NewKernel(vfs.Config{}, newTestFS())
-	Install(k, Config{Seed: 10})
+	c := Install(k, Config{Seed: 10})
+	h := newDLHT(c.nodes, k)
 	root := k.NewTask(cred.Root())
 	var refs []vfs.PathRef
 	var sigs []sig.Signature

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"dircache/internal/fsapi"
+	"dircache/internal/slab"
 )
 
 // DentryFlags describe a dentry's cache state. Flags are manipulated
@@ -72,6 +73,12 @@ type parentName struct {
 type Dentry struct {
 	id uint64
 
+	// self is the dentry's own slab reference: the generation-tagged
+	// handle under which the LRU, hash-table chains, and fastpath state
+	// refer to it. Set at allocation, immutable until the slot is
+	// recycled.
+	self slab.Ref
+
 	pn    atomic.Pointer[parentName]
 	flags atomic.Uint32
 
@@ -83,11 +90,13 @@ type Dentry struct {
 	hintID   fsapi.NodeID
 	hintType fsapi.FileType
 
-	// target of a DAlias dentry: the real dentry this alias redirects to.
-	target atomic.Pointer[Dentry]
+	// target of a DAlias dentry: the real dentry this alias redirects
+	// to, stored as a packed slab.Ref so a recycled target slot
+	// self-invalidates instead of redirecting to the new tenant.
+	target atomic.Uint64
 
 	// linkBody caches a symlink's target string after first read.
-	linkBody atomic.Value // string
+	linkBody atomic.Pointer[string]
 
 	mu       sync.Mutex
 	children map[string]*Dentry
@@ -159,8 +168,21 @@ func (d *Dentry) Inode() *Inode { return d.inode.Load() }
 // Super returns the superblock owning this dentry.
 func (d *Dentry) Super() *Super { return d.sb }
 
-// Target returns the alias redirect target for DAlias dentries.
-func (d *Dentry) Target() *Dentry { return d.target.Load() }
+// SelfRef returns the dentry's own generation-tagged slab reference.
+// Resolving it through the kernel fails once the dentry's slot has been
+// retired, which is how long-lived holders (fastpath resume points,
+// alias targets) detect recycling.
+func (d *Dentry) SelfRef() slab.Ref { return d.self }
+
+// Target returns the alias redirect target for DAlias dentries, or nil
+// when the target's slab slot has been retired or recycled since the
+// alias was created.
+func (d *Dentry) Target() *Dentry {
+	return d.sb.k.DentryFromRef(slab.Unpack(d.target.Load()))
+}
+
+// setTarget points the alias redirect at t.
+func (d *Dentry) setTarget(t *Dentry) { d.target.Store(t.self.Pack()) }
 
 // Fast returns the hook-owned per-dentry state installed at allocation.
 func (d *Dentry) Fast() any { return d.fast }
@@ -246,6 +268,37 @@ func (d *Dentry) invalidateList() {
 	d.mu.Lock()
 	d.listValid = false
 	d.mu.Unlock()
+}
+
+// reset reinitializes a freshly allocated (possibly recycled) arena slot
+// for a new tenant. Every field is restored to its zero state explicitly
+// rather than by struct assignment: the embedded mutex must not be
+// copied over, and stale contents from the previous tenant (flags, link
+// body, child map) must not leak into the new identity. Callers publish
+// no reference to the dentry before reset returns, so plain stores are
+// safe; the atomics are reset with atomic stores anyway because stale
+// in-flight readers from the previous tenant's grace period may still
+// load them (and discard the result via the generation check).
+func (d *Dentry) reset(id uint64, self slab.Ref, sb *Super) {
+	d.id = id
+	d.self = self
+	d.pn.Store(nil)
+	d.flags.Store(0)
+	d.inode.Store(nil)
+	d.sb = sb
+	d.hintID = 0
+	d.hintType = 0
+	d.target.Store(0)
+	d.linkBody.Store(nil)
+	d.children = nil
+	d.nkids.Store(0)
+	d.completeList = nil
+	d.listValid = false
+	d.refs.Store(0)
+	d.fast = nil
+	d.lastUsed.Store(0)
+	d.inLookup = nil
+	d.missStreak.Store(0)
 }
 
 // PathTo renders the dentry's path from the superblock root ("/" rooted at

@@ -3,6 +3,8 @@ package vfs
 import (
 	"sync"
 	"sync/atomic"
+
+	"dircache/internal/slab"
 )
 
 // SyncMode selects the synchronization era of the dentry hash table,
@@ -35,32 +37,39 @@ func (m SyncMode) String() string {
 	return "unknown"
 }
 
-// tnode is one immutable chain node of the dcache hash table. Chains are
-// updated copy-on-write: readers traversing a stale chain see a consistent
-// (if slightly old) snapshot, validated by the rename seqcount — the RCU
-// analogue.
+// tnode is one chain node of the dcache hash table, stored in a slab
+// arena and linked by handles rather than pointers, so the GC sees chunk
+// headers instead of one object per cached name. A node's fields are
+// written before it is published into a chain and frozen thereafter;
+// removal unlinks the node in place (readers inside an epoch section may
+// keep traversing through it — its contents and next link survive until
+// the grace period ends and the slot is recycled). This replaces the old
+// copy-on-write chain rebuild: removal is O(position) pointer chasing
+// with zero allocation, which is what makes bulk teardown (rm -r) cheap.
 type tnode struct {
 	parentID uint64
 	name     string
-	d        *Dentry
-	next     atomic.Pointer[tnode]
+	dref     uint64 // packed slab.Ref of the dentry
+	next     atomic.Uint32
 }
 
 type tbucket struct {
 	mu   sync.Mutex // writers; also readers in SyncBucketLock mode
-	head atomic.Pointer[tnode]
+	head atomic.Uint32
 }
 
 // hashTable is the (parent dentry, component name)-keyed dentry index: the
 // structure Linux calls the dentry hashtable, here with a selectable
-// synchronization era.
+// synchronization era and slab-backed chains.
 type hashTable struct {
-	mode    SyncMode
-	mask    uint64
-	buckets []tbucket
+	mode     SyncMode
+	mask     uint64
+	buckets  []tbucket
+	nodes    *slab.Arena[tnode]
+	dentries *slab.Arena[Dentry]
 }
 
-func newHashTable(mode SyncMode, buckets int) *hashTable {
+func newHashTable(mode SyncMode, buckets int, nodes *slab.Arena[tnode], dentries *slab.Arena[Dentry]) *hashTable {
 	if buckets <= 0 {
 		buckets = 1 << 18 // Linux's default dentry_hashtable order
 	}
@@ -70,9 +79,11 @@ func newHashTable(mode SyncMode, buckets int) *hashTable {
 		n <<= 1
 	}
 	return &hashTable{
-		mode:    mode,
-		mask:    uint64(n - 1),
-		buckets: make([]tbucket, n),
+		mode:     mode,
+		mask:     uint64(n - 1),
+		buckets:  make([]tbucket, n),
+		nodes:    nodes,
+		dentries: dentries,
 	}
 }
 
@@ -93,84 +104,85 @@ func hashKey(parentID uint64, name string) uint64 {
 	return h
 }
 
-// lookup finds the live dentry for (parentID, name), or nil. In
-// SyncBucketLock mode the bucket lock is held for the probe; in the other
-// modes the probe is lock-free (SyncBigLock relies on the kernel-wide lock
-// held by the caller).
+// lookup finds the live dentry for (parentID, name), or nil. Dead or
+// stale-slot entries are skipped, not terminal: teardown is lazy, so a
+// chain may hold a dead node for the key while a fresh live one (always
+// prepended, hence found first) coexists. In SyncBucketLock mode the
+// bucket lock is held for the probe; in the other modes the probe is
+// lock-free (SyncBigLock relies on the kernel-wide lock held by the
+// caller). Callers are inside an epoch section.
 func (t *hashTable) lookup(parentID uint64, name string) *Dentry {
 	b := &t.buckets[hashKey(parentID, name)&t.mask]
 	if t.mode == SyncBucketLock {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 	}
-	for n := b.head.Load(); n != nil; n = n.next.Load() {
+	for h := b.head.Load(); h != 0; {
+		n := t.nodes.Get(slab.Handle(h))
 		if n.parentID == parentID && n.name == name {
-			d := n.d
-			if d.IsDead() {
-				return nil
+			if d := t.dentries.Resolve(slab.Unpack(n.dref)); d != nil && !d.IsDead() {
+				return d
 			}
-			return d
 		}
+		h = n.next.Load()
 	}
 	return nil
 }
 
-// insert adds d under (parentID, name). The caller guarantees the key is
-// not already present (dcache insertions happen under the parent's lock).
+// insert adds d under (parentID, name). The caller guarantees no live
+// entry for the key is present (dcache insertions happen under the
+// parent's lock); a dead entry awaiting the sweeper may linger further
+// down the chain and is shadowed by the prepend.
 func (t *hashTable) insert(parentID uint64, name string, d *Dentry) {
+	r, n := t.nodes.Alloc()
+	n.parentID = parentID
+	n.name = name
+	n.dref = d.self.Pack()
 	b := &t.buckets[hashKey(parentID, name)&t.mask]
 	b.mu.Lock()
-	n := &tnode{parentID: parentID, name: name, d: d}
 	n.next.Store(b.head.Load())
-	b.head.Store(n)
+	b.head.Store(uint32(r.H))
 	b.mu.Unlock()
 }
 
-// remove deletes the entry for (parentID, name, d) by rebuilding the chain
-// prefix copy-on-write, so concurrent lock-free readers keep a consistent
-// view.
+// remove unlinks the entry for (parentID, name, d) in place and retires
+// its node to the arena's limbo. Concurrent lock-free readers that
+// already stepped onto the node keep a coherent view: its fields and
+// next link are preserved until every section from its epoch has exited.
 func (t *hashTable) remove(parentID uint64, name string, d *Dentry) {
+	want := d.self.Pack()
 	b := &t.buckets[hashKey(parentID, name)&t.mask]
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	head := b.head.Load()
-	// Find the target node.
-	var target *tnode
-	for n := head; n != nil; n = n.next.Load() {
-		if n.parentID == parentID && n.name == name && n.d == d {
-			target = n
-			break
+	var prev *tnode
+	for h := b.head.Load(); h != 0; {
+		n := t.nodes.Get(slab.Handle(h))
+		if n.parentID == parentID && n.name == name && n.dref == want {
+			next := n.next.Load()
+			if prev == nil {
+				b.head.Store(next)
+			} else {
+				prev.next.Store(next)
+			}
+			b.mu.Unlock()
+			t.nodes.Retire(slab.Ref{H: slab.Handle(h), G: t.nodes.GenOf(slab.Handle(h))})
+			return
 		}
+		prev = n
+		h = n.next.Load()
 	}
-	if target == nil {
-		return
-	}
-	// Rebuild the prefix before target, splicing to target's tail.
-	tail := target.next.Load()
-	newHead := tail
-	var last *tnode
-	for n := head; n != target; n = n.next.Load() {
-		cp := &tnode{parentID: n.parentID, name: n.name, d: n.d}
-		if last == nil {
-			newHead = cp
-		} else {
-			last.next.Store(cp)
-		}
-		last = cp
-	}
-	if last != nil {
-		last.next.Store(tail)
-	}
-	b.head.Store(newHead)
+	b.mu.Unlock()
 }
 
 // stats walks every bucket and reports chain length distribution (used by
-// the evaluation discussion of bucket utilization in §6.5).
+// the evaluation discussion of bucket utilization in §6.5). The caller
+// holds an epoch section.
 func (t *hashTable) chainStats() (empty, one, two, more int) {
 	for i := range t.buckets {
 		n := 0
-		for c := t.buckets[i].head.Load(); c != nil; c = c.next.Load() {
+		for h := t.buckets[i].head.Load(); h != 0; {
+			c := t.nodes.Get(slab.Handle(h))
 			n++
+			h = c.next.Load()
 		}
 		switch {
 		case n == 0:
@@ -184,4 +196,21 @@ func (t *hashTable) chainStats() (empty, one, two, more int) {
 		}
 	}
 	return
+}
+
+// forEachRef calls fn for every chain node's (parentID, name, dref)
+// triple — the auditor's raw view for the slab_liveness check. The
+// caller holds an epoch section; the scan is lock-free and may observe
+// concurrent inserts/removes (the auditor's coherence stamp discards
+// such passes).
+func (t *hashTable) forEachRef(fn func(parentID uint64, name string, dref slab.Ref) bool) {
+	for i := range t.buckets {
+		for h := t.buckets[i].head.Load(); h != 0; {
+			c := t.nodes.Get(slab.Handle(h))
+			if !fn(c.parentID, c.name, slab.Unpack(c.dref)) {
+				return
+			}
+			h = c.next.Load()
+		}
+	}
 }

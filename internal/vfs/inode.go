@@ -101,6 +101,7 @@ func (ino *Inode) Info() fsapi.NodeInfo {
 // Mount points at one.
 type Super struct {
 	id   uint64
+	k    *Kernel // owning kernel: resolves packed dentry refs (alias targets)
 	fs   fsapi.FileSystem
 	caps fsapi.Capabilities
 

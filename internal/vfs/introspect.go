@@ -1,6 +1,9 @@
 package vfs
 
-import "dircache/internal/telemetry"
+import (
+	"dircache/internal/slab"
+	"dircache/internal/telemetry"
+)
 
 // This file is the VFS half of the coherence-observability layer: the
 // cache-structure stamp audit passes validate against, the journal
@@ -51,16 +54,22 @@ func (k *Kernel) journal() *telemetry.Telemetry {
 // missed or seen dead — callers needing a consistent view validate with
 // CoherenceStamp.
 func (k *Kernel) ForEachDentry(fn func(*Dentry)) {
+	// Pin an epoch so slab slots named by the snapshot cannot be
+	// recycled while fn runs against them.
+	ep := k.gate.Enter()
+	defer k.gate.Exit(ep)
 	for i := range k.lru.shards {
 		sh := &k.lru.shards[i]
 		sh.mu.Lock()
-		snap := make([]*Dentry, 0, len(sh.entries))
-		for d := range sh.entries {
-			snap = append(snap, d)
+		snap := make([]slab.Ref, 0, len(sh.entries))
+		for h, g := range sh.entries {
+			snap = append(snap, slab.Ref{H: h, G: g})
 		}
 		sh.mu.Unlock()
-		for _, d := range snap {
-			fn(d)
+		for _, r := range snap {
+			if d := k.dentries.Resolve(r); d != nil {
+				fn(d)
+			}
 		}
 	}
 }

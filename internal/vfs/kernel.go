@@ -1,11 +1,13 @@
 package vfs
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"dircache/internal/fsapi"
 	"dircache/internal/lsm"
+	"dircache/internal/slab"
 	"dircache/internal/stripe"
 	"dircache/internal/telemetry"
 )
@@ -55,6 +57,14 @@ type Config struct {
 	// PhaseTrace enables per-walk phase timing (Figure 3). Costs a few
 	// timestamps per lookup; leave off except when measuring.
 	PhaseTrace bool
+
+	// HeapAlloc puts the dentry/chain-node slab arenas in
+	// pointer-heap-baseline mode: one slot per chunk (each entry its own
+	// GC-visible allocation) and no free-list reuse, approximating the
+	// pre-slab layout where every dentry was an individually GC-tracked
+	// object. Only the memscale experiment sets this; it exists so the
+	// baseline and the slab build run the identical code path.
+	HeapAlloc bool
 }
 
 // Invalidation tells hooks why a subtree invalidation is happening.
@@ -155,6 +165,19 @@ type Hooks interface {
 	// being re-created. Hooks reset per-identity bookkeeping (admission
 	// touch counts) that must not carry over.
 	OnRecycle(d *Dentry)
+
+	// OnReclaim is called by the lazy-teardown sweeper just before a dead
+	// dentry's slab slot is retired: the hooks' last chance to drop state
+	// still keyed to it (residual DLHT entries, the fast_dentry slot
+	// itself). OnEvict has already run, at kill time.
+	OnReclaim(d *Dentry)
+
+	// OnReap is called on the kernel's reclamation cadence (mutation
+	// tails, ReclaimAll) so hook layers can return their own arenas'
+	// grace-elapsed slots to the free-lists. Without it the fast-dentry
+	// and DLHT-node arenas would only ever retire into limbo and grow
+	// without bound under churn.
+	OnReap()
 }
 
 // Stats are cumulative directory cache counters.
@@ -286,6 +309,26 @@ type Kernel struct {
 	lru   lruList
 	lsm   lsm.Stack
 
+	// gate is the epoch clock shared by every slab arena of this kernel
+	// (dentries and hash-chain nodes here; fast-dentry and DLHT-node
+	// arenas in internal/core). Every exported operation that may touch
+	// arena-backed objects runs inside one Enter/Exit section.
+	gate *slab.Gate
+
+	// dentries is the dentry slab arena: the cache's bulk storage.
+	dentries *slab.Arena[Dentry]
+
+	// limbo is the lazy-teardown work queue: dentries killed by
+	// unlink/rmdir/rename/eviction whose hash-table removal and slot
+	// retirement are deferred off the mutation's critical path. The
+	// sweeper (reapSome / ReclaimAll) drains it in batches.
+	limboMu   sync.Mutex
+	limbo     []dentryLimbo
+	limboHead int
+	limboLen  atomic.Int64
+	swept     atomic.Uint64 // cumulative dentries processed by the sweeper
+	reapTick  atomic.Uint64 // mutation-tail counter pacing the reclaim pass
+
 	hooks Hooks
 
 	// big is the 2.6.36-era global dcache lock (SyncBigLock only).
@@ -374,7 +417,11 @@ func NewKernel(cfg Config, rootFS fsapi.FileSystem) *Kernel {
 		cfg.BulkAfter = 3
 	}
 	k := &Kernel{cfg: cfg, supers: make(map[fsapi.FileSystem]*Super)}
-	k.table = newHashTable(cfg.SyncMode, cfg.HashBuckets)
+	k.gate = slab.NewGate()
+	opts := k.SlabOptions()
+	k.dentries = slab.New[Dentry](k.gate, opts)
+	k.table = newHashTable(cfg.SyncMode, cfg.HashBuckets, slab.New[tnode](k.gate, opts), k.dentries)
+	k.lru.arena = k.dentries
 	k.lru.tel = &k.tel
 
 	sb := k.superFor(rootFS)
@@ -449,6 +496,7 @@ func (k *Kernel) superFor(fs fsapi.FileSystem) *Super {
 func (k *Kernel) newSuper(fs fsapi.FileSystem) *Super {
 	sb := &Super{
 		id:     k.idGen.Add(1),
+		k:      k,
 		fs:     fs,
 		caps:   fs.StatFS().Caps,
 		icache: make(map[fsapi.NodeID]*Inode),
@@ -459,12 +507,23 @@ func (k *Kernel) newSuper(fs fsapi.FileSystem) *Super {
 	return sb
 }
 
+// newDentry carves a dentry out of the slab arena and resets it for its
+// new identity. The ID is fresh (never reused) even when the slot is
+// recycled — identity-keyed state (PCC entries, journal refs) therefore
+// never aliases across tenants; only the slab generation distinguishes
+// slot tenants. Does not register anywhere: callers publish.
+func (k *Kernel) newDentry(sb *Super, parent *Dentry, name string) *Dentry {
+	ref, d := k.dentries.Alloc()
+	d.reset(k.idGen.Add(1), ref, sb)
+	d.pn.Store(&parentName{parent: parent, name: name})
+	return d
+}
+
 // allocDentry creates a dentry (positive if ino != nil) and registers it
 // with the LRU and hook state. It does NOT insert into the hash table or
 // the parent's child map — callers do, under the proper locks.
 func (k *Kernel) allocDentry(sb *Super, parent *Dentry, name string, ino *Inode) *Dentry {
-	d := &Dentry{id: k.idGen.Add(1), sb: sb}
-	d.pn.Store(&parentName{parent: parent, name: name})
+	d := k.newDentry(sb, parent, name)
 	if ino != nil {
 		d.inode.Store(ino)
 	} else {
@@ -475,6 +534,228 @@ func (k *Kernel) allocDentry(sb *Super, parent *Dentry, name string, ino *Inode)
 	}
 	k.lru.add(d)
 	return d
+}
+
+// dentryLimbo is one deferred-teardown record: everything the sweeper
+// needs to finish tearing a killed dentry down without touching its
+// (possibly already re-created) parent. The key identity is captured at
+// kill time because the dentry's pn may be gone by the time the sweeper
+// runs.
+type dentryLimbo struct {
+	ref      slab.Ref
+	parentID uint64
+	name     string
+	inTable  bool
+}
+
+// retireLater queues a killed dentry for the sweeper. The dentry must
+// already be dead, detached from its parent's child map, and out of the
+// LRU; what remains — hash-table chain removal, hook-state reclamation,
+// and the slab-slot retire — is batched off the mutation path.
+func (k *Kernel) retireLater(d *Dentry, parentID uint64, name string, inTable bool) {
+	k.limboMu.Lock()
+	k.limbo = append(k.limbo, dentryLimbo{ref: d.self, parentID: parentID, name: name, inTable: inTable})
+	k.limboMu.Unlock()
+	k.limboLen.Add(1)
+}
+
+// reapBatch is how many limbo records one sweep pass processes, and the
+// queue depth past which mutation ops trigger a pass on their way out.
+const reapBatch = 256
+
+// reapStride is how many mutation tails pass between reclaim passes.
+// Sweeping stays threshold-driven (limbo depth), but the free-list
+// replenishment pass — four arenas' worth of epoch nudges and lock
+// acquisitions — is paced so a burst of unlinks pays it 1/32nd of the
+// time with proportionally larger batches, not on every operation.
+const reapStride = 32
+
+// reapSome opportunistically drains the teardown queue and returns
+// reclaimed slots to the arenas' free-lists. Called outside epoch
+// sections (at the tail of mutation operations) so the epoch clock can
+// advance past the sections that might still hold raw pointers.
+func (k *Kernel) reapSome() {
+	if k.limboLen.Load() >= reapBatch {
+		k.sweepLimbo(2 * reapBatch)
+	}
+	if k.reapTick.Add(1)%reapStride != 0 {
+		return
+	}
+	k.dentries.Reclaim(reapStride * reapBatch)
+	k.table.nodes.Reclaim(reapStride * reapBatch)
+	if k.hooks != nil {
+		k.hooks.OnReap()
+	}
+}
+
+// sweepLimbo processes up to max deferred-teardown records: hash-table
+// chain unlink, hook reclamation (residual DLHT entry, fast-dentry
+// slot), then the dentry slot's retirement into the arena's
+// grace-period limbo. Records whose dentry has been re-pinned
+// (impossible for dead dentries today, but cheap to tolerate) or whose
+// slot already retired are skipped.
+func (k *Kernel) sweepLimbo(max int) int {
+	n := 0
+	for n < max {
+		k.limboMu.Lock()
+		if k.limboHead >= len(k.limbo) {
+			k.limbo = k.limbo[:0]
+			k.limboHead = 0
+			k.limboMu.Unlock()
+			break
+		}
+		rec := k.limbo[k.limboHead]
+		k.limboHead++
+		if k.limboHead > 4096 && k.limboHead == len(k.limbo) {
+			k.limbo = k.limbo[:0]
+			k.limboHead = 0
+		}
+		k.limboMu.Unlock()
+		n++
+		d := k.dentries.Resolve(rec.ref)
+		if d == nil {
+			continue // slot already retired (double-kill race)
+		}
+		if rec.inTable {
+			k.table.remove(rec.parentID, rec.name, d)
+		}
+		if k.hooks != nil {
+			k.hooks.OnReclaim(d)
+		}
+		k.dentries.Retire(rec.ref)
+	}
+	if n > 0 {
+		k.limboLen.Add(int64(-n))
+		k.swept.Add(uint64(n))
+	}
+	return n
+}
+
+// ReclaimAll synchronously drains the entire teardown queue and recycles
+// every grace-elapsed slot — the "sync(2)" of the lazy reclaim path,
+// used by tests, the auditor's pre-pass, and DropCaches. Safe (but
+// pointless) to call inside an epoch section: slots retired under a
+// pinned epoch simply wait for the next call.
+func (k *Kernel) ReclaimAll() {
+	for k.sweepLimbo(1<<20) > 0 {
+	}
+	// Three advances guarantee any slot retired before the call clears
+	// its two-epoch grace period, provided no reader section is pinned.
+	for i := 0; i < 3; i++ {
+		k.gate.TryAdvance()
+		k.dentries.Reclaim(1 << 20)
+		k.table.nodes.Reclaim(1 << 20)
+		if k.hooks != nil {
+			k.hooks.OnReap()
+		}
+	}
+}
+
+// Gate exposes the kernel's epoch gate so internal/core can drive its
+// own arenas (fast-dentry, DLHT nodes) off the same clock, and so
+// out-of-band readers (the auditor) can pin sections.
+func (k *Kernel) Gate() *slab.Gate { return k.gate }
+
+// SlabOptions returns the arena options the kernel's own arenas use, so
+// hook layers keep their side tables in the same allocation mode — slab
+// chunks normally, one-GC-object-per-slot under the HeapAlloc baseline.
+func (k *Kernel) SlabOptions() slab.Options {
+	if k.cfg.HeapAlloc {
+		return slab.Options{ChunkLog2: 0, ForceChunkLog2: true, NoReuse: true}
+	}
+	return slab.Options{}
+}
+
+// DentryFromRef resolves a generation-tagged dentry reference, returning
+// nil when the slot has been retired or recycled since the ref was
+// minted. This is the only safe way to hold a dentry across operations
+// without pinning it.
+func (k *Kernel) DentryFromRef(r slab.Ref) *Dentry {
+	return k.dentries.Resolve(r)
+}
+
+// MemStats reports slab-arena occupancy for telemetry: the dentry and
+// hash-chain arenas' live/free/limbo slot counts plus the kernel
+// teardown queue depth and cumulative sweep count.
+func (k *Kernel) MemStats() (dentries, chainNodes slab.Stats, limbo int64, swept uint64) {
+	return k.dentries.Stats(), k.table.nodes.Stats(), k.limboLen.Load(), k.swept.Load()
+}
+
+// CheckSlabLiveness scans the LRU shards and hash-table chains for
+// references that do not resolve to an in-use slab slot of matching
+// generation — the invariant the auditor's slab_liveness check enforces:
+// lazy teardown may leave *dead* entries behind (they fail Resolve and
+// are skipped), but no structure may hold a reference that resolves to a
+// *different* tenant, and no live entry may sit in a free or retired
+// slot. Returns how many references were examined plus at most limit
+// violation descriptions. Callers should drain the teardown queue first
+// (ReclaimAll) so legitimately-dead leftovers don't mask real bugs; the
+// check itself pins an epoch section.
+func (k *Kernel) CheckSlabLiveness(limit int) (int, []string) {
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
+	checked := 0
+	var out []string
+	// LRU: every entry must resolve (eager lru.remove at kill time means
+	// no dead leftovers are legitimate) and resolve to a live dentry.
+	for i := range k.lru.shards {
+		sh := &k.lru.shards[i]
+		sh.mu.Lock()
+		for h, g := range sh.entries {
+			checked++
+			d := k.dentries.Resolve(slab.Ref{H: h, G: g})
+			switch {
+			case d == nil:
+				out = append(out, fmt.Sprintf("lru: handle %d gen %d does not resolve (slot retired or recycled)", h, g))
+			case d.IsDead():
+				out = append(out, fmt.Sprintf("lru: dentry #%d (handle %d) is dead but still charged to the LRU", d.ID(), h))
+			}
+			if len(out) >= limit {
+				sh.mu.Unlock()
+				return checked, out
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Hash chains: a node's dref may legitimately fail to resolve (lazy
+	// teardown: dentry slot retired before the chain node is swept), but
+	// when it does resolve, generations must match exactly — Resolve
+	// already enforces that — and a resolving live dentry must agree
+	// that it is this (parentID, name): a mismatch means the slot was
+	// recycled while the stale node still matched by generation, i.e. an
+	// ABA breach.
+	k.table.forEachRef(func(parentID uint64, name string, dref slab.Ref) bool {
+		checked++
+		d := k.dentries.Resolve(dref)
+		if d == nil {
+			return true // dead leftover awaiting sweep: legitimate
+		}
+		if d.self != dref {
+			out = append(out, fmt.Sprintf("table: chain node (%d,%q) resolves to dentry #%d with mismatched self ref", parentID, name, d.ID()))
+		} else if !d.IsDead() {
+			pn := d.pn.Load()
+			pid := uint64(0)
+			if pn != nil && pn.parent != nil {
+				pid = pn.parent.ID()
+			}
+			if pn == nil || pn.parent == nil || pid != parentID || pn.name != name {
+				out = append(out, fmt.Sprintf("table: chain node (%d,%q) resolves to live dentry #%d which is (%d,%q)", parentID, name, d.ID(), pid, pn.name))
+			}
+		}
+		return len(out) < limit
+	})
+	return checked, out
+}
+
+// InjectPrematureFree retires d's slab slot in place — the LRU, the hash
+// chains, and its parent's child map still reference it — and forces
+// reclamation so the slot lands on the free-list while live structures
+// can still reach it. Test-only seam: it fabricates the premature-free
+// bug class (a use-after-free, in C terms) that the auditor's
+// slab_liveness check exists to catch. Never call it outside a test.
+func (k *Kernel) InjectPrematureFree(d *Dentry) {
+	k.dentries.Retire(d.self)
+	k.ReclaimAll()
 }
 
 // maybeShrink enforces CacheCapacity by evicting cold leaf dentries. It
@@ -497,20 +778,22 @@ func (k *Kernel) maybeShrink() {
 }
 
 // Shrink evicts up to n cold, unpinned leaf dentries and returns how many
-// were evicted.
+// were evicted. The visible eviction (dead flag, parent detach, hook
+// notification) is immediate; hash-chain removal and slot recycling are
+// deferred to the sweeper.
 func (k *Kernel) Shrink(n int) int {
+	e := k.gate.Enter()
 	victims := k.lru.victims(n)
 	if len(victims) == 0 {
+		k.gate.Exit(e)
 		return 0
 	}
 	k.cacheMutBegin()
-	defer k.cacheMutEnd()
 	tel := k.journal()
 	for _, d := range victims {
 		pn := d.pn.Load()
 		d.setFlags(DDead)
 		if pn.parent != nil {
-			k.table.remove(pn.parent.id, pn.name, d)
 			pn.parent.detachChild(pn.name)
 			wasComplete := pn.parent.Flags()&DComplete != 0
 			pn.parent.clearFlags(DComplete)
@@ -525,7 +808,15 @@ func (k *Kernel) Shrink(n int) int {
 		if k.hooks != nil {
 			k.hooks.OnEvict(d)
 		}
+		var pid uint64
+		if pn.parent != nil {
+			pid = pn.parent.id
+		}
+		k.retireLater(d, pid, pn.name, pn.parent != nil)
 	}
+	k.cacheMutEnd()
+	k.gate.Exit(e)
+	k.reapSome()
 	return len(victims)
 }
 
@@ -539,6 +830,7 @@ func (k *Kernel) DropCaches() int {
 		n := k.Shrink(1 << 20)
 		total += n
 		if n == 0 {
+			k.ReclaimAll()
 			return total
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dircache/internal/slab"
 	"dircache/internal/telemetry"
 )
 
@@ -16,10 +17,13 @@ const lruShardCount = 16
 
 // lruShard holds one slice of the cached-dentry set. Membership in the
 // map is the authoritative "is in the LRU" bit; recency lives in each
-// dentry's lastUsed stamp, not in any ordering here.
+// dentry's lastUsed stamp, not in any ordering here. Entries are keyed
+// by slab handle with the generation as the value, so the LRU holds no
+// pointers into the arena: a handle whose generation no longer matches
+// is a stale leftover and is discarded on sight.
 type lruShard struct {
 	mu      sync.Mutex
-	entries map[*Dentry]struct{}
+	entries map[slab.Handle]uint32
 	_       [cacheLinePad]byte
 }
 
@@ -38,6 +42,9 @@ const cacheLinePad = 64 - 16 // pad past the mutex+map header
 // therefore bottom-up.
 type lruList struct {
 	shards [lruShardCount]lruShard
+
+	// arena resolves the handle-keyed shard entries back to dentries.
+	arena *slab.Arena[Dentry]
 
 	count atomic.Int64
 
@@ -72,9 +79,9 @@ func (l *lruList) add(d *Dentry) {
 	sh := l.shardFor(d)
 	sh.mu.Lock()
 	if sh.entries == nil {
-		sh.entries = make(map[*Dentry]struct{}, 32)
+		sh.entries = make(map[slab.Handle]uint32, 32)
 	}
-	sh.entries[d] = struct{}{}
+	sh.entries[d.self.H] = d.self.G
 	sh.mu.Unlock()
 	l.count.Add(1)
 }
@@ -89,9 +96,11 @@ func (l *lruList) touch(d *Dentry) {
 func (l *lruList) remove(d *Dentry) {
 	sh := l.shardFor(d)
 	sh.mu.Lock()
-	_, ok := sh.entries[d]
-	if ok {
-		delete(sh.entries, d)
+	g, ok := sh.entries[d.self.H]
+	if ok && g == d.self.G {
+		delete(sh.entries, d.self.H)
+	} else {
+		ok = false
 	}
 	sh.mu.Unlock()
 	if ok {
@@ -130,7 +139,18 @@ func (l *lruList) victims(n int) []*Dentry {
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		for d := range sh.entries {
+		for h, g := range sh.entries {
+			d := l.arena.Resolve(slab.Ref{H: h, G: g})
+			if d == nil {
+				// Stale handle: the slot was retired out from under us
+				// (normal kills remove eagerly, so this is an abnormal
+				// path). Discard on sight so it cannot leak the count or
+				// shadow the shrinker forever. Not an eviction — no
+				// dentry disappeared now — so the epoch stays put.
+				delete(sh.entries, h)
+				l.count.Add(-1)
+				continue
+			}
 			if d.refs.Load() == 0 && d.nkids.Load() == 0 {
 				cands = append(cands, candidate{d, d.lastUsed.Load()})
 			}
@@ -150,9 +170,9 @@ func (l *lruList) victims(n int) []*Dentry {
 		}
 		sh := l.shardFor(c.d)
 		sh.mu.Lock()
-		_, ok := sh.entries[c.d]
-		if ok && c.d.refs.Load() == 0 && c.d.nkids.Load() == 0 {
-			delete(sh.entries, c.d)
+		g, ok := sh.entries[c.d.self.H]
+		if ok && g == c.d.self.G && c.d.refs.Load() == 0 && c.d.nkids.Load() == 0 {
+			delete(sh.entries, c.d.self.H)
 		} else {
 			ok = false
 		}

@@ -3,12 +3,23 @@ package vfs
 import (
 	"fmt"
 	"testing"
+
+	"dircache/internal/slab"
 )
 
+// newTestLRU builds a standalone lruList over its own dentry arena.
+func newTestLRU() *lruList {
+	l := &lruList{}
+	l.arena = slab.New[Dentry](slab.NewGate(), slab.Options{})
+	return l
+}
+
 // lruDentry fabricates a bare dentry with just the fields the LRU reads
-// (id, refs, nkids, lastUsed).
-func lruDentry(id uint64) *Dentry {
-	d := &Dentry{id: id}
+// (id, self, refs, nkids, lastUsed), carved from the list's arena so its
+// handle resolves.
+func lruDentry(l *lruList, id uint64) *Dentry {
+	ref, d := l.arena.Alloc()
+	d.reset(id, ref, nil)
 	d.pn.Store(&parentName{})
 	return d
 }
@@ -17,9 +28,9 @@ func lruDentry(id uint64) *Dentry {
 // children is never selected, and becomes evictable once its children are
 // gone (nkids drops to zero).
 func TestLRUVictimsLeafOnly(t *testing.T) {
-	var l lruList
-	parent := lruDentry(1)
-	child := lruDentry(2)
+	l := newTestLRU()
+	parent := lruDentry(l, 1)
+	child := lruDentry(l, 2)
 	parent.nkids.Store(1)
 	l.add(parent)
 	l.add(child)
@@ -46,10 +57,10 @@ func TestLRUVictimsLeafOnly(t *testing.T) {
 // TestLRUVictimsPinned: referenced dentries (open files, cwd/root refs)
 // survive arbitrarily aggressive shrinking.
 func TestLRUVictimsPinned(t *testing.T) {
-	var l lruList
-	pinned := lruDentry(1)
+	l := newTestLRU()
+	pinned := lruDentry(l, 1)
 	pinned.refs.Store(1)
-	loose := lruDentry(2)
+	loose := lruDentry(l, 2)
 	l.add(pinned)
 	l.add(loose)
 
@@ -67,8 +78,8 @@ func TestLRUVictimsPinned(t *testing.T) {
 // touch refreshes a dentry's stamp so recently hit entries outlive stale
 // ones even though hits never reorder any list.
 func TestLRUVictimsColdestFirst(t *testing.T) {
-	var l lruList
-	a, b, c := lruDentry(1), lruDentry(2), lruDentry(3)
+	l := newTestLRU()
+	a, b, c := lruDentry(l, 1), lruDentry(l, 2), lruDentry(l, 3)
 	l.add(a) // stamp 1
 	l.add(b) // stamp 2
 	l.add(c) // stamp 3
@@ -91,10 +102,10 @@ func TestLRUVictimsColdestFirst(t *testing.T) {
 // listing this directory". A remove() of an already-gone dentry must not
 // advance it.
 func TestLRUEpochPerEviction(t *testing.T) {
-	var l lruList
+	l := newTestLRU()
 	var ds []*Dentry
 	for i := 0; i < 8; i++ {
-		d := lruDentry(uint64(i + 1))
+		d := lruDentry(l, uint64(i + 1))
 		ds = append(ds, d)
 		l.add(d)
 	}
@@ -140,7 +151,12 @@ func TestLRUKernelEpochMatchesEvictions(t *testing.T) {
 	for i := range k.lru.shards {
 		sh := &k.lru.shards[i]
 		sh.mu.Lock()
-		for d := range sh.entries {
+		for h, g := range sh.entries {
+			d := k.dentries.Resolve(slab.Ref{H: h, G: g})
+			if d == nil {
+				sh.mu.Unlock()
+				t.Fatalf("LRU entry %d does not resolve", h)
+			}
 			if p := d.Parent(); p != nil && p.IsDead() {
 				sh.mu.Unlock()
 				t.Fatalf("cached dentry %q has dead parent", d.Name())

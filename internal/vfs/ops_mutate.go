@@ -37,6 +37,58 @@ func (k *Kernel) lookupChild(parent PathRef, name string) (*Dentry, error) {
 	return k.missLookup(parent, name)
 }
 
+// FastChildLookup is the cache-only single-component step offered to the
+// fastpath: the hash-table probe and §5.1 completeness shortcut of a
+// slow-walk component step — including the parent's search-permission
+// check, the one permission a memoized prefix check to the parent does
+// not cover — but with no FS fallback and no negative installation.
+// known=false means the cache cannot answer authoritatively (unhydrated,
+// alias, or mounted-on child, a revalidating FS, a racing teardown, or a
+// permission failure whose errno the slow walk must produce) and the
+// caller falls back. With known=true the result is exactly what a slow
+// walk's component step would yield: a live positive child (LRU-touched)
+// or ENOENT/ENOTDIR from a negative child (returned alongside the errno
+// so the caller can meter it) or, with a nil dentry, from a complete
+// directory that lacks the name.
+func (k *Kernel) FastChildLookup(t *Task, parent PathRef, name string) (*Dentry, error, bool) {
+	pd := parent.D
+	if pd == nil || pd.IsDead() {
+		return nil, nil, false
+	}
+	ino := pd.Inode()
+	if ino == nil || !ino.Mode().IsDir() {
+		return nil, nil, false
+	}
+	if k.mayLookup(t.Cred(), parent.Mnt, ino) != nil {
+		return nil, nil, false
+	}
+	sc := k.stats.cell()
+	if d := k.table.lookup(pd.id, name); d != nil {
+		if d.IsDead() || d.sb.caps.Revalidate ||
+			d.Flags()&(DAlias|DUnhydrated|DMounted|DInLookup) != 0 {
+			return nil, nil, false
+		}
+		sc.cacheHits.Add(1)
+		k.lru.touch(d)
+		if d.IsNegative() {
+			sc.negativeHits.Add(1)
+			if d.Flags()&DNotDir != 0 {
+				return d, fsapi.ENOTDIR, true
+			}
+			return d, fsapi.ENOENT, true
+		}
+		return d, nil, true
+	}
+	// As in walkSlow: DComplete is only authoritative after a re-read of
+	// the child map (bulk population installs children before setting it).
+	if k.cfg.DirCompleteness && pd.Flags()&DComplete != 0 &&
+		pd.child(name) == nil {
+		sc.completeShort.Add(1)
+		return nil, fsapi.ENOENT, true
+	}
+	return nil, nil, false
+}
+
 // childDentryForCreate returns the cached dentry for (parent, name) even if
 // negative, or nil when nothing is cached. Used by create-type operations
 // to decide between positivizing a negative dentry and allocating afresh.
@@ -139,6 +191,13 @@ func (k *Kernel) killSubtreeLocked(d *Dentry) int {
 	return n
 }
 
+// killRecurse marks a subtree dead, bottom-up. Only the coherence-
+// critical work happens here: the dead flag (lock-free readers discard),
+// parent detach (child maps are authoritative), LRU removal (capacity
+// accounting), and the OnEvict hook (seq bump for fastpath validity).
+// The expensive remainder — hash-chain unlink, DLHT residue, slab-slot
+// retirement — is deferred to the sweeper, which is what makes rm -r's
+// teardown O(1) per dentry on the operation's critical path.
 func (k *Kernel) killRecurse(d *Dentry) int {
 	n := 1
 	// Deep-negative children first (unlink of a file with cached ENOTDIR
@@ -146,15 +205,27 @@ func (k *Kernel) killRecurse(d *Dentry) int {
 	d.EachChild(func(c *Dentry) { n += k.killRecurse(c) })
 	pn := d.pn.Load()
 	d.setFlags(DDead)
+	var pid uint64
 	if pn.parent != nil {
-		k.table.remove(pn.parent.id, pn.name, d)
+		pid = pn.parent.id
 		pn.parent.detachChild(pn.name)
 	}
 	k.lru.remove(d)
 	if k.hooks != nil {
 		k.hooks.OnEvict(d)
 	}
+	k.retireLater(d, pid, pn.name, pn.parent != nil)
 	return n
+}
+
+// discardDentry throws away a freshly allocated dentry that lost an
+// install race: it was registered with the LRU but never entered the
+// hash table or a child map, so only the LRU entry and the slab slot
+// need reclaiming.
+func (k *Kernel) discardDentry(d *Dentry) {
+	d.setFlags(DDead)
+	k.lru.remove(d)
+	k.retireLater(d, 0, "", false)
 }
 
 // installNewChild creates and wires a positive dentry for a just-created
@@ -198,6 +269,8 @@ func (t *Task) Create(path string, mode fsapi.Mode) error {
 // completeness caching is on (§5.1).
 func (t *Task) Mkdir(path string, mode fsapi.Mode) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
 	parent, name, err := t.walkParent(path)
 	if err != nil {
 		return err
@@ -226,6 +299,8 @@ func (t *Task) Mkdir(path string, mode fsapi.Mode) error {
 // Symlink creates a symbolic link at path pointing to target.
 func (t *Task) Symlink(target, path string) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
 	parent, name, err := t.walkParent(path)
 	if err != nil {
 		return err
@@ -254,6 +329,8 @@ func (t *Task) Symlink(target, path string) error {
 // Link creates a hard link newpath referring to oldpath's inode.
 func (t *Task) Link(oldpath, newpath string) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
 	oldRef, err := t.Walk(oldpath, WalkNoFollow)
 	if err != nil {
 		return err
@@ -298,6 +375,9 @@ func (t *Task) Link(oldpath, newpath string) error {
 // the path is reused later").
 func (t *Task) Unlink(path string) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
+	defer k.reapSome()
 	parent, name, err := t.walkParent(path)
 	if err != nil {
 		return err
@@ -338,6 +418,9 @@ func (t *Task) Unlink(path string) error {
 // Rmdir removes an empty directory.
 func (t *Task) Rmdir(path string) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
+	defer k.reapSome()
 	parent, name, err := t.walkParent(path)
 	if err != nil {
 		return err
@@ -444,6 +527,9 @@ func (k *Kernel) refreshInode(d *Dentry) {
 // dentry moves atomically with respect to the hash table.
 func (t *Task) Rename(oldpath, newpath string) error {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
+	defer k.reapSome()
 	oldParent, oldName, err := t.walkParent(oldpath)
 	if err != nil {
 		return err
@@ -521,7 +607,6 @@ func (t *Task) Rename(oldpath, newpath string) error {
 		tIno := target.Inode()
 		target.EachChild(func(c *Dentry) { k.killSubtreeLocked(c) })
 		target.setFlags(DDead)
-		k.table.remove(newParent.D.id, newName, target)
 		newParent.D.detachChild(newName)
 		k.lru.remove(target)
 		if tel := k.journal(); tel != nil {
@@ -530,6 +615,7 @@ func (t *Task) Rename(oldpath, newpath string) error {
 		if k.hooks != nil {
 			k.hooks.OnEvict(target)
 		}
+		k.retireLater(target, newParent.D.id, newName, true)
 		if tIno != nil {
 			if info, err := tIno.sb.fs.GetNode(tIno.ID()); err == nil {
 				tIno.applyInfo(info)
@@ -596,6 +682,8 @@ func (t *Task) OpenAt(dirf *File, path string, flags OpenFlag, mode fsapi.Mode) 
 // openAt implements Open starting at `at` for relative paths.
 func (t *Task) openAt(at PathRef, path string, flags OpenFlag, mode fsapi.Mode) (*File, error) {
 	k := t.k
+	e := k.gate.Enter()
+	defer k.gate.Exit(e)
 	c := t.Cred()
 
 	var ref PathRef

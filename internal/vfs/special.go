@@ -26,8 +26,7 @@ func (k *Kernel) AddSpecialNegative(parent *Dentry, name string, notDir bool) *D
 
 	k.cacheMutBegin()
 	defer k.cacheMutEnd()
-	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
-	d.pn.Store(&parentName{parent: parent, name: name})
+	d := k.newDentry(parent.sb, parent, name)
 	d.setFlags(DNegative)
 	if deep {
 		d.setFlags(DDeepNegative)
@@ -55,7 +54,7 @@ func (k *Kernel) AddAlias(parent *Dentry, name string, target *Dentry) *Dentry {
 		parent.mu.Unlock()
 		if cur.Flags()&DAlias != 0 {
 			// Refresh the redirect in case the target dentry changed.
-			cur.target.Store(target)
+			cur.setTarget(target)
 			return cur
 		}
 		return cur
@@ -64,10 +63,9 @@ func (k *Kernel) AddAlias(parent *Dentry, name string, target *Dentry) *Dentry {
 
 	k.cacheMutBegin()
 	defer k.cacheMutEnd()
-	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
-	d.pn.Store(&parentName{parent: parent, name: name})
+	d := k.newDentry(parent.sb, parent, name)
 	d.setFlags(DAlias)
-	d.target.Store(target)
+	d.setTarget(target)
 	if k.hooks != nil {
 		d.fast = k.hooks.NewDentry(d)
 	}
@@ -80,8 +78,7 @@ func (k *Kernel) installDedup2(parent *Dentry, name string, d *Dentry, inTable b
 	parent.mu.Lock()
 	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
 		parent.mu.Unlock()
-		d.setFlags(DDead)
-		k.lru.remove(d)
+		k.discardDentry(d)
 		return cur
 	}
 	if parent.children == nil {

@@ -9,6 +9,7 @@ import (
 	"dircache/internal/fsapi"
 	"dircache/internal/lsm"
 	"dircache/internal/memfs"
+	"dircache/internal/slab"
 )
 
 func TestAccessMasks(t *testing.T) {
@@ -341,8 +342,8 @@ func TestPathTooLong(t *testing.T) {
 
 func TestHashTableEraSemantics(t *testing.T) {
 	for _, mode := range []SyncMode{SyncRCU, SyncBucketLock, SyncBigLock} {
-		ht := newHashTable(mode, 16)
 		k, root := newKernel(t, Config{SyncMode: mode})
+		ht := newHashTable(mode, 16, slab.New[tnode](k.gate, slab.Options{}), k.dentries)
 		root.Create("/etc/probe", 0o644)
 		ref, err := root.Walk("/etc/probe", 0)
 		if err != nil {

@@ -134,6 +134,11 @@ func (t *Task) Walk(path string, fl WalkFlags) (PathRef, error) {
 // start at the task root.
 func (t *Task) WalkFrom(at PathRef, path string, fl WalkFlags) (PathRef, error) {
 	k := t.k
+	// Epoch section for the whole walk: every dentry, hash-chain node,
+	// and fastpath slot observed on the way is protected from slab
+	// recycling until the walk exits (slab reclamation grace period).
+	ep := k.gate.Enter()
+	defer k.gate.Exit(ep)
 	k.stats.cell().lookups.Add(1)
 	if path == "" {
 		return PathRef{}, fsapi.ENOENT
@@ -676,8 +681,7 @@ func (k *Kernel) missLookupTraced(cur PathRef, comp string, tr *telemetry.WalkTr
 	// not in the hash table, not in the LRU, invisible to readdir
 	// snapshots and audits.
 	k.cacheMutBegin()
-	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
-	d.pn.Store(&parentName{parent: parent, name: comp})
+	d := k.newDentry(parent.sb, parent, comp)
 	d.setFlags(DInLookup)
 	il := &inLookupState{done: make(chan struct{})}
 	d.inLookup = il
@@ -859,6 +863,11 @@ func (k *Kernel) resolveRemove(parent *Dentry, comp string, d *Dentry, il *inLoo
 	parent.mu.Unlock()
 	k.cacheMutEnd()
 	k.finishInLookup(il, err)
+	// The placeholder never entered the hash table or LRU; only its slab
+	// slot needs reclaiming. Coalesced waiters still holding it are
+	// inside their walks' epoch sections, which is exactly what the
+	// grace period covers.
+	k.retireLater(d, 0, "", false)
 }
 
 // finishInLookup publishes the outcome and wakes the coalesced waiters.
@@ -960,8 +969,7 @@ func (k *Kernel) installUnhydrated(parent *Dentry, e fsapi.DirEntry) bool {
 		parent.mu.Unlock()
 		return false
 	}
-	d := &Dentry{id: k.idGen.Add(1), sb: parent.sb}
-	d.pn.Store(&parentName{parent: parent, name: e.Name})
+	d := k.newDentry(parent.sb, parent, e.Name)
 	d.setFlags(DUnhydrated)
 	d.hintID = e.ID
 	d.hintType = e.Type
@@ -999,8 +1007,7 @@ func (k *Kernel) installDedup(parent *Dentry, name string, d *Dentry) *Dentry {
 	if cur, ok := parent.children[name]; ok && !cur.IsDead() {
 		parent.mu.Unlock()
 		// Lost the race: drop our speculative dentry.
-		d.setFlags(DDead)
-		k.lru.remove(d)
+		k.discardDentry(d)
 		return cur
 	}
 	if parent.children == nil {
@@ -1038,7 +1045,7 @@ func (k *Kernel) revalidate(d *Dentry) error {
 // Linux caches symlink bodies in the page cache.
 func (k *Kernel) readLinkBody(d *Dentry) (string, error) {
 	if v := d.linkBody.Load(); v != nil {
-		return v.(string), nil
+		return *v, nil
 	}
 	ino := d.Inode()
 	if ino == nil {
@@ -1051,7 +1058,7 @@ func (k *Kernel) readLinkBody(d *Dentry) (string, error) {
 	if target == "" {
 		return "", fsapi.EINVAL
 	}
-	d.linkBody.Store(target)
+	d.linkBody.Store(&target)
 	return target, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"reflect"
 
 	"dircache/internal/lsm"
+	"dircache/internal/slab"
 )
 
 // CacheStats aggregates directory cache counters: the VFS-level counters
@@ -82,6 +83,7 @@ type CacheStats struct {
 	ShortcutResumes    int64 // walks resumed from a cached ancestor
 	ShortcutDepthSaved int64 // path components skipped by those resumes
 	HashedBytes        int64 // bytes fed to the path hash, all walks
+	ChildHops          int64 // DLHT misses answered from a parent's cached children
 }
 
 // Delta returns the events counted between prev and s: every cumulative
@@ -182,8 +184,89 @@ func (s *System) Stats() CacheStats {
 		out.ShortcutResumes = c.ShortcutResumes
 		out.ShortcutDepthSaved = c.ShortcutDepthSaved
 		out.HashedBytes = c.HashedBytes
+		out.ChildHops = c.ChildHops
 	}
 	return out
+}
+
+// ArenaStats describes one slab arena's occupancy: how many chunks and
+// slots it holds, how the slots split across in-use / free-list /
+// awaiting-grace states, and the cumulative retire/reclaim traffic.
+type ArenaStats struct {
+	Chunks int   `json:"chunks"`
+	Slots  int   `json:"slots"`
+	Live   int64 `json:"live"`
+	Free   int64 `json:"free"`
+	Limbo  int64 `json:"limbo"` // retired, awaiting epoch grace
+
+	Retired   uint64 `json:"retired"`
+	Reclaimed uint64 `json:"reclaimed"`
+}
+
+// MemStats reports the slab-arena memory picture behind the dentry
+// cache: per-arena occupancy for the four arenas (dentries and baseline
+// hash-chain nodes in the kernel; fast-dentry side tables and DLHT chain
+// nodes in the fastpath), plus the deferred-teardown queue depth and the
+// cumulative count of teardown records the sweeper has processed.
+type MemStats struct {
+	Dentries   ArenaStats `json:"dentries"`
+	ChainNodes ArenaStats `json:"chain_nodes"`
+	// FastDentries and DLHTNodes are zero when DirectLookup is off.
+	FastDentries ArenaStats `json:"fast_dentries"`
+	DLHTNodes    ArenaStats `json:"dlht_nodes"`
+
+	LimboQueue int64  `json:"limbo_queue"` // dentries killed but not yet swept
+	Swept      uint64 `json:"swept"`       // cumulative teardown records processed
+}
+
+// MemStats snapshots slab-arena occupancy and teardown-queue state.
+func (s *System) MemStats() MemStats {
+	d, cn, limbo, swept := s.k.MemStats()
+	out := MemStats{
+		Dentries:   arenaStats(d),
+		ChainNodes: arenaStats(cn),
+		LimboQueue: limbo,
+		Swept:      swept,
+	}
+	if s.core != nil {
+		fds, nodes := s.core.MemStats()
+		out.FastDentries = arenaStats(fds)
+		out.DLHTNodes = arenaStats(nodes)
+	}
+	return out
+}
+
+// counters flattens the snapshot into the telemetry exporter's flat
+// counter namespace (source "mem"): per-arena occupancy gauges
+// (<arena>_live/_free/_limbo/_slots/_chunks) and cumulative reclamation
+// traffic (<arena>_retired/_reclaimed), plus the teardown queue depth
+// and sweep total.
+func (s MemStats) counters() map[string]int64 {
+	out := make(map[string]int64, 32)
+	arena := func(prefix string, a ArenaStats) {
+		out[prefix+"_chunks"] = int64(a.Chunks)
+		out[prefix+"_slots"] = int64(a.Slots)
+		out[prefix+"_live"] = a.Live
+		out[prefix+"_free"] = a.Free
+		out[prefix+"_limbo"] = a.Limbo
+		out[prefix+"_retired"] = int64(a.Retired)
+		out[prefix+"_reclaimed"] = int64(a.Reclaimed)
+	}
+	arena("dentries", s.Dentries)
+	arena("chain_nodes", s.ChainNodes)
+	arena("fast_dentries", s.FastDentries)
+	arena("dlht_nodes", s.DLHTNodes)
+	out["limbo_queue"] = s.LimboQueue
+	out["swept"] = int64(s.Swept)
+	return out
+}
+
+func arenaStats(v slab.Stats) ArenaStats {
+	return ArenaStats{
+		Chunks: v.Chunks, Slots: v.Slots,
+		Live: v.Live, Free: v.Free, Limbo: v.Limbo,
+		Retired: v.Retired, Reclaimed: v.Reclaimed,
+	}
 }
 
 // BucketStats reports baseline hash table chain utilization

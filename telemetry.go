@@ -2,7 +2,9 @@ package dircache
 
 import (
 	"io"
+	"math"
 	"net/http"
+	"runtime/metrics"
 	"time"
 
 	"dircache/internal/telemetry"
@@ -88,14 +90,47 @@ func (s *System) Telemetry() *Telemetry {
 
 // EnableTelemetry attaches a freshly built telemetry subsystem to the
 // System (replacing any previous one) and starts recording. The System's
-// CacheStats are registered with the exporter under source "system".
+// CacheStats are registered with the exporter under source "system",
+// its slab-arena occupancy under source "mem" (per-arena live/free/
+// limbo gauges, reclamation counters, and the process's worst observed
+// GC stop-the-world pause).
 func (s *System) EnableTelemetry(o TelemetryOptions) *Telemetry {
 	t := telemetry.New(o.rawOptions())
 	t.RegisterStats("system", func() map[string]int64 { return s.Stats().counters() })
 	t.RegisterStats("inspect", func() map[string]int64 { return s.Inspect().counters() })
+	t.RegisterStats("mem", func() map[string]int64 {
+		out := s.MemStats().counters()
+		out["gc_max_pause_ns"] = gcMaxPauseNS()
+		return out
+	})
 	t.Enable()
 	s.k.SetTelemetry(t)
 	return &Telemetry{t: t}
+}
+
+// gcMaxPauseNS reports the upper edge of the highest populated bucket
+// of the process's cumulative GC stop-the-world pause histogram — the
+// worst pause observed since process start, which is the figure the
+// memscale work budgets (slab arenas exist to keep it flat as the cache
+// grows).
+func gcMaxPauseNS() int64 {
+	s := []metrics.Sample{{Name: "/sched/pauses/total/gc:seconds"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s[0].Value.Float64Histogram()
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		edge := h.Buckets[i+1]
+		if math.IsInf(edge, 1) {
+			edge = h.Buckets[i]
+		}
+		return int64(edge * 1e9)
+	}
+	return 0
 }
 
 // DisableTelemetry detaches the System's telemetry subsystem, restoring

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke memscale-smoke serve-smoke dcbench
+.PHONY: all help build check vet race audit ci stress bench bench-parallel bench-smoke memscale-smoke serve-smoke shard-smoke dcbench
 
 all: ci
 
@@ -19,10 +19,11 @@ help:
 	@echo "  stress         longer -race soak of the stress tests"
 	@echo "  bench          root benchmarks (includes BenchmarkParallelWalk)"
 	@echo "  bench-parallel lookup-scalability curve at 1/2/4/8 goroutines"
-	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve trajectories vs BENCH_*.json + tracing-tax gate (<3%)"
+	@echo "  bench-smoke    warm-app ratios vs BENCH_apps.json + cold/deep/serve/shard trajectories vs BENCH_*.json + tracing-tax gate (<3%)"
 	@echo "  memscale-smoke alloc-regression gate: warm walks at 0 allocs/op (AllocsPerRun test + BenchmarkParallelWalk -benchmem)"
 	@echo "  serve-smoke    boot dcserve on loopback: 9P client round trips + end-to-end trace stitching on /slow"
-	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve/trace JSON files"
+	@echo "  shard-smoke    sharded tier under -race: 4 in-process shards + 2-shard over-the-wire (route, rename storm, converge, audit clean) + pipelined dispatch"
+	@echo "  dcbench        paper tables/figures + BENCH_parallel/micro/apps/cold/deep/serve/trace/shard JSON files"
 
 build:
 	$(GO) build ./...
@@ -42,7 +43,7 @@ audit:
 	$(GO) test -run 'Audit|Invariant' -race ./...
 
 # The tier-1 gate, folded into one target.
-ci: vet check race audit serve-smoke bench-smoke memscale-smoke
+ci: vet check race audit serve-smoke shard-smoke bench-smoke memscale-smoke
 
 # Longer soak of just the stress tests (several runs, full iteration count).
 stress:
@@ -84,6 +85,16 @@ memscale-smoke:
 # with depth saved, both readable off /slow and /metrics.json.
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke|TestServeTraceSmoke' -count=1 ./cmd/dcserve
+
+# Sharded-tier smoke under the race detector: the whole internal/shard
+# suite — ring placement properties, the 4-shard in-process tier
+# (routing, rename storms, converge, injected-bug detection, racing
+# rename-vs-walk), and the 2-shard over-the-wire tier (dcshard journal
+# subscription + Tshoot fallback) — plus the ninep pipelined-dispatch
+# tests the journal stream rides on.
+shard-smoke:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) test -race -run 'TestPipeline' -count=1 ./internal/ninep/
 
 # Paper tables/figures plus the machine-readable perf trajectory files.
 dcbench:

@@ -13,15 +13,17 @@
 // file (conventionally BENCH_parallel.json, committed nowhere but diffed
 // across PRs to track the perf trajectory) plus a compact BENCH_micro.json,
 // a warm-app BENCH_apps.json, a cold-scan BENCH_cold.json, a deep-walk
-// BENCH_deep.json, and a 9P connection-storm BENCH_serve.json beside it
-// (schemas in EXPERIMENTS.md; the small-scale BENCH_apps.json,
-// BENCH_cold.json, BENCH_deep.json and BENCH_serve.json are committed as
-// the -smoke baselines).
+// BENCH_deep.json, a 9P connection-storm BENCH_serve.json, and a
+// sharded-tier BENCH_shard.json beside it (schemas in EXPERIMENTS.md;
+// the small-scale BENCH_apps.json, BENCH_cold.json, BENCH_deep.json,
+// BENCH_serve.json and BENCH_shard.json are committed as the -smoke
+// baselines).
 // -smoke re-runs the warm-app suite and fails if any application's
 // opt/unmod ratio drifts beyond tolerance from that committed baseline,
-// then re-runs the deterministic cold-scan, deep-walk and connection-storm
-// trajectories against the committed BENCH_cold.json, BENCH_deep.json and
-// BENCH_serve.json (this is `make bench-smoke`, part of `make ci`).
+// then re-runs the deterministic cold-scan, deep-walk, connection-storm
+// and sharded-tier trajectories against the committed BENCH_cold.json,
+// BENCH_deep.json, BENCH_serve.json and BENCH_shard.json (this is
+// `make bench-smoke`, part of `make ci`).
 // -telemetry attaches one
 // process-wide telemetry subsystem to every system the experiments build;
 // -metrics-addr serves its histograms and walk traces live over HTTP
@@ -189,8 +191,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
 			failed++
 		}
+		shardPath := filepath.Join(filepath.Dir(*jsonOut), "BENCH_shard.json")
+		if err := writeShard(shardPath, *scale, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %v\n", err)
+			failed++
+		}
 		if failed == 0 {
-			fmt.Printf("wrote %s, %s, %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath, tracePath, memPath)
+			fmt.Printf("wrote %s, %s, %s, %s, %s, %s, %s, %s and %s\n", *jsonOut, microPath, appsPath, coldPath, deepPath, servePath, tracePath, memPath, shardPath)
 		}
 	}
 	if tel != nil {
@@ -634,7 +641,7 @@ func runServeSmoke(baselinePath string, sc bench.Scale) error {
 func runTraceSmoke(baselinePath string, sc bench.Scale) error {
 	if _, err := os.Stat(baselinePath); os.IsNotExist(err) {
 		fmt.Printf("smoke: no trace baseline at %s, skipping tracing-tax gate\n", baselinePath)
-		return nil
+		return runShardSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_shard.json"), sc)
 	}
 	now, err := bench.TraceTrajectory(sc)
 	if err != nil {
@@ -642,5 +649,86 @@ func runTraceSmoke(baselinePath string, sc bench.Scale) error {
 	}
 	fmt.Printf("smoke: tracing tax %.1f%% at 1/64 sampling (on %.0f ns/op, off %.0f ns/op; budget <3%%)\n",
 		(now["trace/ratio"]-1)*100, now["trace/on_ns"], now["trace/off_ns"])
+	return runShardSmoke(filepath.Join(filepath.Dir(baselinePath), "BENCH_shard.json"), sc)
+}
+
+// runShardSmoke compares the deterministic sharded-tier trajectory
+// against the committed BENCH_shard.json beside the other baselines —
+// exact coherence event counts and ring placement fractions — and hard-
+// gates the invariants the tier cannot drift on at all: zero stale reads
+// after the rename storm converges, and zero fell-behind fallbacks.
+func runShardSmoke(baselinePath string, sc bench.Scale) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("smoke: no shard baseline at %s, skipping sharded-tier gate\n", baselinePath)
+			return nil
+		}
+		return err
+	}
+	var base microDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	now, err := bench.ShardTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	if n := now["shard/stale_reads"]; n != 0 {
+		return fmt.Errorf("sharded tier served %.0f stale reads after convergence (must be 0)", n)
+	}
+	if n := now["shard/fallbacks"]; n != 0 {
+		return fmt.Errorf("sharded tier took %.0f fell-behind fallbacks during the storm (must be 0)", n)
+	}
+	names := make([]string, 0, len(base.Metrics))
+	for k := range base.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	bad := 0
+	fmt.Printf("%-30s %-10s %-10s %s\n", "shard metric", "base", "now", "drift")
+	for _, name := range names {
+		b := base.Metrics[name]
+		n, ok := now[name]
+		if !ok || b == 0 {
+			continue
+		}
+		drift := (n - b) / b
+		mark := ""
+		if drift > smokeTolerance || drift < -smokeTolerance {
+			bad++
+			mark = "  <-- exceeds ±" + fmt.Sprintf("%.2f", smokeTolerance)
+		}
+		fmt.Printf("%-30s %-10.2f %-10.2f %+.2f%s\n", name, b, n, drift, mark)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d shard metric(s) drifted beyond ±%.2f of the committed baseline", bad, smokeTolerance)
+	}
+	fmt.Println("smoke: sharded-tier coherence trajectory within tolerance")
 	return nil
+}
+
+// writeShard emits BENCH_shard.json: the deterministic sharded-tier
+// trajectory (bench.ShardTrajectory) in the same schema as
+// BENCH_micro.json. The small-scale file is committed as the smoke-test
+// baseline; its values are exact coherence event counts and ring
+// placement fractions, so drift is a behavior change in the routing or
+// journal-subscription machinery. The timed aggregate stat rates stay
+// out of the file — the >=3x speedup claim is asserted by the shardstorm
+// experiment and the internal/bench package test.
+func writeShard(path, scale string, sc bench.Scale) error {
+	metrics, err := bench.ShardTrajectory(sc)
+	if err != nil {
+		return err
+	}
+	doc := microDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale,
+		Metrics:     metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

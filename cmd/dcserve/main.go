@@ -102,6 +102,11 @@ func run(addr string, baseline bool, seed, users string, msize uint32, poolIdle 
 	}
 
 	if metricsAddr != "" {
+		// A dcserve endpoint is exactly one shard of a sharded tier, so
+		// export its counters under the per-shard source name ("shard0")
+		// too: tier dashboards scrape the same key shape from every
+		// endpoint and from a multi-shard dcsh.
+		sys.Telemetry().RegisterSystems("shard", sys)
 		serveFn := sys.Telemetry().Serve
 		if pprofOn {
 			serveFn = sys.Telemetry().ServeDebug

@@ -13,12 +13,31 @@ import (
 	"time"
 
 	"dircache"
+	"dircache/internal/shard"
 	"dircache/internal/telemetry"
 )
 
 // topInterval is the sampling window per tick (a var so tests can
 // shrink it).
 var topInterval = time.Second
+
+// shardSystems and shardRouter are set by main when -shards builds a
+// sharded tier: 'top' then renders one row per shard (walks/s, fastpath
+// ratio, dentry occupancy, journal lag) instead of silently showing only
+// shard 0, and 'pump' drains the coherence subscription.
+var (
+	shardSystems []*dircache.System
+	shardRouter  *shard.Router
+)
+
+// topSystems returns every system 'top' should sample: the sharded tier
+// when one is live, else just the shell's own kernel.
+func topSystems(sys *dircache.System) []*dircache.System {
+	if len(shardSystems) > 1 {
+		return shardSystems
+	}
+	return []*dircache.System{sys}
+}
 
 // cmdSlow prints the flight recorder contents and its drop count.
 func cmdSlow(sys *dircache.System) error {
@@ -38,20 +57,26 @@ func cmdSlow(sys *dircache.System) error {
 // topShot is one tick's snapshot of every counter 'top' derives rates
 // from.
 type topShot struct {
-	at    time.Time
-	st    dircache.CacheStats
-	mem   dircache.MemStats
-	hist  map[string]uint64 // histogram observation counts
-	users map[string]int64  // per-principal 9P ops (when serving)
-	ops   int64             // total 9P ops (when serving)
-	errs  int64
+	at                     time.Time
+	st                     dircache.CacheStats
+	mem                    dircache.MemStats
+	hist                   map[string]uint64 // histogram observation counts
+	users                  map[string]int64  // per-principal 9P ops (when serving)
+	ops                    int64             // total 9P ops (when serving)
+	errs                   int64
 	evDrop, trDrop, slDrop uint64
+
+	// Per-shard samples (len > 1 only when -shards built a tier).
+	shards []dircache.CacheStats
+	dents  []int
+	lag    []int // unconsumed coherence events per shard's journal
 }
 
 // topOps are the 9P per-op cost centers shown as rate columns.
 var topOps = []string{"ninep_attach", "ninep_walk", "ninep_open", "ninep_read", "ninep_stat", "ninep_clunk"}
 
-func topSnapshot(sys *dircache.System) topShot {
+func topSnapshot(systems []*dircache.System) topShot {
+	sys := systems[0]
 	tl := sys.Telemetry()
 	s := topShot{
 		at:     time.Now(),
@@ -60,6 +85,15 @@ func topSnapshot(sys *dircache.System) topShot {
 		hist:   map[string]uint64{},
 		evDrop: tl.EventsDropped(),
 		trDrop: tl.TracesDropped(),
+	}
+	if len(systems) > 1 {
+		for _, ss := range systems {
+			s.shards = append(s.shards, ss.Stats())
+			s.dents = append(s.dents, ss.DentryCount())
+		}
+		if shardRouter != nil {
+			s.lag = shardRouter.Lag()
+		}
 	}
 	_, slDrop := tl.SlowTraces()
 	s.slDrop = slDrop
@@ -78,17 +112,18 @@ func topSnapshot(sys *dircache.System) topShot {
 }
 
 // cmdTop samples the stack every topInterval for ticks windows and
-// prints one rate block per window.
-func cmdTop(sys *dircache.System, ticks int) error {
-	tl := sys.Telemetry()
+// prints one rate block per window. With a sharded tier live, every
+// shard is sampled and rendered, not just shard 0.
+func cmdTop(systems []*dircache.System, ticks int) error {
+	tl := systems[0].Telemetry()
 	if tl == nil {
 		return fmt.Errorf("telemetry off (restart dcsh with -telemetry)")
 	}
-	prev := topSnapshot(sys)
+	prev := topSnapshot(systems)
 	for i := 1; i <= ticks; i++ {
 		time.Sleep(topInterval)
-		cur := topSnapshot(sys)
-		renderTop(sys, prev, cur, i, ticks)
+		cur := topSnapshot(systems)
+		renderTop(systems[0], prev, cur, i, ticks)
 		prev = cur
 	}
 	return nil
@@ -176,4 +211,27 @@ func renderTop(sys *dircache.System, prev, cur topShot, tick, ticks int) {
 		cur.trDrop, cur.trDrop-prev.trDrop,
 		cur.slDrop, cur.slDrop-prev.slDrop,
 		func() int { tr, _ := tl.SlowTraces(); return len(tr) }())
+
+	// The sharded tier: one row per shard. journal-lag is how many
+	// coherence events the shard's journal holds that its peers have not
+	// consumed ('pump' drains them; nonzero steady-state means stale risk).
+	if len(cur.shards) > 1 {
+		for i, st := range cur.shards {
+			var pst dircache.CacheStats
+			if i < len(prev.shards) {
+				pst = prev.shards[i]
+			}
+			dl := d(pst.Lookups, st.Lookups)
+			fast := 0.0
+			if dl > 0 {
+				fast = 100 * float64(d(pst.FastHits, st.FastHits)) / float64(dl)
+			}
+			lag := 0
+			if i < len(cur.lag) {
+				lag = cur.lag[i]
+			}
+			fmt.Printf("shard%-2d %8.0f walks/s   fastpath %5.1f%%   dentries %-8d journal-lag %d\n",
+				i, rate(pst.Lookups, st.Lookups), fast, cur.dents[i], lag)
+		}
+	}
 }

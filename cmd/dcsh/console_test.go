@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dircache"
+	"dircache/internal/shard"
 )
 
 // TestConsoleCommands smoke-tests the ops console against a live traced
@@ -53,5 +54,55 @@ func TestConsoleCommands(t *testing.T) {
 	}
 	if err := runCommand(bare, bp, []string{"slow"}); err == nil {
 		t.Fatal("slow on a telemetry-less kernel did not refuse")
+	}
+}
+
+// TestConsoleSharded drives 'top' and 'pump' with a live sharded tier:
+// top must sample and render every shard (not just shard 0), and pump
+// must drain the coherence events a shard-0 mutation published.
+func TestConsoleSharded(t *testing.T) {
+	g := shard.NewLocalGroup(3, dircache.Optimized(), shard.Options{})
+	defer g.Close()
+	shardSystems = g.Systems
+	shardRouter = g.Router
+	defer func() { shardSystems, shardRouter = nil, nil }()
+
+	sys := g.Systems[0]
+	p := sys.Start(dircache.RootCreds())
+	defer p.Exit()
+	if err := g.Locals[0].MkdirAll("/srv/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if lag := shardRouter.Lag(); lag[0] == 0 {
+		t.Fatal("shard 0 published no coherence events after MkdirAll")
+	}
+
+	old := topInterval
+	topInterval = time.Millisecond
+	defer func() { topInterval = old }()
+	if err := runCommand(sys, p, []string{"top", "1"}); err != nil {
+		t.Fatalf("sharded top: %v", err)
+	}
+	if got := len(topSnapshot(topSystems(sys)).shards); got != 3 {
+		t.Fatalf("top sampled %d shards, want 3", got)
+	}
+
+	if err := runCommand(sys, p, []string{"pump"}); err != nil {
+		t.Fatalf("pump: %v", err)
+	}
+	for i, lag := range shardRouter.Lag() {
+		if lag != 0 {
+			t.Fatalf("shard %d journal lag %d after pump", i, lag)
+		}
+	}
+}
+
+// TestConsolePumpUnsharded: pump without a tier refuses cleanly.
+func TestConsolePumpUnsharded(t *testing.T) {
+	sys := dircache.New(dircache.Optimized())
+	p := sys.Start(dircache.RootCreds())
+	defer p.Exit()
+	if err := runCommand(sys, p, []string{"pump"}); err == nil {
+		t.Fatal("pump without -shards did not refuse")
 	}
 }

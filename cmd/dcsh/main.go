@@ -32,6 +32,7 @@ import (
 
 	"dircache"
 	"dircache/internal/ninep"
+	"dircache/internal/shard"
 )
 
 // nineSrv is the shell's live 9P listener ('serve' command / -serve flag).
@@ -45,6 +46,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (e.g. localhost:9150); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof and Go runtime metrics on the metrics endpoint; implies -telemetry (default address localhost:0)")
 	serveAddr := flag.String("serve", "", "export the kernel over 9P2000 on this address from startup (same listener as the 'serve' command)")
+	shards := flag.Int("shards", 1, "run N shard systems over one shared backend; the shell drives shard 0, 'top' and the metrics exporter grow per-shard rows, 'pump' drains the coherence journals")
 	flag.Parse()
 
 	if *pprofOn && *metricsAddr == "" {
@@ -59,7 +61,21 @@ func main() {
 			Enabled: true, TraceSample: *traceSample, SlowNS: *slowUS * 1000,
 		}
 	}
-	sys := dircache.New(cfg)
+	var sys *dircache.System
+	if *shards > 1 {
+		// A sharded tier over one backend: shard 0 is the shell's kernel
+		// (telemetry comes enabled on every shard — the journal is the
+		// coherence channel). The tier is inspection-grade here: 'top'
+		// samples every shard, 'pump' applies journaled mutations to
+		// peers, and the exporter registers each shard as its own source.
+		g := shard.NewLocalGroup(*shards, cfg, shard.Options{})
+		defer g.Close()
+		sys = g.Systems[0]
+		shardSystems = g.Systems
+		shardRouter = g.Router
+	} else {
+		sys = dircache.New(cfg)
+	}
 	p := sys.Start(dircache.RootCreds())
 
 	mode := "optimized"
@@ -67,6 +83,10 @@ func main() {
 		mode = "baseline"
 	}
 	fmt.Printf("dcsh: simulated kernel with %s directory cache. Type 'help'.\n", mode)
+	if *shards > 1 {
+		sys.Telemetry().RegisterSystems("shard", shardSystems...)
+		fmt.Printf("sharded tier: %d systems over one backend; shell drives shard 0 ('top' shows per-shard rows, 'pump' converges)\n", *shards)
+	}
 	if *metricsAddr != "" {
 		serve := sys.Telemetry().Serve
 		if *pprofOn {
@@ -140,9 +160,12 @@ telem:  lat (walk latency quantiles)  traces (sampled walk traces)
 	slow (flight recorder: slow/anomalous traces stitched across the wire)
 	top [TICKS] (live ops console: rates, hit ratios, stage latencies,
 	per-principal 9P ops, pool and slab-arena occupancy, reclaim rates,
-	drop counters; default 3 ticks)
+	drop counters; default 3 ticks. With -shards N: one row per
+	shard — walks/s, fastpath ratio, dentries, journal lag)
 	(run dcsh with -telemetry; -metrics-addr serves them over HTTP,
 	-pprof adds /debug/pprof and runtime metrics)
+shard:  pump  (drain each shard's coherence journal to its peers;
+	run dcsh with -shards N to build the tier)
 serve:  serve [ADDR]  (export this kernel over 9P2000; default localhost:5640)
 	serve stop    (close the listener and drain connections)
 other:  help  exit
@@ -320,7 +343,15 @@ other:  help  exit
 				return fmt.Errorf("usage: top [TICKS]")
 			}
 		}
-		return cmdTop(sys, ticks)
+		return cmdTop(topSystems(sys), ticks)
+	case "pump":
+		if shardRouter == nil {
+			return fmt.Errorf("not sharded (run dcsh with -shards N)")
+		}
+		n := shardRouter.Pump()
+		pub, applied, fallbacks := shardRouter.Stats()
+		fmt.Printf("pumped %d coherence event(s); totals: published %d, applied %d, fallbacks %d\n",
+			n, pub, applied, fallbacks)
 	case "dropcaches":
 		n := sys.DropCaches()
 		fmt.Printf("evicted %d dentries\n", n)

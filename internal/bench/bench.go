@@ -198,6 +198,7 @@ func Experiments() []Experiment {
 		{"connstorm", "9P connection storm: coalesced cold walks, warm wire RPCs and latency", ConnStorm},
 		{"traceoverhead", "walk tracing tax: warm stat loop at 1/64 sampling vs disabled", TraceOverhead},
 		{"memscale", "memory-scale dentries: slab arenas vs pointer heap (bytes/entry, GC pause, walk p99)", Memscale},
+		{"shardstorm", "sharded metadata tier: aggregate warm stat/s and journal-driven cross-shard coherence", Shardstorm},
 	}
 }
 

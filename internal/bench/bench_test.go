@@ -422,8 +422,8 @@ func TestCoherenceShape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("expected 21 experiments, got %d", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

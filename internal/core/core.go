@@ -216,6 +216,13 @@ type Core struct {
 	// admitAfter caches Config.AdmitAfter with the default applied.
 	admitAfter int
 
+	// pathEvents, when set, makes root-level invalidation events
+	// (seq_bump / batch_shoot) carry the subject's path so cross-shard
+	// coherence subscribers can route them. Off by default: PathTo walks
+	// the parent chain and allocates, a cost only sharded deployments
+	// should pay.
+	pathEvents atomic.Bool
+
 	// regMu guards the registries below. pccs registers every live PCC
 	// (with its owning credential) so that a per-dentry version counter
 	// wrapping its truncated width can invalidate all of them — the
@@ -498,17 +505,21 @@ func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
 	epoch := c.epoch.Add(1)
 	c.stats.invalidations.Add(1)
 	var start time.Time
+	var epath string
 	if tel != nil {
+		if c.pathEvents.Load() {
+			epath = d.PathTo()
+		}
 		tel.Emit(telemetry.JEpochBump, d.ID(), int64(epoch), why.String())
 		start = time.Now()
 	}
 	if c.batchable(d, why) {
-		c.batchShoot(d, why, tel)
+		c.batchShoot(d, why, tel, epath)
 	} else {
 		n := c.invalidateSubtree(d, tel)
 		c.stats.seqBumps.Add(int64(n))
 		if tel != nil {
-			tel.Emit(telemetry.JSeqBump, d.ID(), int64(n), why.String())
+			tel.EmitPath(telemetry.JSeqBump, d.ID(), int64(n), why.String(), epath)
 		}
 	}
 	if tel != nil {
@@ -530,11 +541,17 @@ func (c *Core) BeginMutation(d *vfs.Dentry, why vfs.Invalidation) func() {
 // or stale memoized prefix checks keep authorizing (§3.2).
 func (c *Core) batchable(d *vfs.Dentry, why vfs.Invalidation) bool {
 	switch why {
-	case vfs.InvalRename, vfs.InvalUnlink, vfs.InvalMount:
+	case vfs.InvalRename, vfs.InvalUnlink, vfs.InvalMount, vfs.InvalRemote:
 		return d.ChildCount() > 0
 	}
 	return false
 }
+
+// EnablePathEvents makes subsequent root-level invalidation events carry
+// the mutated dentry's path (see the pathEvents field). Sharded
+// deployments enable this so the coherence journal doubles as the
+// cross-shard invalidation stream.
+func (c *Core) EnablePathEvents() { c.pathEvents.Store(true) }
 
 // batchShoot is the epoch-tagged range shootdown: bump the generation
 // counter once, eagerly invalidate only the subtree root (its seq bump
@@ -542,7 +559,7 @@ func (c *Core) batchable(d *vfs.Dentry, why vfs.Invalidation) bool {
 // shootMark so fastpath probes and sweeps lazily discard every
 // descendant's state on next encounter (Core.fresh). O(1) instead of
 // O(subtree), which is what rm -r and rename teardown pay per call.
-func (c *Core) batchShoot(d *vfs.Dentry, why vfs.Invalidation, tel *telemetry.Telemetry) {
+func (c *Core) batchShoot(d *vfs.Dentry, why vfs.Invalidation, tel *telemetry.Telemetry, epath string) {
 	gen := c.shootGen.Add(1)
 	c.stats.batchShootdowns.Add(1)
 	c.stats.seqBumps.Add(1)
@@ -568,7 +585,7 @@ func (c *Core) batchShoot(d *vfs.Dentry, why vfs.Invalidation, tel *telemetry.Te
 		}
 	}
 	if tel != nil {
-		tel.Emit(telemetry.JBatchShoot, d.ID(), int64(gen), why.String())
+		tel.EmitPath(telemetry.JBatchShoot, d.ID(), int64(gen), why.String(), epath)
 	}
 }
 

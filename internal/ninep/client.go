@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"dircache/internal/telemetry"
 )
 
-// Client is a minimal 9P2000 client for tests, smoke checks, and the
-// connstorm benchmark: one connection, synchronous RPCs, fids allocated
-// by a counter. It is safe for a single goroutine; drive one Client per
-// goroutine (that is the point of a connection storm).
+// Client is a minimal 9P2000 client for tests, smoke checks, the
+// connstorm benchmark, and the sharded tier's wire leg: one connection,
+// synchronous RPCs, fids allocated by a counter. An internal mutex
+// serializes RPCs, so several goroutines may share one Client (a shard
+// router interleaving walks with journal polls); for throughput work
+// drive one Client per goroutine (that is the point of a connection
+// storm).
 type Client struct {
 	nc      net.Conn
 	msize   uint32
@@ -21,7 +25,10 @@ type Client struct {
 	nextFid uint32
 	rpcs    atomic.Int64
 
+	mu sync.Mutex // serializes rpc (tag allocation + write + read)
+
 	trace bool                 // server negotiated the dctrace extension
+	shard bool                 // server negotiated the dcshard extension
 	tel   *telemetry.Telemetry // client-side span sink (SetTelemetry)
 }
 
@@ -29,17 +36,40 @@ type Client struct {
 // version, offering the dctrace extension. A stock 9P2000 server
 // answers "9P2000" and the client silently runs untraced.
 func Dial(addr string) (*Client, error) {
+	return dial(addr, VersionTrace)
+}
+
+// DialShard connects offering the dcshard extension — the journal
+// subscription and remote shootdown the sharded tier's wire leg rides
+// on — and fails if the server does not speak it (a shard peer that
+// cannot propagate invalidations is not a peer).
+func DialShard(addr string) (*Client, error) {
+	c, err := dial(addr, VersionShard)
+	if err != nil {
+		return nil, err
+	}
+	if !c.shard {
+		c.Close()
+		return nil, fmt.Errorf("server does not speak %q", VersionShard)
+	}
+	return c, nil
+}
+
+func dial(addr, version string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{nc: nc, msize: DefaultMsize}
-	resp, err := c.rpc(&Fcall{Type: MsgTversion, Tag: NoTag, Msize: DefaultMsize, Version: VersionTrace})
+	resp, err := c.rpc(&Fcall{Type: MsgTversion, Tag: NoTag, Msize: DefaultMsize, Version: version})
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
 	switch resp.Version {
+	case VersionShard:
+		c.trace = true
+		c.shard = true
 	case VersionTrace:
 		c.trace = true
 	case Version:
@@ -89,8 +119,12 @@ func (c *Client) RPCs() int64 { return c.rpcs.Load() }
 func (c *Client) Msize() uint32 { return c.msize }
 
 // rpc sends one request and reads its response, mapping Rerror back into
-// an fsapi.Errno so errors.Is works across the wire.
+// an fsapi.Errno so errors.Is works across the wire. The mutex makes the
+// Client shareable across goroutines; requests are not pipelined from
+// this client (the server's dispatcher pipelines across clients).
 func (c *Client) rpc(req *Fcall) (*Fcall, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rpcs.Add(1)
 	if req.Tag == 0 && req.Type != MsgTversion {
 		c.tag++
@@ -126,6 +160,42 @@ func (c *Client) rpc(req *Fcall) (*Fcall, error) {
 	return resp, nil
 }
 
+// Sharded reports whether the server negotiated the dcshard extension.
+func (c *Client) Sharded() bool { return c.shard }
+
+// Journal reads the server's coherence journal from cursor, returning
+// the filtered events, the next cursor, and whether the cursor fell
+// behind journal retention (dcshard only). The RjournalMore flag is
+// absorbed internally: truncated batches are re-polled until drained.
+func (c *Client) Journal(cursor uint64) ([]JournalRec, uint64, bool, error) {
+	var out []JournalRec
+	fell := false
+	for {
+		resp, err := c.rpc(&Fcall{Type: MsgTjournal, Offset: cursor})
+		if err != nil {
+			return out, cursor, fell, err
+		}
+		out = append(out, resp.Journal...)
+		cursor = resp.Offset
+		if resp.Mode&RjournalFellBehind != 0 {
+			fell = true
+		}
+		if resp.Mode&RjournalMore == 0 {
+			return out, cursor, fell, nil
+		}
+	}
+}
+
+// Shoot applies a remote invalidation for path on the server ("" or "/"
+// drops everything), returning the dentry count discarded (dcshard only).
+func (c *Client) Shoot(path string) (int, error) {
+	resp, err := c.rpc(&Fcall{Type: MsgTshoot, Name: path})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
 // Fid is a client-side fid handle.
 type Fid struct {
 	c      *Client
@@ -134,7 +204,13 @@ type Fid struct {
 	iounit uint32
 }
 
-func (c *Client) fid() uint32 { n := c.nextFid; c.nextFid++; return n }
+func (c *Client) fid() uint32 {
+	c.mu.Lock()
+	n := c.nextFid
+	c.nextFid++
+	c.mu.Unlock()
+	return n
+}
 
 // Attach establishes a fid at the aname subtree root ("" = "/") under
 // uname's credentials.

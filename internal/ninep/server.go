@@ -30,9 +30,13 @@ type Config struct {
 }
 
 // Server exports one dircache.System over 9P2000. Each accepted
-// connection is served by its own goroutine; requests on a connection are
-// handled in order (so Tflush is trivially satisfied), while connections
-// proceed fully in parallel against the shared directory cache.
+// connection is served by its own reader goroutine which dispatches
+// requests to a bounded per-connection worker pool: requests with
+// distinct tags complete out of order (a slow Twalk no longer blocks the
+// Tstats queued behind it), responses are serialized on a write mutex,
+// and Tflush answers only after the flushed request has settled.
+// Connections proceed fully in parallel against the shared directory
+// cache.
 type Server struct {
 	sys *dircache.System
 	cfg Config
@@ -51,6 +55,26 @@ type Server struct {
 
 	stats   serverStats
 	userOps sync.Map // uname → *atomic.Int64: per-principal op counts
+
+	// shardActive latches once any connection negotiates dcshard: from
+	// then on creations and rename destinations publish synthetic
+	// coherence events (the kernel journals no seq bump when a binding
+	// appears, yet a subscribed peer may hold negatives or authoritative
+	// listings the new binding falsifies).
+	shardActive atomic.Bool
+
+	// testStall is copied onto each new conn (see conn.testStall). Tests
+	// store it (atomically — the accept loop is already running) before
+	// dialing.
+	testStall atomic.Pointer[func(*Fcall)]
+}
+
+// publishCoherence emits a synthetic coherence event for path when a
+// dcshard subscriber is listening.
+func (s *Server) publishCoherence(path, note string) {
+	if s.shardActive.Load() {
+		s.sys.PublishCoherence(path, note)
+	}
 }
 
 // serverStats are the server's own counters, exported through the
@@ -71,19 +95,19 @@ type serverStats struct {
 // ServerStats is a snapshot of the server counters. ConnsLive and
 // FidsLive are gauges; everything else is cumulative.
 type ServerStats struct {
-	ConnsTotal int64
-	ConnsLive  int64
-	Attaches   int64
-	FidsLive   int64
-	Ops        int64
-	Walks      int64
-	WalkNames  int64
-	ErrorsSent int64
-	BytesRead  int64
+	ConnsTotal   int64
+	ConnsLive    int64
+	Attaches     int64
+	FidsLive     int64
+	Ops          int64
+	Walks        int64
+	WalkNames    int64
+	ErrorsSent   int64
+	BytesRead    int64
 	BytesWritten int64
-	PoolGets   int64
-	PoolReuses int64
-	PoolIdle   int64 // Processes currently parked in the pool
+	PoolGets     int64
+	PoolReuses   int64
+	PoolIdle     int64 // Processes currently parked in the pool
 }
 
 // NewServer builds a server for sys (not yet listening).
@@ -133,19 +157,19 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Stats() ServerStats {
 	ps := s.pool.Stats()
 	return ServerStats{
-		ConnsTotal: s.stats.connsTotal.Load(),
-		ConnsLive:  s.stats.connsLive.Load(),
-		Attaches:   s.stats.attaches.Load(),
-		FidsLive:   s.stats.fidsLive.Load(),
-		Ops:        s.stats.ops.Load(),
-		Walks:      s.stats.walks.Load(),
-		WalkNames:  s.stats.walkNames.Load(),
-		ErrorsSent: s.stats.errorsSent.Load(),
-		BytesRead:  s.stats.bytesRead.Load(),
+		ConnsTotal:   s.stats.connsTotal.Load(),
+		ConnsLive:    s.stats.connsLive.Load(),
+		Attaches:     s.stats.attaches.Load(),
+		FidsLive:     s.stats.fidsLive.Load(),
+		Ops:          s.stats.ops.Load(),
+		Walks:        s.stats.walks.Load(),
+		WalkNames:    s.stats.walkNames.Load(),
+		ErrorsSent:   s.stats.errorsSent.Load(),
+		BytesRead:    s.stats.bytesRead.Load(),
 		BytesWritten: s.stats.bytesWritten.Load(),
-		PoolGets:   ps.Gets,
-		PoolReuses: ps.Reuses,
-		PoolIdle:   ps.Idle,
+		PoolGets:     ps.Gets,
+		PoolReuses:   ps.Reuses,
+		PoolIdle:     ps.Idle,
 	}
 }
 
@@ -252,35 +276,75 @@ func (s *Server) identity(uname string) (*dircache.Identity, error) {
 }
 
 // fidEntry is one live fid: a path handle bound to the attach identity's
-// Process, plus open-file state once Topen/Tcreate fires.
+// Process, plus open-file state once Topen/Tcreate fires. The mutex
+// serializes concurrent requests on the SAME fid (pipelined dispatch runs
+// distinct tags in parallel); handlers hold it for their whole body, so
+// per-fid state like the directory read cursor stays sequential.
 type fidEntry struct {
-	path  string // absolute, lexically maintained
-	uname string // attach principal, for per-user op accounting
-	proc  *dircache.Process
-	qid   Qid
-	open  *dircache.File
-	omode uint8 // open mode byte, valid when open != nil
+	mu     sync.Mutex
+	path   string // absolute, lexically maintained
+	uname  string // attach principal, for per-user op accounting
+	proc   *dircache.Process
+	cp     *connProc
+	qid    Qid
+	open   *dircache.File
+	omode  uint8 // open mode byte, valid when open != nil
 	rclose bool
 	dirBuf []byte // marshalled stat records for directory reads
 	dirOff uint64 // next expected directory read offset
 }
 
-// conn is one client connection: its fid table and the Processes checked
-// out of the pool per attached uname.
+// assign copies nf's state into f (the walk-in-place case), leaving f's
+// mutex alone.
+func (f *fidEntry) assign(nf *fidEntry) {
+	f.path, f.uname, f.proc, f.cp = nf.path, nf.uname, nf.proc, nf.cp
+	f.qid, f.open, f.omode, f.rclose = nf.qid, nf.open, nf.omode, nf.rclose
+	f.dirBuf, f.dirOff = nf.dirBuf, nf.dirOff
+}
+
+// connProc is a per-(connection, uname) Process plus the reader/writer
+// lock that keeps wire tracing sound under pipelining: a traced request
+// takes the write side (exclusive use of the Process while its span is
+// armed — concurrent walks on the Task would annotate into the wrong
+// span), untraced requests share the read side and run concurrently.
+type connProc struct {
+	mu sync.RWMutex
+	p  *dircache.Process
+}
+
+// maxInflight bounds the per-connection worker pool: enough overlap to
+// hide a slow walk behind its neighbors without letting one connection
+// monopolize the kernel.
+const maxInflight = 8
+
+// conn is one client connection: its fid table, the Processes checked out
+// of the pool per attached uname, and the in-flight tag table the
+// pipelined dispatcher and Tflush coordinate through.
 type conn struct {
 	srv   *Server
 	nc    net.Conn
 	msize uint32
 	trace bool // dctrace negotiated: honor trailing trace ids
+	shard bool // dcshard negotiated: journal stream + remote shootdown
 
-	// span is the server span for the request currently being handled
-	// (requests on a connection are serviced in order, so one slot
-	// suffices). Handlers that trigger a kernel walk arm it on their
-	// Process so the walk annotates its stages into the wire span.
-	span *telemetry.WalkTrace
+	mu       sync.Mutex // fids, procs, inflight
+	fids     map[uint32]*fidEntry
+	procs    map[string]*connProc
+	inflight map[uint16]*inflightReq
 
-	fids  map[uint32]*fidEntry
-	procs map[string]*dircache.Process // uname → checked-out Process
+	wmu sync.Mutex     // serializes response frames onto nc
+	wg  sync.WaitGroup // all in-flight workers (and Tflush waiters)
+	sem chan struct{}  // bounded worker pool
+
+	// testStall, when set by a test before any request arrives, is called
+	// at the top of every handler — a hook to hold one tag open and prove
+	// later tags complete ahead of it.
+	testStall func(*Fcall)
+}
+
+// inflightReq tracks one dispatched request so Tflush can await it.
+type inflightReq struct {
+	done chan struct{} // closed after the response is written
 }
 
 func (s *Server) serveConn(nc net.Conn) {
@@ -290,11 +354,16 @@ func (s *Server) serveConn(nc net.Conn) {
 	defer s.stats.connsLive.Add(-1)
 
 	c := &conn{
-		srv:   s,
-		nc:    nc,
-		msize: DefaultMsize,
-		fids:  map[uint32]*fidEntry{},
-		procs: map[string]*dircache.Process{},
+		srv:      s,
+		nc:       nc,
+		msize:    DefaultMsize,
+		fids:     map[uint32]*fidEntry{},
+		procs:    map[string]*connProc{},
+		inflight: map[uint16]*inflightReq{},
+		sem:      make(chan struct{}, maxInflight),
+	}
+	if fn := s.testStall.Load(); fn != nil {
+		c.testStall = *fn
 	}
 	s.connMu.Lock()
 	if s.closing.Load() {
@@ -306,11 +375,14 @@ func (s *Server) serveConn(nc net.Conn) {
 	s.connMu.Unlock()
 
 	defer func() {
+		c.wg.Wait() // drain workers before tearing down their state
 		c.reset()
-		for uname, p := range c.procs {
-			s.pool.Put(p)
+		c.mu.Lock()
+		for uname, cp := range c.procs {
+			s.pool.Put(cp.p)
 			delete(c.procs, uname)
 		}
+		c.mu.Unlock()
 		nc.Close()
 		s.connMu.Lock()
 		delete(s.conns, c)
@@ -327,27 +399,90 @@ func (s *Server) serveConn(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := c.dispatch(req)
-		resp.Tag = req.Tag
-		out, err := Marshal(resp)
-		if err != nil {
-			// Response exceeded wire limits (e.g. a >64KiB stat); report
-			// rather than killing the conn.
-			resp = &Fcall{Type: MsgRerror, Tag: req.Tag, Ename: ErrnoEname(fsapi.EINVAL)}
-			out, _ = Marshal(resp)
+		switch req.Type {
+		case MsgTversion:
+			// Version resets the session: barrier on everything in
+			// flight, then handle serially.
+			c.wg.Wait()
+			c.respond(req, c.dispatch(req))
+		case MsgTflush:
+			c.tflush(req)
+		default:
+			c.sem <- struct{}{} // bound concurrency before registering
+			ir := &inflightReq{done: make(chan struct{})}
+			c.mu.Lock()
+			if _, dup := c.inflight[req.Tag]; dup {
+				c.mu.Unlock()
+				<-c.sem
+				c.srv.stats.ops.Add(1)
+				c.respond(req, &Fcall{Type: MsgRerror, Ename: "duplicate tag"})
+				continue
+			}
+			c.inflight[req.Tag] = ir
+			c.mu.Unlock()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.respond(req, c.dispatch(req))
+				c.mu.Lock()
+				delete(c.inflight, req.Tag)
+				c.mu.Unlock()
+				close(ir.done)
+				<-c.sem
+			}()
 		}
-		if resp.Type == MsgRerror {
-			s.stats.errorsSent.Add(1)
-		}
-		if _, err := c.nc.Write(out); err != nil {
-			return
-		}
-		s.stats.bytesWritten.Add(int64(len(out)))
 	}
 }
 
-// reset clunks every fid (closing open files), as Tversion demands.
+// tflush honors the flush protocol under pipelining: if oldtag is still
+// in flight, the Rflush is deferred until the flushed request's response
+// has been written (the server answers the old request normally — it has
+// already taken effect — and THEN confirms the flush); an unknown oldtag
+// (already answered, or never seen) flushes immediately.
+func (c *conn) tflush(req *Fcall) {
+	c.srv.stats.ops.Add(1)
+	c.mu.Lock()
+	ir := c.inflight[req.Oldtag]
+	c.mu.Unlock()
+	if ir == nil {
+		c.respond(req, &Fcall{Type: MsgRflush})
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		<-ir.done
+		c.respond(req, &Fcall{Type: MsgRflush})
+	}()
+}
+
+// respond marshals and writes one response frame (tagged from req),
+// serialized against concurrent workers by the write mutex.
+func (c *conn) respond(req *Fcall, resp *Fcall) {
+	resp.Tag = req.Tag
+	out, err := Marshal(resp)
+	if err != nil {
+		// Response exceeded wire limits (e.g. a >64KiB stat); report
+		// rather than killing the conn.
+		resp = &Fcall{Type: MsgRerror, Tag: req.Tag, Ename: ErrnoEname(fsapi.EINVAL)}
+		out, _ = Marshal(resp)
+	}
+	if resp.Type == MsgRerror {
+		c.srv.stats.errorsSent.Add(1)
+	}
+	c.wmu.Lock()
+	_, werr := c.nc.Write(out)
+	c.wmu.Unlock()
+	if werr == nil {
+		c.srv.stats.bytesWritten.Add(int64(len(out)))
+	}
+}
+
+// reset clunks every fid (closing open files), as Tversion demands. The
+// caller guarantees no requests are in flight.
 func (c *conn) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.srv.stats.fidsLive.Add(-int64(len(c.fids)))
 	for n, f := range c.fids {
 		if f.open != nil {
@@ -385,11 +520,9 @@ func (c *conn) dispatch(req *Fcall) *Fcall {
 	if c.trace && req.TraceID != 0 {
 		span = c.srv.tel.StartSpan("server", MsgName(req.Type), "", req.TraceID)
 	}
-	c.span = span
 	t0 := time.Now()
-	resp, err := c.handle(req)
+	resp, err := c.handle(req, span)
 	d := time.Since(t0)
-	c.span = nil
 	var spanID uint64
 	if span != nil {
 		spanID = span.ID
@@ -409,7 +542,10 @@ type protoErr string
 
 func (e protoErr) Error() string { return string(e) }
 
-func (c *conn) handle(req *Fcall) (*Fcall, error) {
+func (c *conn) handle(req *Fcall, span *telemetry.WalkTrace) (*Fcall, error) {
+	if stall := c.testStall; stall != nil {
+		stall(req)
+	}
 	switch req.Type {
 	case MsgTversion:
 		return c.tversion(req)
@@ -417,14 +553,10 @@ func (c *conn) handle(req *Fcall) (*Fcall, error) {
 		return nil, protoErr("authentication not required")
 	case MsgTattach:
 		return c.tattach(req)
-	case MsgTflush:
-		// Requests are handled in order: by the time a Tflush is read,
-		// the flushed request has already been answered.
-		return &Fcall{Type: MsgRflush}, nil
 	case MsgTwalk:
-		return c.twalk(req)
+		return c.twalk(req, span)
 	case MsgTopen:
-		return c.topen(req)
+		return c.topen(req, span)
 	case MsgTcreate:
 		return c.tcreate(req)
 	case MsgTread:
@@ -436,12 +568,62 @@ func (c *conn) handle(req *Fcall) (*Fcall, error) {
 	case MsgTremove:
 		return c.tremove(req)
 	case MsgTstat:
-		return c.tstat(req)
+		return c.tstat(req, span)
 	case MsgTwstat:
 		return c.twstat(req)
+	case MsgTjournal:
+		return c.tjournal(req)
+	case MsgTshoot:
+		return c.tshoot(req)
 	default:
 		return nil, protoErr("illegal message type " + MsgName(req.Type))
 	}
+}
+
+// lockProc takes the fid's Process for the handler's duration. A traced
+// request takes it exclusively and arms its span — the armed trace is a
+// single per-Task slot, so a concurrent walk on the same Process would
+// annotate its stages into the wrong span. Untraced requests share the
+// read side and run concurrently.
+func (c *conn) lockProc(cp *connProc, span *telemetry.WalkTrace) func() {
+	if span != nil {
+		cp.mu.Lock()
+		cp.p.ArmTrace(span)
+		return func() {
+			cp.p.ArmTrace(nil)
+			cp.mu.Unlock()
+		}
+	}
+	cp.mu.RLock()
+	return func() { cp.mu.RUnlock() }
+}
+
+// insertFid installs nf at n, failing if n is busy. The install-time check
+// is the authoritative one: pre-checks in handlers are advisory under
+// pipelined dispatch.
+func (c *conn) insertFid(n uint32, nf *fidEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, busy := c.fids[n]; busy {
+		return protoErr("fid already in use")
+	}
+	c.fids[n] = nf
+	c.srv.stats.fidsLive.Add(1)
+	return nil
+}
+
+// takeFid atomically removes and returns fid n (the clunk/remove path).
+func (c *conn) takeFid(n uint32) (*fidEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.fids[n]
+	if !ok {
+		return nil, fsapi.EBADF
+	}
+	delete(c.fids, n)
+	c.srv.stats.fidsLive.Add(-1)
+	c.srv.bumpUser(f.uname)
+	return f, nil
 }
 
 func (c *conn) tversion(req *Fcall) (*Fcall, error) {
@@ -456,12 +638,23 @@ func (c *conn) tversion(req *Fcall) (*Fcall, error) {
 	c.msize = ms
 	ver := Version
 	c.trace = false
-	if req.Version == VersionTrace {
-		// Exact match only — checked before the 9P2000 prefix fallback,
-		// which VersionTrace would otherwise satisfy.
+	c.shard = false
+	switch {
+	case req.Version == VersionShard:
+		// Exact matches only — checked before the 9P2000 prefix fallback,
+		// which both extensions would otherwise satisfy. dcshard implies
+		// dctrace and additionally opens the journal stream: negotiating it
+		// turns on shard coherence (path-bearing journal events) so
+		// Tjournal subscribers see this server's mutations.
+		ver = VersionShard
+		c.trace = true
+		c.shard = true
+		c.srv.sys.EnableShardCoherence()
+		c.srv.shardActive.Store(true)
+	case req.Version == VersionTrace:
 		ver = VersionTrace
 		c.trace = true
-	} else if !strings.HasPrefix(req.Version, Version) {
+	case !strings.HasPrefix(req.Version, Version):
 		ver = VersionUnknown
 	}
 	return &Fcall{Type: MsgRversion, Msize: ms, Version: ver}, nil
@@ -470,27 +663,26 @@ func (c *conn) tversion(req *Fcall) (*Fcall, error) {
 // procFor returns the connection's Process for uname, checking one out of
 // the pool on first use. Connections attached under several unames hold
 // one Process per uname, each carrying that principal's shared identity.
-func (c *conn) procFor(uname string) (*dircache.Process, error) {
-	if p, ok := c.procs[uname]; ok {
-		return p, nil
+func (c *conn) procFor(uname string) (*connProc, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cp, ok := c.procs[uname]; ok {
+		return cp, nil
 	}
 	id, err := c.srv.identity(uname)
 	if err != nil {
 		return nil, protoErr(err.Error())
 	}
-	p := c.srv.pool.Get(id)
-	c.procs[uname] = p
-	return p, nil
+	cp := &connProc{p: c.srv.pool.Get(id)}
+	c.procs[uname] = cp
+	return cp, nil
 }
 
 func (c *conn) tattach(req *Fcall) (*Fcall, error) {
 	if req.Afid != NoFid {
 		return nil, protoErr("authentication not required")
 	}
-	if _, busy := c.fids[req.Fid]; busy {
-		return nil, protoErr("fid already in use")
-	}
-	proc, err := c.procFor(req.Uname)
+	cp, err := c.procFor(req.Uname)
 	if err != nil {
 		return nil, err
 	}
@@ -498,22 +690,28 @@ func (c *conn) tattach(req *Fcall) (*Fcall, error) {
 	if req.Aname != "" && req.Aname != "/" {
 		root = cleanAbs(req.Aname)
 	}
-	fi, err := proc.Stat(root)
+	cp.mu.RLock()
+	fi, err := cp.p.Stat(root)
+	cp.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	if !fi.IsDir() {
 		return nil, fsapi.ENOTDIR
 	}
-	c.fids[req.Fid] = &fidEntry{path: root, uname: req.Uname, proc: proc, qid: qidOf(fi)}
+	nf := &fidEntry{path: root, uname: req.Uname, proc: cp.p, cp: cp, qid: qidOf(fi)}
+	if err := c.insertFid(req.Fid, nf); err != nil {
+		return nil, err
+	}
 	c.srv.stats.attaches.Add(1)
-	c.srv.stats.fidsLive.Add(1)
 	c.srv.bumpUser(req.Uname)
 	return &Fcall{Type: MsgRattach, Qid: qidOf(fi)}, nil
 }
 
 func (c *conn) lookupFid(n uint32) (*fidEntry, error) {
+	c.mu.Lock()
 	f, ok := c.fids[n]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fsapi.EBADF
 	}
@@ -529,27 +727,25 @@ func (c *conn) lookupFid(n uint32) (*fidEntry, error) {
 // walks run entirely warm off the entries the full walk just populated.
 // Only when the full walk fails does the server fall back to
 // component-at-a-time resolution to honor 9P partial-walk semantics.
-func (c *conn) twalk(req *Fcall) (*Fcall, error) {
+func (c *conn) twalk(req *Fcall, span *telemetry.WalkTrace) (*Fcall, error) {
 	src, err := c.lookupFid(req.Fid)
 	if err != nil {
 		return nil, err
 	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
 	if src.open != nil {
 		return nil, protoErr("cannot walk an open fid")
-	}
-	if req.Newfid != req.Fid {
-		if _, busy := c.fids[req.Newfid]; busy {
-			return nil, protoErr("newfid already in use")
-		}
 	}
 	c.srv.stats.walks.Add(1)
 	c.srv.stats.walkNames.Add(int64(len(req.Wname)))
 
 	if len(req.Wname) == 0 { // clone
-		nf := &fidEntry{path: src.path, uname: src.uname, proc: src.proc, qid: src.qid}
 		if req.Newfid != req.Fid {
-			c.fids[req.Newfid] = nf
-			c.srv.stats.fidsLive.Add(1)
+			nf := &fidEntry{path: src.path, uname: src.uname, proc: src.proc, cp: src.cp, qid: src.qid}
+			if err := c.insertFid(req.Newfid, nf); err != nil {
+				return nil, err
+			}
 		}
 		return &Fcall{Type: MsgRwalk}, nil
 	}
@@ -564,15 +760,16 @@ func (c *conn) twalk(req *Fcall) (*Fcall, error) {
 		paths[i] = cur
 	}
 
+	unlock := c.lockProc(src.cp, span)
+	defer unlock()
+
 	final := paths[len(paths)-1]
 	qids := make([]Qid, 0, len(paths))
-	if c.span != nil {
-		// Arm the wire span on the walk the full-path Lstat triggers; the
-		// walk consumes it, so the per-prefix qid read-backs (and any
-		// twalkSlow fallback steps) stay out of the span.
-		c.span.Path = withDotDot(src.path, req.Wname)
-		src.proc.ArmTrace(c.span)
-		defer src.proc.ArmTrace(nil)
+	if span != nil {
+		// The armed span is consumed by the walk the full-path Lstat
+		// triggers, so the per-prefix qid read-backs (and any twalkSlow
+		// fallback steps) stay out of it.
+		span.Path = withDotDot(src.path, req.Wname)
 	}
 	fi, err := src.proc.Lstat(withDotDot(src.path, req.Wname)) // the one multi-component walk
 	if err == nil {
@@ -586,12 +783,11 @@ func (c *conn) twalk(req *Fcall) (*Fcall, error) {
 			qids = append(qids, qidOf(pfi))
 		}
 		qids = append(qids, qidOf(fi))
-		nf := &fidEntry{path: final, uname: src.uname, proc: src.proc, qid: qidOf(fi)}
+		nf := &fidEntry{path: final, uname: src.uname, proc: src.proc, cp: src.cp, qid: qidOf(fi)}
 		if req.Newfid == req.Fid {
-			*src = *nf
-		} else {
-			c.fids[req.Newfid] = nf
-			c.srv.stats.fidsLive.Add(1)
+			src.assign(nf)
+		} else if err := c.insertFid(req.Newfid, nf); err != nil {
+			return nil, err
 		}
 		return &Fcall{Type: MsgRwalk, Wqid: qids}, nil
 	}
@@ -620,21 +816,22 @@ func (c *conn) twalkSlow(req *Fcall, src *fidEntry, paths []string) (*Fcall, err
 		qids = append(qids, qidOf(fi))
 	}
 	last := paths[len(paths)-1]
-	nf := &fidEntry{path: last, uname: src.uname, proc: src.proc, qid: qids[len(qids)-1]}
+	nf := &fidEntry{path: last, uname: src.uname, proc: src.proc, cp: src.cp, qid: qids[len(qids)-1]}
 	if req.Newfid == req.Fid {
-		*src = *nf
-	} else {
-		c.fids[req.Newfid] = nf
-		c.srv.stats.fidsLive.Add(1)
+		src.assign(nf)
+	} else if err := c.insertFid(req.Newfid, nf); err != nil {
+		return nil, err
 	}
 	return &Fcall{Type: MsgRwalk, Wqid: qids}, nil
 }
 
-func (c *conn) topen(req *Fcall) (*Fcall, error) {
+func (c *conn) topen(req *Fcall, span *telemetry.WalkTrace) (*Fcall, error) {
 	f, err := c.lookupFid(req.Fid)
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.open != nil {
 		return nil, protoErr("fid already open")
 	}
@@ -642,10 +839,10 @@ func (c *conn) topen(req *Fcall) (*Fcall, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.span != nil {
-		c.span.Path = f.path
-		f.proc.ArmTrace(c.span)
-		defer f.proc.ArmTrace(nil)
+	unlock := c.lockProc(f.cp, span)
+	defer unlock()
+	if span != nil {
+		span.Path = f.path
 	}
 	of, err := f.proc.Open(f.path, flags, 0)
 	if err != nil {
@@ -670,6 +867,10 @@ func (c *conn) tcreate(req *Fcall) (*Fcall, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock := c.lockProc(f.cp, nil)
+	defer unlock()
 	if f.open != nil {
 		return nil, protoErr("fid already open")
 	}
@@ -717,6 +918,7 @@ func (c *conn) finishCreate(f *fidEntry, req *Fcall, path string, of *dircache.F
 	f.qid = qidOf(fi)
 	f.dirBuf = nil
 	f.dirOff = 0
+	c.srv.publishCoherence(path, "create")
 	return &Fcall{Type: MsgRcreate, Qid: f.qid, Iounit: c.iounit()}, nil
 }
 
@@ -725,6 +927,10 @@ func (c *conn) tread(req *Fcall) (*Fcall, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock := c.lockProc(f.cp, nil)
+	defer unlock()
 	if f.open == nil {
 		return nil, protoErr("fid not open")
 	}
@@ -773,7 +979,7 @@ func (c *conn) readDir(f *fidEntry, offset uint64, count uint32) (*Fcall, error)
 	// Truncate to whole stat records within count.
 	n := 0
 	for n < len(rest) {
-		rl := int(uint16(rest[n]) | uint16(rest[n+1])<<8) + 2
+		rl := int(uint16(rest[n])|uint16(rest[n+1])<<8) + 2
 		if n+rl > int(count) {
 			break
 		}
@@ -788,6 +994,10 @@ func (c *conn) twrite(req *Fcall) (*Fcall, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock := c.lockProc(f.cp, nil)
+	defer unlock()
 	if f.open == nil {
 		return nil, protoErr("fid not open")
 	}
@@ -805,32 +1015,36 @@ func (c *conn) twrite(req *Fcall) (*Fcall, error) {
 }
 
 func (c *conn) tclunk(req *Fcall) (*Fcall, error) {
-	f, err := c.lookupFid(req.Fid)
+	f, err := c.takeFid(req.Fid)
 	if err != nil {
 		return nil, err
 	}
-	delete(c.fids, req.Fid)
-	c.srv.stats.fidsLive.Add(-1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.open != nil {
 		f.open.Close()
 	}
 	if f.rclose {
+		unlock := c.lockProc(f.cp, nil)
 		f.proc.Unlink(f.path) // best-effort, like Plan 9
+		unlock()
 	}
 	return &Fcall{Type: MsgRclunk}, nil
 }
 
 func (c *conn) tremove(req *Fcall) (*Fcall, error) {
-	f, err := c.lookupFid(req.Fid)
+	f, err := c.takeFid(req.Fid)
 	if err != nil {
 		return nil, err
 	}
 	// Remove always clunks, success or not.
-	delete(c.fids, req.Fid)
-	c.srv.stats.fidsLive.Add(-1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.open != nil {
 		f.open.Close()
 	}
+	unlock := c.lockProc(f.cp, nil)
+	defer unlock()
 	if f.qid.IsDir() {
 		err = f.proc.Rmdir(f.path)
 	} else {
@@ -842,15 +1056,17 @@ func (c *conn) tremove(req *Fcall) (*Fcall, error) {
 	return &Fcall{Type: MsgRremove}, nil
 }
 
-func (c *conn) tstat(req *Fcall) (*Fcall, error) {
+func (c *conn) tstat(req *Fcall, span *telemetry.WalkTrace) (*Fcall, error) {
 	f, err := c.lookupFid(req.Fid)
 	if err != nil {
 		return nil, err
 	}
-	if c.span != nil {
-		c.span.Path = f.path
-		f.proc.ArmTrace(c.span)
-		defer f.proc.ArmTrace(nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock := c.lockProc(f.cp, span)
+	defer unlock()
+	if span != nil {
+		span.Path = f.path
 	}
 	fi, err := f.proc.Lstat(f.path)
 	if err != nil {
@@ -864,6 +1080,10 @@ func (c *conn) twstat(req *Fcall) (*Fcall, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	unlock := c.lockProc(f.cp, nil)
+	defer unlock()
 	st := req.Stat
 	if st.Mode != noChange32 {
 		if err := f.proc.Chmod(f.path, st.Mode&0o777); err != nil {
@@ -908,8 +1128,71 @@ func (c *conn) twstat(req *Fcall) (*Fcall, error) {
 			return nil, err
 		}
 		f.path = dst
+		c.srv.publishCoherence(dst, "rename-dst")
 	}
 	return &Fcall{Type: MsgRwstat}, nil
+}
+
+// tjournal serves the coherence-journal subscription (9P2000.dcshard
+// only): read path-bearing invalidation events after the client's cursor
+// (carried in Offset), return them with the advanced cursor and the
+// fell-behind flag. Events are filtered server-side to the
+// coherence-relevant shape — path-bearing, not peer-originated — so the
+// stream carries only what a remote shard must apply. The record batch is
+// capped to the negotiated msize; a truncated batch sets RjournalMore and
+// rewinds the returned cursor to the last record shipped.
+func (c *conn) tjournal(req *Fcall) (*Fcall, error) {
+	if !c.shard {
+		return nil, protoErr("journal stream requires " + VersionShard)
+	}
+	evs, next, fell := c.srv.sys.EventsSince(req.Offset)
+	budget := int(c.iounit())
+	resp := &Fcall{Type: MsgRjournal, Offset: next}
+	if fell {
+		resp.Mode |= RjournalFellBehind
+	}
+	used := 0
+	for _, ev := range evs {
+		if ev.Path == "" || ev.Note == "remote" {
+			continue
+		}
+		sz := 8 + 1 + 2 + len(ev.Note) + 2 + len(ev.Path)
+		if used+sz > budget {
+			// Rewind the cursor to the last shipped record so the client
+			// re-polls from there.
+			resp.Mode |= RjournalMore
+			if n := len(resp.Journal); n > 0 {
+				resp.Offset = resp.Journal[n-1].ID
+			} else {
+				resp.Offset = req.Offset
+			}
+			break
+		}
+		used += sz
+		resp.Journal = append(resp.Journal, JournalRec{
+			ID:   ev.ID,
+			Kind: uint8(ev.Kind),
+			Note: ev.Note,
+			Path: ev.Path,
+		})
+	}
+	return resp, nil
+}
+
+// tshoot applies a remote invalidation: drop the server cache's view of
+// the named path ("" or "/" = everything, the fail-closed fallback),
+// answering with the number of dentries discarded.
+func (c *conn) tshoot(req *Fcall) (*Fcall, error) {
+	if !c.shard {
+		return nil, protoErr("shootdown requires " + VersionShard)
+	}
+	var n int
+	if req.Name == "" || req.Name == "/" {
+		n = c.srv.sys.RemoteInvalidateAll()
+	} else {
+		n = c.srv.sys.RemoteInvalidate(cleanAbs(req.Name))
+	}
+	return &Fcall{Type: MsgRshoot, Count: uint32(n)}, nil
 }
 
 // iounit is the largest read/write payload within the negotiated msize.

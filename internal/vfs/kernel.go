@@ -81,6 +81,10 @@ const (
 	// InvalMount: a mount or unmount is changing resolution under the
 	// dentry.
 	InvalMount
+	// InvalRemote: a peer cache instance (another shard of the namespace)
+	// reported a mutation under the dentry; the local view is discarded
+	// wholesale rather than replayed.
+	InvalRemote
 )
 
 // String names the invalidation reason (journal and histogram labels).
@@ -94,6 +98,8 @@ func (i Invalidation) String() string {
 		return "unlink"
 	case InvalMount:
 		return "mount"
+	case InvalRemote:
+		return "remote"
 	}
 	return "unknown"
 }

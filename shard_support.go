@@ -1,0 +1,111 @@
+package dircache
+
+import (
+	"fmt"
+
+	"dircache/internal/telemetry"
+)
+
+// Shard support: the hooks internal/shard uses to run N System instances
+// as one sharded namespace. Each shard publishes its invalidation-relevant
+// mutations through its coherence journal (path-bearing seq_bump /
+// batch_shoot events, read via the cursor subscription) and applies peer
+// mutations by discarding its cached view of the affected path —
+// fail-closed, never replayed.
+
+// EnableShardCoherence prepares the System to act as one shard of a
+// sharded namespace: telemetry is attached if missing (the journal is the
+// publication channel) and root-level invalidation events start carrying
+// the mutated path so peers can route them. Idempotent.
+func (s *System) EnableShardCoherence() {
+	if s.k.Telemetry() == nil {
+		s.EnableTelemetry(TelemetryOptions{})
+	}
+	s.core.EnablePathEvents()
+}
+
+// PublishCoherence emits a synthetic path-bearing coherence event for a
+// mutation the journal does not record on its own — a creation: the kernel
+// journals no seq bump when a binding appears, yet a peer shard may hold a
+// negative dentry or an authoritative listing that the new binding
+// falsifies. Ref 0 marks the event as synthetic (no dentry ID is 0).
+func (s *System) PublishCoherence(path, note string) {
+	if t := s.k.Telemetry(); t != nil {
+		t.EmitPath(telemetry.JSeqBump, 0, 0, note, path)
+	}
+}
+
+// EventsSince reads the System's coherence journal from cursor: events
+// with ID > cursor in ID order, the next cursor, and fellBehind = true
+// when the ring overwrote events the reader never saw (the reader must
+// fall back to RemoteInvalidateAll).
+func (s *System) EventsSince(cursor uint64) (events []JournalEvent, next uint64, fellBehind bool) {
+	return s.k.Telemetry().EventsSince(cursor)
+}
+
+// RemoteInvalidate applies a peer shard's mutation under path to this
+// System's cache: the cached view of the path (if any) is torn down and
+// its parent's listing authority dropped. Cached-only — no backend I/O.
+// Returns the number of dentries discarded.
+func (s *System) RemoteInvalidate(path string) int {
+	return s.k.InvalidateCachedPath(path)
+}
+
+// RemoteInvalidateAll is the fail-closed fallback for a subscriber that
+// fell behind the peer's journal retention: every cached dentry is
+// dropped (evictions clear each parent's DIR_COMPLETE on the way out) and
+// the root takes an InvalRemote epoch bump, so nothing cached before the
+// gap can answer a walk. Returns the number of dentries discarded.
+func (s *System) RemoteInvalidateAll() int {
+	n := s.k.DropCaches()
+	s.k.InvalidateCachedPath("/")
+	return n
+}
+
+// CachedClaim classifies what the System's cache currently claims about a
+// path without consulting the backend; see the constants. The cross-shard
+// auditor compares claims against ground truth after coherence converges.
+type CachedClaim int
+
+const (
+	// ClaimMiss: the cache holds no claim; the next walk asks the backend.
+	ClaimMiss CachedClaim = iota
+	// ClaimPositive: the full path is cached with a live inode.
+	ClaimPositive
+	// ClaimNegative: the cache would answer ENOENT authoritatively (a
+	// negative dentry, or a DIR_COMPLETE parent without the binding).
+	ClaimNegative
+)
+
+// String names the claim for audit findings.
+func (c CachedClaim) String() string {
+	switch c {
+	case ClaimPositive:
+		return "positive"
+	case ClaimNegative:
+		return "negative"
+	case ClaimMiss:
+		return "miss"
+	}
+	return fmt.Sprintf("claim(%d)", int(c))
+}
+
+// CachedClaim reports the cache's current claim about path.
+func (s *System) CachedClaim(path string) CachedClaim {
+	return CachedClaim(s.k.CachedPathClaim(path))
+}
+
+// RegisterSystems registers each system's cache counters with tl under
+// per-shard source names ("<prefix>0", "<prefix>1", ...), so the metrics
+// exporter and dcsh top render one row per shard instead of silently
+// showing only shard 0.
+func (tl *Telemetry) RegisterSystems(prefix string, systems ...*System) {
+	for i, sys := range systems {
+		sys := sys
+		tl.t.RegisterStats(fmt.Sprintf("%s%d", prefix, i), func() map[string]int64 {
+			out := sys.Stats().counters()
+			out["dentries"] = int64(sys.DentryCount())
+			return out
+		})
+	}
+}
